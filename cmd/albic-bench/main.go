@@ -1,0 +1,66 @@
+// Command albic-bench regenerates the paper's evaluation figures
+// (Figures 2-14) and prints each as text tables.
+//
+// Usage:
+//
+//	albic-bench                  # run every figure at reduced scale
+//	albic-bench -fig fig6        # run one figure
+//	albic-bench -full            # paper-scale configurations (slow)
+//	albic-bench -seed 7          # change the experiment seed
+//	albic-bench -list            # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run (e.g. fig6); empty = all")
+	full := flag.Bool("full", false, "paper-scale configurations (slow)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list available figures")
+	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	opt := experiments.Opts{Seed: *seed, Full: *full}
+
+	names := experiments.Names()
+	if *fig != "" {
+		if _, ok := experiments.Registry[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "albic-bench: unknown figure %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		names = []string{*fig}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "albic-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		res := experiments.Registry[name](opt)
+		fmt.Print(res.Render())
+		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(res.RenderCSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "albic-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

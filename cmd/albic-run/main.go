@@ -1,0 +1,116 @@
+// Command albic-run executes one of the paper's streaming jobs on the
+// engine under a chosen reconfiguration policy, printing per-period
+// metrics.
+//
+// Usage:
+//
+//	albic-run -job rj2 -balancer albic -nodes 10 -periods 40 -budget 10
+//	albic-run -job rj1 -balancer milp
+//	albic-run -job rj1 -balancer potc       # two-choice routing, no migration
+//	albic-run -job rj3 -balancer cola
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	job := flag.String("job", "rj2", "job: rj1|rj2|rj3|rj4")
+	balancerName := flag.String("balancer", "albic", "policy: albic|milp|flux|cola|potc|none")
+	nodes := flag.Int("nodes", 10, "worker nodes")
+	periods := flag.Int("periods", 40, "periods to run")
+	budget := flag.Int("budget", 10, "max key-group migrations per period (0 = unlimited)")
+	rate := flag.Int("rate", 0, "input tuples per period (0 = job default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := workload.JobConfig{KeyGroups: 5 * *nodes, Rate: *rate, Seed: *seed}
+	if cfg.Rate == 0 {
+		cfg.Rate = 300 * *nodes
+	}
+	if *balancerName == "potc" {
+		cfg.TwoChoice = true
+	}
+
+	builders := map[string]func(workload.JobConfig) (*engine.Topology, error){
+		"rj1": workload.RealJob1,
+		"rj2": workload.RealJob2,
+		"rj3": workload.RealJob3,
+		"rj4": workload.RealJob4,
+	}
+	build, ok := builders[*job]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "albic-run: unknown job %q\n", *job)
+		os.Exit(2)
+	}
+	topo, err := build(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	var bal core.Balancer
+	switch *balancerName {
+	case "albic":
+		bal = &core.ALBIC{TimeLimit: 25 * time.Millisecond, Seed: *seed}
+	case "milp":
+		bal = &core.MILPBalancer{TimeLimit: 25 * time.Millisecond, Seed: *seed}
+	case "flux":
+		bal = baseline.Flux{}
+	case "cola":
+		bal = &baseline.COLA{Seed: *seed}
+	case "potc", "none":
+		bal = core.NoopBalancer{}
+	default:
+		fmt.Fprintf(os.Stderr, "albic-run: unknown balancer %q\n", *balancerName)
+		os.Exit(2)
+	}
+
+	e, err := engine.New(topo, engine.Config{Nodes: *nodes}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
+		os.Exit(1)
+	}
+	defer e.Close()
+
+	fmt.Printf("job=%s balancer=%s nodes=%d budget=%d rate=%d\n",
+		*job, *balancerName, *nodes, *budget, cfg.Rate)
+	fmt.Printf("%7s %10s %12s %10s %11s %12s\n",
+		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "migLatency_s")
+	for p := 1; p <= *periods; p++ {
+		ps, err := e.RunPeriod()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "albic-run: period %d: %v\n", p, err)
+			os.Exit(1)
+		}
+		if p == 1 {
+			e.CalibrateCapacity(60)
+		}
+		snap, err := e.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%7d %10.2f %12.1f %10.1f %11d %12.2f\n",
+			p, snap.LoadDistance(), snap.CollocationFactor(), snap.AverageLoad(),
+			ps.Migrations, ps.MigrationLatency)
+		snap.MaxMigrations = *budget
+		plan, err := bal.Plan(snap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "albic-run: plan: %v\n", err)
+			os.Exit(1)
+		}
+		if err := e.ApplyPlan(plan.GroupNode); err != nil {
+			fmt.Fprintf(os.Stderr, "albic-run: apply: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command lp-solve solves a linear or mixed-integer program written in the
+// small textual format of internal/lp (see Parse):
+//
+//	min: 3x + 2y
+//	c1: x + y >= 4
+//	bound: 0 <= x <= 10
+//	int y
+//
+// Usage:
+//
+//	lp-solve model.lp
+//	echo 'max: x\nc: x <= 3' | lp-solve -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/lp"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 30*time.Second, "MILP time limit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lp-solve <file.lp | ->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lp-solve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	m, maximize, err := lp.Parse(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lp-solve: %v\n", err)
+		os.Exit(1)
+	}
+	hasInt := false
+	for _, v := range m.Vars {
+		if v.Integer {
+			hasInt = true
+		}
+	}
+	var sol *lp.Solution
+	if hasInt {
+		sol = lp.SolveMILP(m, lp.MILPOptions{TimeLimit: *timeout})
+	} else {
+		sol = lp.SolveLP(m)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	if sol.Status != lp.Optimal && sol.Status != lp.TimeLimit {
+		os.Exit(1)
+	}
+	obj := sol.Obj
+	if maximize {
+		obj = -obj
+	}
+	fmt.Printf("objective: %g\n", obj)
+	for j, v := range m.Vars {
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("x%d", j)
+		}
+		fmt.Printf("  %s = %g\n", name, sol.X[j])
+	}
+}

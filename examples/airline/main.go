@@ -1,0 +1,74 @@
+// Airline: the paper's Real Job 2 — ExtractDelay and SumDelayByPlaneYear
+// partition on the same attribute, so a perfect collocation exists. ALBIC
+// discovers it at runtime pair by pair, cutting the system load roughly in
+// half by eliminating cross-node serialization (Section 5.4, Figure 12).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const nodes = 8
+	topo, err := repro.RealJob2(repro.JobConfig{
+		KeyGroups: 5 * nodes, // the paper's 5 key groups per operator per node
+		Rate:      300 * nodes,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adversarial start: shift every operator's groups by one node so no
+	// One-To-One partner pair is collocated.
+	initial := make([]int, topo.NumGroups())
+	for op := 0; op < topo.NumOps(); op++ {
+		for kg := 0; kg < topo.OpKeyGroups(op); kg++ {
+			initial[topo.GID(op, kg)] = (kg + op) % nodes
+		}
+	}
+	e, err := repro.NewEngine(topo, repro.EngineConfig{Nodes: nodes}, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	albic := &repro.ALBIC{TimeLimit: 25 * time.Millisecond, Seed: 7}
+	baseLoad := 0.0
+	fmt.Println("period  collocation%  loadIndex%  loadDistance%  migrations")
+	for period := 1; period <= 30; period++ {
+		stats, err := e.RunPeriod()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if period == 1 {
+			e.CalibrateCapacity(60)
+		}
+		snap, err := e.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseLoad == 0 {
+			baseLoad = snap.AverageLoad()
+		}
+		fmt.Printf("%6d  %12.1f  %10.1f  %13.2f  %10d\n",
+			period, snap.CollocationFactor(),
+			100*snap.AverageLoad()/baseLoad, snap.LoadDistance(), stats.Migrations)
+
+		snap.MaxMigrations = 10 // the paper's ALBIC budget
+		plan, err := albic.Plan(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.ApplyPlan(plan.GroupNode); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nALBIC pins one beneficial pair per period and keeps collocated")
+	fmt.Println("pairs together as migration units; as collocation approaches 100%,")
+	fmt.Println("the load index drops toward ~50% — serialization work vanishes.")
+}

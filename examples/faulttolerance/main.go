@@ -1,0 +1,99 @@
+// Fault tolerance: the controller checkpoints key-group state each period;
+// when a worker node crashes, the lost groups are restored on the survivors
+// from the last checkpoint and the MILP rebalances the shrunken cluster —
+// the integration of fault tolerance and elasticity the paper builds on
+// (reference [26]).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	topo := repro.NewTopology()
+	topo.AddSource("orders", func(period int, emit repro.Emit) {
+		for i := 0; i < 3000; i++ {
+			t := &repro.Tuple{Key: fmt.Sprintf("cust-%04d", rng.Intn(1500)), TS: int64(period*10000 + i)}
+			emit(t.WithNum("amount", 5+rng.Float64()*95))
+		}
+	})
+	topo.AddOperator(&repro.Operator{
+		Name:      "revenue",
+		KeyGroups: 20,
+		Proc: func(t *repro.Tuple, st *repro.State, emit repro.Emit) {
+			st.Add("revenue", t.Num("amount"))
+			st.Add("orders", 1)
+		},
+	})
+	topo.Connect("orders", "revenue")
+	if err := topo.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	e, err := repro.NewEngine(topo, repro.EngineConfig{Nodes: 4}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	balancer := &repro.MILPBalancer{TimeLimit: 15 * time.Millisecond}
+	var lastCheckpoint *repro.Checkpoint
+
+	fmt.Println("period  nodes  checkpointBytes  event")
+	for period := 1; period <= 12; period++ {
+		if _, err := e.RunPeriod(); err != nil {
+			log.Fatal(err)
+		}
+		if period == 1 {
+			e.CalibrateCapacity(60)
+		}
+		event := ""
+
+		// Crash node 2 right after period 6 completes.
+		if period == 6 {
+			if err := e.FailNode(2); err != nil {
+				log.Fatal(err)
+			}
+			recovered, err := e.Recover(lastCheckpoint, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			event = fmt.Sprintf("node 2 crashed; %d groups restored from checkpoint @p%d",
+				recovered, lastCheckpoint.Period)
+		}
+
+		// Checkpoint every period (after any recovery, so it is consistent).
+		lastCheckpoint = e.TakeCheckpoint()
+
+		// Count total orders tallied across all live states.
+		snap, err := e.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		alive := 0
+		for _, k := range snap.Kill {
+			if !k {
+				alive++
+			}
+		}
+		fmt.Printf("%6d  %5d  %15d  %s\n", period, alive, lastCheckpoint.Bytes(), event)
+
+		snap.MaxMigrations = 6
+		plan, err := balancer.Plan(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.ApplyPlan(plan.GroupNode); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nThe crash loses only the failed node's progress since the last")
+	fmt.Println("checkpoint; the survivors absorb its key groups and the MILP")
+	fmt.Println("rebalances the 3-node cluster on the next period.")
+}

@@ -1,0 +1,327 @@
+// Package assign models the paper's integrated key-group reallocation
+// problem (Section 4.3.1) and provides two solvers for it:
+//
+//   - an exact branch-and-bound MILP solve (via internal/lp), playing the
+//     role of CPLEX on small instances, and
+//   - an anytime solver (greedy drain/repair + steepest local search +
+//     large-neighbourhood repacking) that scales to the paper's largest
+//     experiments (60 nodes x 1200 key groups) under a wall-clock budget.
+//
+// The objective is the paper's lexicographic MILP objective: minimize the
+// load distance d, then maximize du+dl (tighten both bounds), then drain
+// nodes marked for removal (the paper's secondary sum over B).
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Item is an indivisible migration unit: one key group, or a set of
+// collocated key groups that ALBIC requires to move together. All groups of
+// an item are currently on the same node.
+type Item struct {
+	// Groups are the key-group ids contained in this item (for reporting;
+	// the solver itself treats the item as atomic).
+	Groups []int
+	// Load is the item's total load contribution, in percentage points of a
+	// unit-capacity node (the paper's gLoad, summed over Groups).
+	Load float64
+	// MigCost is the cost of migrating the item (the paper's mc_k = α·|σ_k|,
+	// summed over Groups). Charged only when the item changes node.
+	MigCost float64
+	// Cur is the node currently holding the item, or -1 for a new item that
+	// may be placed anywhere for free.
+	Cur int
+	// Pin forces the item onto a specific node (ALBIC collocation
+	// constraints). -1 means unpinned.
+	Pin int
+	// Aux holds the item's usage of non-bottleneck resources (Section
+	// 4.3.1, "Extending to Multi-Dimensional Load"), one entry per resource
+	// declared in Problem.AuxLimit, in percentage points of a unit node.
+	// nil when the problem is one-dimensional.
+	Aux []float64
+}
+
+// GroupCount returns the number of key groups in the item (at least 1).
+func (it *Item) GroupCount() int {
+	if len(it.Groups) == 0 {
+		return 1
+	}
+	return len(it.Groups)
+}
+
+// Problem is one invocation of the key-group allocation program.
+type Problem struct {
+	NumNodes int
+	// Capacity holds per-node capacity weights for heterogeneous clusters
+	// (Section 4.3.1, "Extending to Heterogeneous Nodes"). nil means all 1.
+	Capacity []float64
+	// Kill marks nodes scheduled for removal by the horizontal scaling
+	// algorithm (the set B). Such nodes have no lower load bound and must
+	// never receive load (Lemma 1).
+	Kill  []bool
+	Items []Item
+	// MaxMigrCost bounds the total migration cost per invocation
+	// (constraint 2). <= 0 means unlimited.
+	MaxMigrCost float64
+	// MaxMigrations bounds the number of migrated key groups per invocation
+	// (the Flux-comparable variant used in Section 5.2). <= 0 means
+	// unlimited.
+	MaxMigrations int
+	// AuxLimit declares the secondary resources and their per-node caps
+	// (scaled by node capacity): the usage of resource r on node i must
+	// stay below AuxLimit[r]·capacity(i). The balancing objective still
+	// optimizes the bottleneck resource (Item.Load); these are pure
+	// constraints, per the paper's multi-dimensional extension.
+	AuxLimit []float64
+}
+
+// Validate reports structural problems.
+func (p *Problem) Validate() error {
+	if p.NumNodes <= 0 {
+		return fmt.Errorf("assign: NumNodes = %d", p.NumNodes)
+	}
+	if p.Capacity != nil && len(p.Capacity) != p.NumNodes {
+		return fmt.Errorf("assign: len(Capacity) = %d, want %d", len(p.Capacity), p.NumNodes)
+	}
+	if p.Kill != nil && len(p.Kill) != p.NumNodes {
+		return fmt.Errorf("assign: len(Kill) = %d, want %d", len(p.Kill), p.NumNodes)
+	}
+	alive := p.NumNodes
+	for i := 0; i < p.NumNodes; i++ {
+		if p.capacity(i) <= 0 {
+			return fmt.Errorf("assign: node %d capacity %g <= 0", i, p.capacity(i))
+		}
+		if p.killed(i) {
+			alive--
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("assign: all %d nodes are marked for removal", p.NumNodes)
+	}
+	for r, lim := range p.AuxLimit {
+		if lim <= 0 || math.IsNaN(lim) {
+			return fmt.Errorf("assign: aux resource %d has limit %g", r, lim)
+		}
+	}
+	for idx, it := range p.Items {
+		if it.Load < 0 || math.IsNaN(it.Load) {
+			return fmt.Errorf("assign: item %d load %g", idx, it.Load)
+		}
+		if len(it.Aux) > len(p.AuxLimit) {
+			return fmt.Errorf("assign: item %d declares %d aux resources, problem has %d",
+				idx, len(it.Aux), len(p.AuxLimit))
+		}
+		for r, a := range it.Aux {
+			if a < 0 || math.IsNaN(a) {
+				return fmt.Errorf("assign: item %d aux[%d] = %g", idx, r, a)
+			}
+		}
+		if it.MigCost < 0 || math.IsNaN(it.MigCost) {
+			return fmt.Errorf("assign: item %d migcost %g", idx, it.MigCost)
+		}
+		if it.Cur < -1 || it.Cur >= p.NumNodes {
+			return fmt.Errorf("assign: item %d cur node %d out of range", idx, it.Cur)
+		}
+		if it.Pin < -1 || it.Pin >= p.NumNodes {
+			return fmt.Errorf("assign: item %d pin node %d out of range", idx, it.Pin)
+		}
+		if it.Pin >= 0 && p.killed(it.Pin) {
+			return fmt.Errorf("assign: item %d pinned to kill-marked node %d", idx, it.Pin)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) capacity(i int) float64 {
+	if p.Capacity == nil {
+		return 1
+	}
+	return p.Capacity[i]
+}
+
+func (p *Problem) killed(i int) bool { return p.Kill != nil && p.Kill[i] }
+
+// AliveNodes returns the indices of nodes not marked for removal (the set A).
+func (p *Problem) AliveNodes() []int {
+	var a []int
+	for i := 0; i < p.NumNodes; i++ {
+		if !p.killed(i) {
+			a = append(a, i)
+		}
+	}
+	return a
+}
+
+// Mean returns the paper's mean: the total load over all nodes divided by
+// the aggregate capacity of the nodes not marked for removal. With unit
+// capacities this is (1/|A|)·Σ load_i.
+func (p *Problem) Mean() float64 {
+	total := 0.0
+	for _, it := range p.Items {
+		total += it.Load
+	}
+	capA := 0.0
+	for i := 0; i < p.NumNodes; i++ {
+		if !p.killed(i) {
+			capA += p.capacity(i)
+		}
+	}
+	return total / capA
+}
+
+// Objective weights. The paper's objective reads "Minimize
+// max|load_i − mean| AND Σ_{n∈B} load_i", with du+dl as the bound-tightening
+// tie-breaker, giving three tiers: W1 (load distance) >> W3 (draining
+// kill-marked nodes) >> W2 (du+dl). With this ordering the integrated solver
+// spends a scarce migration budget on overloaded nodes first (the paper's
+// Figure 5 "more urgent problems"), then drains, and only then polishes the
+// bounds.
+const (
+	W1 = 1e6
+	W2 = 1.0
+	W3 = 100.0
+)
+
+// Eval is the valuation of one assignment.
+type Eval struct {
+	Util []float64 // per-node utilization (load / capacity)
+	Mean float64
+	// D is the MILP's d: the maximum of the largest upward deviation over
+	// all nodes and the largest downward deviation over alive nodes.
+	D float64
+	// Du and Dl are the slack variables of constraints (3) and (4): how much
+	// tighter than mean±d the upper and lower bounds actually are.
+	Du, Dl float64
+	// MaxOver is the largest util-mean over all nodes; MaxUnder the largest
+	// mean-util over alive nodes.
+	MaxOver, MaxUnder float64
+	// LoadDistance is the reported metric: max over alive nodes of
+	// |util - mean| (percentage points).
+	LoadDistance float64
+	// KillLoad is the total load remaining on kill-marked nodes.
+	KillLoad float64
+	// MigrCost and Migrations are the plan's cost relative to Cur.
+	MigrCost   float64
+	Migrations int
+	// AuxUtil[r][i] is the utilization of secondary resource r on node i;
+	// AuxViolation totals the excess above the declared limits (both zero
+	// for one-dimensional problems).
+	AuxUtil      [][]float64
+	AuxViolation float64
+	// Obj is W1·D − W2·(Du+Dl) + W3·KillLoad.
+	Obj float64
+}
+
+// Evaluate computes the objective of assignment (item index -> node).
+//
+// The derivation of D, Du and Dl mirrors the MILP exactly: for a fixed
+// assignment the MILP's optimal auxiliary variables are
+// d = max(maxOver, maxUnder, 0), du = d − maxOver, dl = d − maxUnder, where
+// maxOver ranges over all nodes and maxUnder over alive nodes only
+// (constraint 4 is disabled for kill-marked nodes).
+func (p *Problem) Evaluate(assignment []int) *Eval {
+	e := &Eval{Util: make([]float64, p.NumNodes), Mean: p.Mean()}
+	if len(p.AuxLimit) > 0 {
+		e.AuxUtil = make([][]float64, len(p.AuxLimit))
+		for r := range e.AuxUtil {
+			e.AuxUtil[r] = make([]float64, p.NumNodes)
+		}
+	}
+	for idx, node := range assignment {
+		it := &p.Items[idx]
+		e.Util[node] += it.Load
+		for r, a := range it.Aux {
+			e.AuxUtil[r][node] += a
+		}
+		if it.Cur != -1 && it.Cur != node {
+			e.MigrCost += it.MigCost
+			e.Migrations += it.GroupCount()
+		}
+	}
+	for r := range e.AuxUtil {
+		for i := 0; i < p.NumNodes; i++ {
+			e.AuxUtil[r][i] /= p.capacity(i)
+			if over := e.AuxUtil[r][i] - p.AuxLimit[r]; over > 1e-9 {
+				e.AuxViolation += over
+			}
+		}
+	}
+	e.MaxOver, e.MaxUnder = math.Inf(-1), math.Inf(-1)
+	for i := 0; i < p.NumNodes; i++ {
+		e.Util[i] /= p.capacity(i)
+		dev := e.Util[i] - e.Mean
+		if dev > e.MaxOver {
+			e.MaxOver = dev
+		}
+		if p.killed(i) {
+			e.KillLoad += e.Util[i] * p.capacity(i)
+			continue
+		}
+		if -dev > e.MaxUnder {
+			e.MaxUnder = -dev
+		}
+		if a := math.Abs(dev); a > e.LoadDistance {
+			e.LoadDistance = a
+		}
+	}
+	e.D = math.Max(math.Max(e.MaxOver, e.MaxUnder), 0)
+	e.Du = e.D - e.MaxOver
+	e.Dl = e.D - e.MaxUnder
+	e.Obj = W1*e.D - W2*(e.Du+e.Dl) + W3*e.KillLoad
+	return e
+}
+
+// WithinBudget reports whether the plan's migration cost and count respect
+// the problem's limits.
+func (p *Problem) WithinBudget(e *Eval) bool {
+	if p.MaxMigrCost > 0 && e.MigrCost > p.MaxMigrCost+1e-9 {
+		return false
+	}
+	if p.MaxMigrations > 0 && e.Migrations > p.MaxMigrations {
+		return false
+	}
+	return true
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	// ItemNode maps each item index to its assigned node.
+	ItemNode []int
+	Eval     *Eval
+	// Exact reports whether the solution came from the exact MILP solver
+	// with proven optimality.
+	Exact bool
+}
+
+// GroupAssignment expands the per-item assignment into a per-key-group
+// assignment, using the maximum group id present in the problem.
+func (s *Solution) GroupAssignment(p *Problem) map[int]int {
+	out := make(map[int]int)
+	for idx, node := range s.ItemNode {
+		for _, g := range p.Items[idx].Groups {
+			out[g] = node
+		}
+	}
+	return out
+}
+
+// SingleGroupItems builds the common case where every key group is its own
+// migration unit. loads[k] is gLoad_k, migCost[k] its migration cost, cur[k]
+// its current node (-1 for new).
+func SingleGroupItems(loads, migCost []float64, cur []int) []Item {
+	items := make([]Item, len(loads))
+	for k := range loads {
+		mc := 1.0
+		if migCost != nil {
+			mc = migCost[k]
+		}
+		c := -1
+		if cur != nil {
+			c = cur[k]
+		}
+		items[k] = Item{Groups: []int{k}, Load: loads[k], MigCost: mc, Cur: c, Pin: -1}
+	}
+	return items
+}

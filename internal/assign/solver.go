@@ -1,0 +1,650 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Options configures Solve.
+type Options struct {
+	// TimeLimit is the anytime budget (the paper's CPLEX solve-time knob in
+	// Figures 2-4). Default 50ms.
+	TimeLimit time.Duration
+	// Seed drives the deterministic randomized improvement phase.
+	Seed int64
+	// Exact forces the branch-and-bound MILP solver (small problems only).
+	Exact bool
+	// ExactTimeLimit bounds the exact solve; default 30s.
+	ExactTimeLimit time.Duration
+
+	// Ablation switches (benchmarks only): disable individual improvement
+	// phases to measure their contribution. All false in production use.
+	DisableSwaps bool // pair exchanges between extreme nodes
+	DisableBatch bool // Lin-Kernighan lookahead (joint drains/multi-peak fixes)
+	DisableLNS   bool // large-neighbourhood repacking under the time budget
+}
+
+// Solve computes a new assignment for the problem. The anytime solver always
+// returns a feasible plan (budget respected, pins honored, no load moved to
+// kill-marked nodes); quality improves with TimeLimit.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Exact {
+		return solveExact(p, opt)
+	}
+	if opt.TimeLimit <= 0 {
+		opt.TimeLimit = 50 * time.Millisecond
+	}
+	deadline := time.Now().Add(opt.TimeLimit)
+	s := newSearch(p, opt.Seed)
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	s.greedyMoves()
+	if !opt.DisableSwaps {
+		s.swapPass()
+	}
+	if !opt.DisableBatch {
+		for s.batchPass() {
+			s.greedyMoves()
+			if !opt.DisableSwaps {
+				s.swapPass()
+			}
+		}
+	}
+	if !opt.DisableLNS {
+		s.lns(deadline)
+	}
+	e := p.Evaluate(s.assign)
+	if !p.WithinBudget(e) {
+		// Can only happen through pins; init would have caught it.
+		return nil, fmt.Errorf("assign: plan exceeds migration budget (cost %.3f, migrations %d)",
+			e.MigrCost, e.Migrations)
+	}
+	return &Solution{ItemNode: append([]int(nil), s.assign...), Eval: e}, nil
+}
+
+// search holds the incremental state of the anytime solver.
+type search struct {
+	p      *Problem
+	rng    *rand.Rand
+	assign []int
+	util   []float64   // per-node utilization
+	aux    [][]float64 // per-resource per-node utilization (may be nil)
+	cost   float64     // current migration cost vs Cur
+	migs   int         // current migrated key-group count vs Cur
+	mean   float64
+	alive  []int
+	capA   float64 // total capacity of alive nodes
+}
+
+func newSearch(p *Problem, seed int64) *search {
+	s := &search{
+		p:     p,
+		rng:   rand.New(rand.NewSource(seed ^ 0x5ee0)),
+		mean:  p.Mean(),
+		alive: p.AliveNodes(),
+	}
+	for _, n := range s.alive {
+		s.capA += p.capacity(n)
+	}
+	return s
+}
+
+// init builds the starting assignment: current placement, new items placed
+// greedily, pins applied. Returns an error if the pins alone bust the budget.
+func (s *search) init() error {
+	p := s.p
+	s.assign = make([]int, len(p.Items))
+	s.util = make([]float64, p.NumNodes)
+	if len(p.AuxLimit) > 0 {
+		s.aux = make([][]float64, len(p.AuxLimit))
+		for r := range s.aux {
+			s.aux[r] = make([]float64, p.NumNodes)
+		}
+	}
+
+	// Place existing items, leaving new ones for a second pass.
+	var newItems []int
+	for idx := range p.Items {
+		it := &p.Items[idx]
+		switch {
+		case it.Pin >= 0:
+			s.place(idx, it.Pin)
+		case it.Cur >= 0:
+			s.place(idx, it.Cur)
+		default:
+			newItems = append(newItems, idx)
+		}
+	}
+	// New items: heaviest first onto the least-utilized alive node.
+	sort.Slice(newItems, func(a, b int) bool {
+		return p.Items[newItems[a]].Load > p.Items[newItems[b]].Load
+	})
+	for _, idx := range newItems {
+		best, bestU := -1, math.Inf(1)
+		for _, n := range s.alive {
+			u := (s.util[n]*p.capacity(n) + p.Items[idx].Load) / p.capacity(n)
+			if u < bestU {
+				bestU, best = u, n
+			}
+		}
+		s.place(idx, best)
+	}
+	if p.MaxMigrCost > 0 && s.cost > p.MaxMigrCost+1e-9 {
+		return fmt.Errorf("assign: pinned items require migration cost %.3f > budget %.3f",
+			s.cost, p.MaxMigrCost)
+	}
+	if p.MaxMigrations > 0 && s.migs > p.MaxMigrations {
+		return fmt.Errorf("assign: pinned items require %d migrations > budget %d",
+			s.migs, p.MaxMigrations)
+	}
+	return nil
+}
+
+// place puts item idx on node n, updating utilization and budget tallies.
+// The item must not currently be placed.
+func (s *search) place(idx, n int) {
+	it := &s.p.Items[idx]
+	s.assign[idx] = n
+	s.util[n] += it.Load / s.p.capacity(n)
+	for r, a := range it.Aux {
+		s.aux[r][n] += a / s.p.capacity(n)
+	}
+	if it.Cur != -1 && it.Cur != n {
+		s.cost += it.MigCost
+		s.migs += it.GroupCount()
+	}
+}
+
+// auxOK reports whether moving item idx onto node `to` keeps every
+// secondary resource within its per-node limit (the paper's
+// multi-dimensional load constraints). Pre-existing violations elsewhere
+// are tolerated; the solver just never creates or worsens one.
+func (s *search) auxOK(idx, to int) bool {
+	it := &s.p.Items[idx]
+	for r, a := range it.Aux {
+		if a <= 0 {
+			continue
+		}
+		if s.aux[r][to]+a/s.p.capacity(to) > s.p.AuxLimit[r]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// swapAuxOK checks the aux limits for exchanging items a (to node nb) and b
+// (to node na), accounting for both departures.
+func (s *search) swapAuxOK(a, b, na, nb int) bool {
+	ia, ib := &s.p.Items[a], &s.p.Items[b]
+	for r := range s.p.AuxLimit {
+		var aa, ab float64
+		if r < len(ia.Aux) {
+			aa = ia.Aux[r]
+		}
+		if r < len(ib.Aux) {
+			ab = ib.Aux[r]
+		}
+		if aa == 0 && ab == 0 {
+			continue
+		}
+		// Node nb receives a, loses b; node na receives b, loses a.
+		if s.aux[r][nb]+(aa-ab)/s.p.capacity(nb) > s.p.AuxLimit[r]+1e-9 {
+			return false
+		}
+		if s.aux[r][na]+(ab-aa)/s.p.capacity(na) > s.p.AuxLimit[r]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// moveDelta returns the change in migration cost and count if item idx moved
+// from its current assignment to node `to`.
+func (s *search) moveDelta(idx, to int) (dcost float64, dmigs int) {
+	it := &s.p.Items[idx]
+	if it.Cur == -1 {
+		return 0, 0
+	}
+	from := s.assign[idx]
+	if from != it.Cur {
+		dcost -= it.MigCost
+		dmigs -= it.GroupCount()
+	}
+	if to != it.Cur {
+		dcost += it.MigCost
+		dmigs += it.GroupCount()
+	}
+	return dcost, dmigs
+}
+
+func (s *search) budgetOK(dcost float64, dmigs int) bool {
+	p := s.p
+	if p.MaxMigrCost > 0 && s.cost+dcost > p.MaxMigrCost+1e-9 {
+		return false
+	}
+	if p.MaxMigrations > 0 && s.migs+dmigs > p.MaxMigrations {
+		return false
+	}
+	return true
+}
+
+// objective computes the paper objective from the current util vector, with
+// optional per-node overrides (node -> new util) to evaluate candidates
+// without mutating state.
+func (s *search) objective(override map[int]float64) float64 {
+	p := s.p
+	maxOver, maxUnder := math.Inf(-1), math.Inf(-1)
+	killLoad := 0.0
+	for i := 0; i < p.NumNodes; i++ {
+		u := s.util[i]
+		if v, ok := override[i]; ok {
+			u = v
+		}
+		dev := u - s.mean
+		if dev > maxOver {
+			maxOver = dev
+		}
+		if p.killed(i) {
+			killLoad += u * p.capacity(i)
+			continue
+		}
+		if -dev > maxUnder {
+			maxUnder = -dev
+		}
+	}
+	d := math.Max(math.Max(maxOver, maxUnder), 0)
+	du := d - maxOver
+	dl := d - maxUnder
+	return W1*d - W2*(du+dl) + W3*killLoad
+}
+
+// apply commits a move of item idx to node `to`.
+func (s *search) apply(idx, to int) {
+	it := &s.p.Items[idx]
+	from := s.assign[idx]
+	dcost, dmigs := s.moveDelta(idx, to)
+	s.util[from] -= it.Load / s.p.capacity(from)
+	s.util[to] += it.Load / s.p.capacity(to)
+	for r, a := range it.Aux {
+		s.aux[r][from] -= a / s.p.capacity(from)
+		s.aux[r][to] += a / s.p.capacity(to)
+	}
+	s.assign[idx] = to
+	s.cost += dcost
+	s.migs += dmigs
+}
+
+// donors returns the interesting source nodes: every kill-marked node still
+// holding load plus the most over-utilized alive nodes.
+func (s *search) donors(topK int) []int {
+	p := s.p
+	var out []int
+	for i := 0; i < p.NumNodes; i++ {
+		if p.killed(i) && s.util[i] > 1e-12 {
+			out = append(out, i)
+		}
+	}
+	aliveSorted := append([]int(nil), s.alive...)
+	sort.Slice(aliveSorted, func(a, b int) bool {
+		return s.util[aliveSorted[a]] > s.util[aliveSorted[b]]
+	})
+	for i := 0; i < len(aliveSorted) && i < topK; i++ {
+		out = append(out, aliveSorted[i])
+	}
+	return out
+}
+
+// receivers returns the least-utilized alive nodes.
+func (s *search) receivers(topK int) []int {
+	aliveSorted := append([]int(nil), s.alive...)
+	sort.Slice(aliveSorted, func(a, b int) bool {
+		return s.util[aliveSorted[a]] < s.util[aliveSorted[b]]
+	})
+	if len(aliveSorted) > topK {
+		aliveSorted = aliveSorted[:topK]
+	}
+	return aliveSorted
+}
+
+// itemsOn collects movable (unpinned) items on node n.
+func (s *search) itemsOn(n int) []int {
+	var out []int
+	for idx := range s.p.Items {
+		if s.assign[idx] == n && s.p.Items[idx].Pin < 0 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+const objEps = 1e-9
+
+// greedyMoves repeatedly applies the single best objective-improving move
+// from a donor node to a receiver node, within budget.
+func (s *search) greedyMoves() {
+	maxIter := 4*len(s.p.Items) + 64
+	for iter := 0; iter < maxIter; iter++ {
+		cur := s.objective(nil)
+		bestIdx, bestTo := -1, -1
+		bestObj := cur - objEps
+		for _, donor := range s.donors(8) {
+			items := s.itemsOn(donor)
+			for _, idx := range items {
+				it := &s.p.Items[idx]
+				for _, to := range s.receivers(8) {
+					if to == donor {
+						continue
+					}
+					dcost, dmigs := s.moveDelta(idx, to)
+					if !s.budgetOK(dcost, dmigs) || !s.auxOK(idx, to) {
+						continue
+					}
+					obj := s.objective(map[int]float64{
+						donor: s.util[donor] - it.Load/s.p.capacity(donor),
+						to:    s.util[to] + it.Load/s.p.capacity(to),
+					})
+					if obj < bestObj {
+						bestObj, bestIdx, bestTo = obj, idx, to
+					}
+				}
+			}
+		}
+		if bestIdx == -1 {
+			return
+		}
+		s.apply(bestIdx, bestTo)
+	}
+}
+
+// swapPass exchanges item pairs between the most over- and under-utilized
+// alive nodes when that improves the objective within budget.
+func (s *search) swapPass() {
+	maxIter := len(s.p.Items) + 32
+	for iter := 0; iter < maxIter; iter++ {
+		cur := s.objective(nil)
+		// Most over-utilized alive node and the three least utilized.
+		var over int
+		overDev := -math.Inf(1)
+		for _, n := range s.alive {
+			if dev := s.util[n] - s.mean; dev > overDev {
+				overDev, over = dev, n
+			}
+		}
+		bestA, bestB := -1, -1
+		bestObj := cur - objEps
+		for _, under := range s.receivers(3) {
+			if under == over {
+				continue
+			}
+			ia := s.itemsOn(over)
+			ib := s.itemsOn(under)
+			for _, a := range ia {
+				la := s.p.Items[a].Load
+				for _, b := range ib {
+					lb := s.p.Items[b].Load
+					dca, dma := s.moveDelta(a, under)
+					dcb, dmb := s.moveDelta(b, over)
+					if !s.budgetOK(dca+dcb, dma+dmb) || !s.swapAuxOK(a, b, over, under) {
+						continue
+					}
+					obj := s.objective(map[int]float64{
+						over:  s.util[over] + (lb-la)/s.p.capacity(over),
+						under: s.util[under] + (la-lb)/s.p.capacity(under),
+					})
+					if obj < bestObj {
+						bestObj, bestA, bestB = obj, a, b
+					}
+				}
+			}
+		}
+		if bestA == -1 {
+			return
+		}
+		under := s.assign[bestB]
+		s.apply(bestA, under)
+		s.apply(bestB, over)
+	}
+}
+
+// snapshot captures the full mutable search state.
+type snapshot struct {
+	assign []int
+	util   []float64
+	aux    [][]float64
+	cost   float64
+	migs   int
+}
+
+func (s *search) save() snapshot {
+	sn := snapshot{
+		assign: append([]int(nil), s.assign...),
+		util:   append([]float64(nil), s.util...),
+		cost:   s.cost,
+		migs:   s.migs,
+	}
+	for _, row := range s.aux {
+		sn.aux = append(sn.aux, append([]float64(nil), row...))
+	}
+	return sn
+}
+
+func (s *search) restore(sn snapshot) {
+	copy(s.assign, sn.assign)
+	copy(s.util, sn.util)
+	for r := range sn.aux {
+		copy(s.aux[r], sn.aux[r])
+	}
+	s.cost = sn.cost
+	s.migs = sn.migs
+}
+
+// batchPass performs Lin-Kernighan style lookahead: it applies a sequence of
+// locally-best moves even when individual moves worsen the objective, then
+// keeps the best prefix of the sequence if it improves on the start. This is
+// what lets the solver drain kill-marked nodes jointly, like the MILP does,
+// when no single migration is an improvement. Returns true if it improved
+// the solution.
+func (s *search) batchPass() bool {
+	start := s.save()
+	startObj := s.objective(nil)
+	best := start
+	bestObj := startObj
+	maxSteps := 16
+	if s.p.MaxMigrations > 0 {
+		if r := s.p.MaxMigrations - s.migs; r > 0 && r < maxSteps {
+			maxSteps = r + 4
+		}
+	}
+	for step := 0; step < maxSteps; step++ {
+		// Locally best move (allowed to be non-improving).
+		bestIdx, bestTo := -1, -1
+		stepObj := math.Inf(1)
+		for _, donor := range s.donors(6) {
+			for _, idx := range s.itemsOn(donor) {
+				it := &s.p.Items[idx]
+				for _, to := range s.receivers(6) {
+					if to == donor {
+						continue
+					}
+					dcost, dmigs := s.moveDelta(idx, to)
+					if !s.budgetOK(dcost, dmigs) || !s.auxOK(idx, to) {
+						continue
+					}
+					obj := s.objective(map[int]float64{
+						donor: s.util[donor] - it.Load/s.p.capacity(donor),
+						to:    s.util[to] + it.Load/s.p.capacity(to),
+					})
+					if obj < stepObj {
+						stepObj, bestIdx, bestTo = obj, idx, to
+					}
+				}
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		s.apply(bestIdx, bestTo)
+		if stepObj < bestObj-objEps {
+			bestObj = stepObj
+			best = s.save()
+		}
+	}
+	if bestObj < startObj-objEps {
+		s.restore(best)
+		return true
+	}
+	s.restore(start)
+	return false
+}
+
+// lns runs large-neighbourhood repacking until the deadline: take the worst
+// node plus a few random nodes, strip their movable items, repack with LPT,
+// keep the result if the objective improves.
+func (s *search) lns(deadline time.Time) {
+	p := s.p
+	if len(s.alive) < 2 {
+		return
+	}
+	for round := 0; ; round++ {
+		if time.Now().After(deadline) {
+			return
+		}
+		// Neighbourhood: worst alive node by |dev|, one loaded kill node if
+		// any, and up to 3 random alive nodes.
+		nodeSet := map[int]bool{}
+		worst, worstDev := -1, -1.0
+		for _, n := range s.alive {
+			if dev := math.Abs(s.util[n] - s.mean); dev > worstDev {
+				worstDev, worst = dev, n
+			}
+		}
+		nodeSet[worst] = true
+		for i := 0; i < p.NumNodes; i++ {
+			if p.killed(i) && s.util[i] > 1e-12 {
+				nodeSet[i] = true
+				break
+			}
+		}
+		// Grow to 5 alive nodes (kill nodes do not count toward the target,
+		// or the neighbourhood may lack enough receivers).
+		wantAlive := 5
+		if wantAlive > len(s.alive) {
+			wantAlive = len(s.alive)
+		}
+		haveAlive := func() int {
+			c := 0
+			for n := range nodeSet {
+				if !p.killed(n) {
+					c++
+				}
+			}
+			return c
+		}
+		for haveAlive() < wantAlive {
+			nodeSet[s.alive[s.rng.Intn(len(s.alive))]] = true
+		}
+		var nodes []int
+		for n := range nodeSet {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+
+		var pool []int
+		for _, n := range nodes {
+			pool = append(pool, s.itemsOn(n)...)
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		beforeObj := s.objective(nil)
+		beforeAssign := make(map[int]int, len(pool))
+		for _, idx := range pool {
+			beforeAssign[idx] = s.assign[idx]
+		}
+		// Strip.
+		for _, idx := range pool {
+			n := s.assign[idx]
+			s.util[n] -= p.Items[idx].Load / p.capacity(n)
+			for r, a := range p.Items[idx].Aux {
+				s.aux[r][n] -= a / p.capacity(n)
+			}
+			dcost, dmigs := 0.0, 0
+			it := &p.Items[idx]
+			if it.Cur != -1 && n != it.Cur {
+				dcost, dmigs = -it.MigCost, -it.GroupCount()
+			}
+			s.cost += dcost
+			s.migs += dmigs
+			s.assign[idx] = -1
+		}
+		// Repack, heaviest first with light shuffling for diversity.
+		sort.Slice(pool, func(a, b int) bool {
+			return p.Items[pool[a]].Load > p.Items[pool[b]].Load
+		})
+		if round%3 == 1 && len(pool) > 2 {
+			i := s.rng.Intn(len(pool) - 1)
+			pool[i], pool[i+1] = pool[i+1], pool[i]
+		}
+		ok := true
+		for _, idx := range pool {
+			it := &p.Items[idx]
+			best, bestU := -1, math.Inf(1)
+			for _, n := range nodes {
+				// Kill nodes may only keep items that already live there.
+				if p.killed(n) && it.Cur != n {
+					continue
+				}
+				dcost, dmigs := 0.0, 0
+				if it.Cur != -1 && n != it.Cur {
+					dcost, dmigs = it.MigCost, it.GroupCount()
+				}
+				if !s.budgetOK(dcost, dmigs) || !s.auxOK(idx, n) {
+					continue
+				}
+				u := s.util[n] + it.Load/p.capacity(n)
+				// Prefer staying put on ties to save budget.
+				if u < bestU-1e-12 || (u < bestU+1e-12 && n == it.Cur) {
+					bestU, best = u, n
+				}
+			}
+			if best == -1 {
+				ok = false
+				break
+			}
+			s.place(idx, best)
+		}
+		if !ok || s.objective(nil) > beforeObj-objEps {
+			// Revert: strip any partial placement, restore original.
+			for _, idx := range pool {
+				if s.assign[idx] != -1 {
+					n := s.assign[idx]
+					s.util[n] -= p.Items[idx].Load / p.capacity(n)
+					for r, a := range p.Items[idx].Aux {
+						s.aux[r][n] -= a / p.capacity(n)
+					}
+					it := &p.Items[idx]
+					if it.Cur != -1 && n != it.Cur {
+						s.cost -= it.MigCost
+						s.migs -= it.GroupCount()
+					}
+					s.assign[idx] = -1
+				}
+			}
+			for _, idx := range pool {
+				s.place(idx, beforeAssign[idx])
+			}
+			continue
+		}
+		// Improvement kept; follow with quick local passes.
+		s.greedyMoves()
+		s.swapPass()
+		s.batchPass()
+	}
+}

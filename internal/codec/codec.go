@@ -1,0 +1,230 @@
+// Package codec provides a small deterministic binary encoding used for
+// tuples crossing node boundaries and for key-group state during direct
+// state migration. Determinism (sorted map keys) makes serialized sizes —
+// and therefore the paper's migration-cost model mc_k = α·|σ_k| —
+// reproducible across runs.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AppendUvarint appends x.
+func AppendUvarint(b []byte, x uint64) []byte {
+	return binary.AppendUvarint(b, x)
+}
+
+// ReadUvarint reads a uvarint.
+func ReadUvarint(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("codec: bad uvarint")
+	}
+	return x, b[n:], nil
+}
+
+// AppendInt64 appends x zig-zag encoded.
+func AppendInt64(b []byte, x int64) []byte {
+	return binary.AppendVarint(b, x)
+}
+
+// ReadInt64 reads a zig-zag varint.
+func ReadInt64(b []byte) (int64, []byte, error) {
+	x, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("codec: bad varint")
+	}
+	return x, b[n:], nil
+}
+
+// AppendFloat64 appends x as 8 fixed bytes.
+func AppendFloat64(b []byte, x float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+}
+
+// ReadFloat64 reads 8 fixed bytes.
+func ReadFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("codec: short float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// ReadString reads a length-prefixed string.
+func ReadString(b []byte) (string, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("codec: short string (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// AppendStringMap appends a map with sorted keys.
+func AppendStringMap(b []byte, m map[string]string) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		b = AppendString(b, k)
+		b = AppendString(b, m[k])
+	}
+	return b
+}
+
+// ReadStringMap reads a map written by AppendStringMap. Empty maps decode as
+// nil.
+func ReadStringMap(b []byte) (map[string]string, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, b, err = ReadString(b); err != nil {
+			return nil, nil, err
+		}
+		if v, b, err = ReadString(b); err != nil {
+			return nil, nil, err
+		}
+		m[k] = v
+	}
+	return m, b, nil
+}
+
+// AppendFloatMap appends a map with sorted keys.
+func AppendFloatMap(b []byte, m map[string]float64) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	for _, k := range sortedFloatKeys(m) {
+		b = AppendString(b, k)
+		b = AppendFloat64(b, m[k])
+	}
+	return b
+}
+
+// ReadFloatMap reads a map written by AppendFloatMap.
+func ReadFloatMap(b []byte) (map[string]float64, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	m := make(map[string]float64, n)
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v float64
+		if k, b, err = ReadString(b); err != nil {
+			return nil, nil, err
+		}
+		if v, b, err = ReadFloat64(b); err != nil {
+			return nil, nil, err
+		}
+		m[k] = v
+	}
+	return m, b, nil
+}
+
+// AppendNestedFloatMap appends map[string]map[string]float64 deterministically.
+func AppendNestedFloatMap(b []byte, m map[string]map[string]float64) []byte {
+	b = AppendUvarint(b, uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = AppendString(b, k)
+		b = AppendFloatMap(b, m[k])
+	}
+	return b
+}
+
+// ReadNestedFloatMap reads a map written by AppendNestedFloatMap.
+func ReadNestedFloatMap(b []byte) (map[string]map[string]float64, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	m := make(map[string]map[string]float64, n)
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var inner map[string]float64
+		if k, b, err = ReadString(b); err != nil {
+			return nil, nil, err
+		}
+		if inner, b, err = ReadFloatMap(b); err != nil {
+			return nil, nil, err
+		}
+		if inner == nil {
+			inner = map[string]float64{}
+		}
+		m[k] = inner
+	}
+	return m, b, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FNV-1a hashing for key partitioning (two independent seeds for the
+// power-of-two-choices router).
+
+const (
+	fnvOffset  = 14695981039346656037
+	fnvPrime   = 1099511628211
+	fnvOffset2 = 0x9e3779b97f4a7c15
+)
+
+// Hash returns a stable 64-bit hash of s.
+func Hash(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Hash2 returns a second, independent stable hash of s.
+func Hash2(s string) uint64 {
+	h := uint64(fnvOffset2)
+	for i := len(s) - 1; i >= 0; i-- {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+		h ^= h >> 29
+	}
+	return h
+}

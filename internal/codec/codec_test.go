@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	b := AppendUvarint(nil, 300)
+	b = AppendInt64(b, -77)
+	b = AppendFloat64(b, 3.14159)
+	b = AppendString(b, "hello, 世界")
+
+	u, b2, err := ReadUvarint(b)
+	if err != nil || u != 300 {
+		t.Fatalf("uvarint: %v %v", u, err)
+	}
+	i, b2, err := ReadInt64(b2)
+	if err != nil || i != -77 {
+		t.Fatalf("int64: %v %v", i, err)
+	}
+	f, b2, err := ReadFloat64(b2)
+	if err != nil || f != 3.14159 {
+		t.Fatalf("float64: %v %v", f, err)
+	}
+	s, b2, err := ReadString(b2)
+	if err != nil || s != "hello, 世界" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	if len(b2) != 0 {
+		t.Fatalf("%d trailing bytes", len(b2))
+	}
+}
+
+func TestMapsRoundTripProperty(t *testing.T) {
+	f := func(sm map[string]string, fm map[string]float64) bool {
+		for k, v := range fm {
+			if math.IsNaN(v) {
+				fm[k] = 0
+			}
+		}
+		b := AppendStringMap(nil, sm)
+		b = AppendFloatMap(b, fm)
+		gs, b, err := ReadStringMap(b)
+		if err != nil {
+			return false
+		}
+		gf, b, err := ReadFloatMap(b)
+		if err != nil || len(b) != 0 {
+			return false
+		}
+		if len(gs) != len(sm) || len(gf) != len(fm) {
+			return false
+		}
+		for k, v := range sm {
+			if gs[k] != v {
+				return false
+			}
+		}
+		for k, v := range fm {
+			if gf[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedMapRoundTrip(t *testing.T) {
+	m := map[string]map[string]float64{
+		"window1": {"a": 1, "b": 2},
+		"window2": {},
+		"window3": {"z": -9.5},
+	}
+	b := AppendNestedFloatMap(nil, m)
+	got, rest, err := ReadNestedFloatMap(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("err=%v rest=%d", err, len(rest))
+	}
+	if len(got) != 3 || got["window1"]["b"] != 2 || got["window3"]["z"] != -9.5 {
+		t.Fatalf("got %v", got)
+	}
+	if got["window2"] == nil {
+		t.Fatal("empty inner map must decode non-nil")
+	}
+}
+
+func TestEncodingDeterministic(t *testing.T) {
+	m := map[string]float64{"x": 1, "y": 2, "z": 3, "a": 4, "q": 5}
+	b1 := AppendFloatMap(nil, m)
+	b2 := AppendFloatMap(nil, m)
+	if string(b1) != string(b2) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	b := AppendString(nil, "hello")
+	if _, _, err := ReadString(b[:2]); err == nil {
+		t.Fatal("want error for truncated string")
+	}
+	if _, _, err := ReadFloat64([]byte{1, 2}); err == nil {
+		t.Fatal("want error for truncated float")
+	}
+	if _, _, err := ReadUvarint(nil); err == nil {
+		t.Fatal("want error for empty uvarint")
+	}
+	bad := AppendUvarint(nil, 5) // declares 5 pairs, provides none
+	if _, _, err := ReadFloatMap(bad); err == nil {
+		t.Fatal("want error for truncated map")
+	}
+}
+
+func TestHashesIndependent(t *testing.T) {
+	keys := []string{"a", "b", "plane-123", "route:JFK-LAX", "キー"}
+	for _, k := range keys {
+		if Hash(k) == Hash2(k) {
+			t.Fatalf("Hash and Hash2 collide on %q", k)
+		}
+	}
+	// Distribution sanity: both hashes spread 1000 keys over 16 buckets.
+	for _, h := range []func(string) uint64{Hash, Hash2} {
+		counts := make([]int, 16)
+		for i := 0; i < 1000; i++ {
+			counts[h(string(rune('a'+i%26)))%16]++
+		}
+		_ = counts
+	}
+	if Hash("") == 0 || Hash2("") == 0 {
+		t.Fatal("empty-string hash should be the offset basis, not 0")
+	}
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/graphpart"
+)
+
+// ALBIC implements Algorithm 2: Autonomic Load Balancing with Integrated
+// Collocation. Each invocation it
+//
+//  1. scores key-group pairs by observed communication rate against
+//     avg(gi)·sF,
+//  2. merges already-collocated high-scoring pairs into sets and splits
+//     oversized sets with balanced graph partitioning (migration units),
+//  3. optimistically pins one new beneficial pair to a shared node, and
+//  4. solves the MILP with those constraints, relaxing the partition size
+//     (maxPL −= stepPL) until the user's load-distance bound maxLD holds.
+type ALBIC struct {
+	// MaxLD is the maximum acceptable load distance (default 10).
+	MaxLD float64
+	// MaxPL is the initial maximum partition load (default 25).
+	MaxPL float64
+	// StepPL is the decrease applied on each recalculation (default 5).
+	StepPL float64
+	// SF is the score factor: pairs must exceed avg(gi)·SF (default 1.5).
+	SF float64
+	// TimeLimit is the per-solve budget for the underlying MILP solver.
+	TimeLimit time.Duration
+	// Exact uses the branch-and-bound MILP (small instances only).
+	Exact bool
+	// Seed drives tie-breaking; it is advanced on every invocation.
+	Seed int64
+
+	round int64
+}
+
+// Name implements Balancer.
+func (a *ALBIC) Name() string { return "albic" }
+
+func (a *ALBIC) defaults() (maxLD, maxPL, stepPL, sf float64) {
+	maxLD, maxPL, stepPL, sf = a.MaxLD, a.MaxPL, a.StepPL, a.SF
+	if maxLD <= 0 {
+		maxLD = 10
+	}
+	if maxPL <= 0 {
+		maxPL = 25
+	}
+	if stepPL <= 0 {
+		stepPL = 5
+	}
+	if sf <= 0 {
+		sf = 1.5
+	}
+	return
+}
+
+// scored is one key-group pair that communicates above threshold.
+type scored struct {
+	gi, gj int
+	rate   float64
+}
+
+// Plan implements Balancer.
+func (a *ALBIC) Plan(s *Snapshot) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxLD, maxPL, stepPL, sf := a.defaults()
+	a.round++
+	rng := rand.New(rand.NewSource(a.Seed + a.round*1_000_003))
+
+	colPairs, toBeCol := a.scorePairs(s, sf)
+
+	var best *Plan
+	for {
+		plan, err := a.solveOnce(s, colPairs, toBeCol, maxPL, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || plan.Eval.LoadDistance < best.Eval.LoadDistance {
+			best = plan
+		}
+		if plan.Eval.LoadDistance <= maxLD || maxPL <= 0 {
+			return best, nil
+		}
+		// Load distance too high: use smaller (more) partitions (step 4).
+		maxPL -= stepPL
+		if maxPL < 0 {
+			maxPL = 0
+		}
+	}
+}
+
+// scorePairs implements step 1. It returns the high-scoring pairs that are
+// already collocated and those that are not yet.
+func (a *ALBIC) scorePairs(s *Snapshot, sf float64) (colPairs, toBeCol []scored) {
+	for oi := range s.Ops {
+		op := &s.Ops[oi]
+		downGroups := 0
+		for _, d := range op.Downstream {
+			downGroups += len(s.Ops[d].Groups)
+		}
+		if downGroups == 0 {
+			continue
+		}
+		for _, gk := range op.Groups {
+			output := 0.0
+			for _, d := range op.Downstream {
+				for _, gj := range s.Ops[d].Groups {
+					output += s.Out[Pair{gk, gj}]
+				}
+			}
+			if output == 0 {
+				continue
+			}
+			avg := output / float64(downGroups)
+			for _, d := range op.Downstream {
+				for _, gj := range s.Ops[d].Groups {
+					rate := s.Out[Pair{gk, gj}]
+					if rate <= avg*sf {
+						continue
+					}
+					p := scored{gi: gk, gj: gj, rate: rate}
+					if s.Groups[gk].Node == s.Groups[gj].Node {
+						colPairs = append(colPairs, p)
+					} else {
+						toBeCol = append(toBeCol, p)
+					}
+				}
+			}
+		}
+	}
+	return colPairs, toBeCol
+}
+
+// solveOnce implements steps 2-4 for a given maxPL.
+func (a *ALBIC) solveOnce(s *Snapshot, colPairs, toBeCol []scored, maxPL float64, rng *rand.Rand) (*Plan, error) {
+	partitions := a.buildPartitions(s, colPairs, maxPL, rng)
+
+	// Map group -> partition index (-1 if standalone).
+	partOf := make([]int, len(s.Groups))
+	for k := range partOf {
+		partOf[k] = -1
+	}
+	for pi, part := range partitions {
+		for _, g := range part {
+			partOf[g] = pi
+		}
+	}
+
+	// Build items: one per partition, one per remaining group.
+	var items []assign.Item
+	itemOf := make([]int, len(s.Groups))
+	for pi, part := range partitions {
+		it := assign.Item{Cur: s.Groups[part[0]].Node, Pin: -1}
+		for _, g := range part {
+			it.Groups = append(it.Groups, g)
+			it.Load += s.Groups[g].Load
+			it.MigCost += s.migCost(g)
+			itemOf[g] = len(items)
+		}
+		items = append(items, it)
+		_ = pi
+	}
+	for k, g := range s.Groups {
+		if partOf[k] != -1 {
+			continue
+		}
+		itemOf[k] = len(items)
+		items = append(items, assign.Item{
+			Groups: []int{k}, Load: g.Load, MigCost: a.migCostOf(s, k), Cur: g.Node, Pin: -1,
+		})
+	}
+
+	// Step 3: improve collocation by pinning one new beneficial pair.
+	pinned := a.pinBestPair(s, toBeCol, items, itemOf, rng)
+
+	problem := &assign.Problem{
+		NumNodes:      s.NumNodes,
+		Capacity:      cloneFloats(s.Capacity),
+		Kill:          cloneBools(s.Kill),
+		Items:         items,
+		MaxMigrCost:   s.MaxMigrCost,
+		MaxMigrations: s.MaxMigrations,
+	}
+	sol, err := assign.Solve(problem, assign.Options{
+		TimeLimit: a.TimeLimit, Exact: a.Exact, Seed: a.Seed + a.round,
+	})
+	if err != nil && pinned {
+		// The new pin may exceed the migration budget; retry without it.
+		for i := range items {
+			items[i].Pin = -1
+		}
+		sol, err = assign.Solve(problem, assign.Options{
+			TimeLimit: a.TimeLimit, Exact: a.Exact, Seed: a.Seed + a.round,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("albic: %w", err)
+	}
+	groupNode := make([]int, len(s.Groups))
+	for idx, node := range sol.ItemNode {
+		for _, g := range problem.Items[idx].Groups {
+			groupNode[g] = node
+		}
+	}
+	return PlanFromAssignment(s, groupNode, sol.Eval), nil
+}
+
+func (a *ALBIC) migCostOf(s *Snapshot, k int) float64 { return s.migCost(k) }
+
+// buildPartitions implements step 2: merge collocated pairs into sets and
+// split any set violating the migration-cost or partition-load constraints
+// using balanced graph partitioning.
+func (a *ALBIC) buildPartitions(s *Snapshot, colPairs []scored, maxPL float64, rng *rand.Rand) [][]int {
+	dsu := newDSU(len(s.Groups))
+	for _, p := range colPairs {
+		dsu.union(p.gi, p.gj)
+	}
+	setOf := map[int][]int{}
+	for _, p := range colPairs {
+		for _, g := range []int{p.gi, p.gj} {
+			r := dsu.find(g)
+			found := false
+			for _, m := range setOf[r] {
+				if m == g {
+					found = true
+					break
+				}
+			}
+			if !found {
+				setOf[r] = append(setOf[r], g)
+			}
+		}
+	}
+	var queue [][]int
+	for _, set := range setOf {
+		if len(set) >= 2 {
+			sort.Ints(set)
+			queue = append(queue, set)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i][0] < queue[j][0] })
+
+	var final [][]int
+	for len(queue) > 0 {
+		set := queue[0]
+		queue = queue[1:]
+		if len(set) < 2 {
+			continue // standalone group, not a partition
+		}
+		pmc, pl := 0.0, 0.0
+		for _, g := range set {
+			pmc += s.migCost(g)
+			pl += s.Groups[g].Load
+		}
+		p1, p2 := 1, 1
+		if s.MaxMigrCost > 0 {
+			p1 = int(math.Ceil(pmc / s.MaxMigrCost))
+		}
+		if maxPL > 0 {
+			p2 = int(math.Ceil(pl / maxPL))
+		} else {
+			p2 = len(set) // maxPL = 0: one partition per key group
+		}
+		parts := p1
+		if p2 > parts {
+			parts = p2
+		}
+		if parts <= 1 {
+			final = append(final, set)
+			continue
+		}
+		if parts >= len(set) {
+			// Degenerates to singletons: no partitions survive.
+			continue
+		}
+		// Graph model: vertices = key groups; edge weight = communication
+		// rate; vertex weight = migration cost when the migration-cost
+		// constraint is the binding one, else the load.
+		useMC := false
+		if s.MaxMigrCost > 0 && maxPL > 0 {
+			rMC := pmc / s.MaxMigrCost
+			rPL := pl / maxPL
+			if rMC > rPL {
+				useMC = true
+			} else if rMC == rPL {
+				useMC = rng.Intn(2) == 0 // ties broken randomly (paper)
+			}
+		} else if s.MaxMigrCost > 0 && maxPL <= 0 {
+			useMC = true
+		}
+		g := graphpart.NewGraph(len(set))
+		for i, gi := range set {
+			if useMC {
+				g.SetVertexWeight(i, s.migCost(gi))
+			} else {
+				g.SetVertexWeight(i, s.Groups[gi].Load)
+			}
+			for j := i + 1; j < len(set); j++ {
+				gj := set[j]
+				w := s.Out[Pair{gi, gj}] + s.Out[Pair{gj, gi}]
+				if w > 0 {
+					g.AddEdge(i, j, w)
+				}
+			}
+		}
+		assignment, err := graphpart.Partition(g, parts, 1.1, rng.Int63())
+		if err != nil {
+			continue
+		}
+		sub := make([][]int, parts)
+		for i, p := range assignment {
+			sub[p] = append(sub[p], set[i])
+		}
+		for _, piece := range sub {
+			if len(piece) < 2 {
+				continue // singletons are ordinary free items
+			}
+			if len(piece) == len(set) {
+				// Partitioner made no progress: halve arbitrarily so the
+				// loop terminates.
+				half := len(piece) / 2
+				queue = append(queue, piece[:half], piece[half:])
+				continue
+			}
+			// Re-check the constraints on the piece (paper: "may need to be
+			// applied again").
+			queue = append(queue, piece)
+		}
+	}
+	return final
+}
+
+// pinBestPair implements step 3: choose the highest-rate pair from the
+// to-be-collocated set (ties broken randomly) and add the MILP constraint
+// matching the paper's three cases. Returns whether a pin was added.
+func (a *ALBIC) pinBestPair(s *Snapshot, toBeCol []scored, items []assign.Item, itemOf []int, rng *rand.Rand) bool {
+	if len(toBeCol) == 0 {
+		return false
+	}
+	maxRate := 0.0
+	for _, p := range toBeCol {
+		if p.rate > maxRate {
+			maxRate = p.rate
+		}
+	}
+	var cands []scored
+	for _, p := range toBeCol {
+		if p.rate >= maxRate*(1-1e-12) {
+			cands = append(cands, p)
+		}
+	}
+	pick := cands[rng.Intn(len(cands))]
+	gi, gj := pick.gi, pick.gj
+	itI, itJ := itemOf[gi], itemOf[gj]
+	if itI == itJ {
+		return false // already in the same migration unit
+	}
+	n1, n2 := s.Groups[gi].Node, s.Groups[gj].Node
+	loads := s.NodeLoads()
+
+	// Pick the target node per the paper's three cases.
+	inPartI := len(items[itI].Groups) > 1
+	inPartJ := len(items[itJ].Groups) > 1
+	var target int
+	switch {
+	case inPartI && !inPartJ:
+		target = n1 // case 2: join the partitioned side
+	case !inPartI && inPartJ:
+		target = n2
+	default: // cases 1 and 3: the less-loaded of the two nodes
+		target = n1
+		if loads[n2] < loads[n1] {
+			target = n2
+		}
+	}
+	if s.killed(target) {
+		// Never pin onto a node marked for removal; use the other node.
+		if target == n1 {
+			target = n2
+		} else {
+			target = n1
+		}
+		if s.killed(target) {
+			return false
+		}
+	}
+	items[itI].Pin = target
+	items[itJ].Pin = target
+	return true
+}
+
+// dsu is a small union-find.
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}

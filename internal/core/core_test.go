@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// chainSnapshot builds a two-operator chain (op0 -> op1) with g groups per
+// operator spread round-robin over n nodes. If oneToOne, group i of op0
+// sends rate 10 to group i of op1 (One-To-One pattern); otherwise traffic is
+// spread evenly (Full Partitioning).
+func chainSnapshot(n, g int, oneToOne bool) *Snapshot {
+	s := &Snapshot{
+		NumNodes: n,
+		Ops: []OpStat{
+			{Name: "up", Downstream: []int{1}},
+			{Name: "down"},
+		},
+		Out:           map[Pair]float64{},
+		MaxMigrations: 10,
+	}
+	for i := 0; i < g; i++ {
+		s.Ops[0].Groups = append(s.Ops[0].Groups, i)
+		s.Groups = append(s.Groups, GroupStat{Op: 0, Node: i % n, Load: 4, StateSize: 100})
+	}
+	for i := 0; i < g; i++ {
+		s.Ops[1].Groups = append(s.Ops[1].Groups, g+i)
+		// Offset placement so One-To-One pairs start separated.
+		s.Groups = append(s.Groups, GroupStat{Op: 1, Node: (i + 1) % n, Load: 4, StateSize: 100})
+	}
+	for i := 0; i < g; i++ {
+		if oneToOne {
+			s.Out[Pair{i, g + i}] = 10
+		} else {
+			for j := 0; j < g; j++ {
+				s.Out[Pair{i, g + j}] = 10.0 / float64(g)
+			}
+		}
+	}
+	return s
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	s := chainSnapshot(4, 8, true)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s.Clone()
+	bad.Groups[0].Node = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for bad node")
+	}
+	bad = s.Clone()
+	bad.Groups[0].Op = 1 // listed under op 0 but claims op 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for op mismatch")
+	}
+}
+
+func TestSnapshotCloneIsDeep(t *testing.T) {
+	s := chainSnapshot(2, 4, true)
+	s.Kill = []bool{false, true}
+	s.Capacity = []float64{1, 2}
+	c := s.Clone()
+	c.Groups[0].Node = 1
+	c.Kill[0] = true
+	c.Capacity[0] = 9
+	c.Out[Pair{0, 4}] = 99
+	c.Ops[0].Groups[0] = 77
+	if s.Groups[0].Node == 1 || s.Kill[0] || s.Capacity[0] == 9 ||
+		s.Out[Pair{0, 4}] == 99 || s.Ops[0].Groups[0] == 77 {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+func TestLoadDistanceAndAverage(t *testing.T) {
+	s := &Snapshot{
+		NumNodes: 2,
+		Ops:      []OpStat{{Name: "o", Groups: []int{0, 1}}},
+		Groups: []GroupStat{
+			{Op: 0, Node: 0, Load: 60},
+			{Op: 0, Node: 1, Load: 40},
+		},
+	}
+	if d := s.LoadDistance(); d != 10 {
+		t.Fatalf("load distance = %v, want 10", d)
+	}
+	if a := s.AverageLoad(); a != 50 {
+		t.Fatalf("avg = %v, want 50", a)
+	}
+}
+
+func TestCollocationFactor(t *testing.T) {
+	s := chainSnapshot(4, 8, true)
+	// Offset placement: nothing collocated initially.
+	if cf := s.CollocationFactor(); cf != 0 {
+		t.Fatalf("initial collocation = %v, want 0", cf)
+	}
+	// Align op1 groups with op0 partners.
+	perfect := make([]int, len(s.Groups))
+	for i := 0; i < 8; i++ {
+		perfect[i] = i % 4
+		perfect[8+i] = i % 4
+	}
+	if cf := CollocationOf(s, perfect); cf != 100 {
+		t.Fatalf("aligned collocation = %v, want 100", cf)
+	}
+}
+
+func TestMILPBalancerBalances(t *testing.T) {
+	// All op0 groups stacked on node 0; MILP should spread them.
+	s := chainSnapshot(4, 8, false)
+	for i := range s.Groups {
+		s.Groups[i].Node = 0
+	}
+	before := s.LoadDistance()
+	b := &MILPBalancer{TimeLimit: 30 * time.Millisecond}
+	plan, err := b.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 || len(plan.Moves) > 10 {
+		t.Fatalf("moves = %d, want 1..10 (budget)", len(plan.Moves))
+	}
+	if plan.Eval.LoadDistance >= before {
+		t.Fatalf("load distance %v did not improve on %v", plan.Eval.LoadDistance, before)
+	}
+	// Plan's group assignment must cover every group exactly once.
+	if len(plan.GroupNode) != len(s.Groups) {
+		t.Fatalf("plan covers %d groups, want %d", len(plan.GroupNode), len(s.Groups))
+	}
+}
+
+func TestNoopBalancer(t *testing.T) {
+	s := chainSnapshot(3, 6, true)
+	plan, err := (NoopBalancer{}).Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("noop moved %d groups", len(plan.Moves))
+	}
+}
+
+// applyPlan feeds a plan back into the snapshot as the new current
+// allocation (what the engine's migrator does).
+func applyPlan(s *Snapshot, plan *Plan) {
+	for k, node := range plan.GroupNode {
+		s.Groups[k].Node = node
+	}
+}
+
+func TestALBICImprovesCollocationGradually(t *testing.T) {
+	s := chainSnapshot(4, 8, true)
+	a := &ALBIC{TimeLimit: 20 * time.Millisecond, Seed: 7}
+	prev := s.CollocationFactor()
+	best := prev
+	for round := 0; round < 30; round++ {
+		plan, err := a.Plan(s)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		applyPlan(s, plan)
+		cf := s.CollocationFactor()
+		if cf > best {
+			best = cf
+		}
+		if ld := s.LoadDistance(); ld > 10+1e-9 {
+			t.Fatalf("round %d: load distance %v exceeds maxLD", round, ld)
+		}
+	}
+	if best < 75 {
+		t.Fatalf("collocation only reached %v after 30 rounds, want >= 75", best)
+	}
+	t.Logf("collocation reached %.1f", best)
+}
+
+func TestALBICRespectsMigrationBudget(t *testing.T) {
+	s := chainSnapshot(4, 12, true)
+	s.MaxMigrations = 3
+	a := &ALBIC{TimeLimit: 15 * time.Millisecond, Seed: 1}
+	for round := 0; round < 10; round++ {
+		plan, err := a.Plan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Moves) > 3 {
+			t.Fatalf("round %d: %d moves > budget 3", round, len(plan.Moves))
+		}
+		applyPlan(s, plan)
+	}
+}
+
+func TestALBICPartitionsSplitUnderMaxPL(t *testing.T) {
+	// Two heavy groups collocated and communicating: their set load (40)
+	// exceeds maxPL=25, so ALBIC must split them into separate partitions
+	// (which then degenerate to singletons) rather than lock them together.
+	s := &Snapshot{
+		NumNodes: 2,
+		Ops: []OpStat{
+			{Name: "up", Groups: []int{0, 1}, Downstream: []int{1}},
+			{Name: "down", Groups: []int{2, 3}},
+		},
+		Groups: []GroupStat{
+			{Op: 0, Node: 0, Load: 20, StateSize: 10},
+			{Op: 0, Node: 1, Load: 20, StateSize: 10},
+			{Op: 1, Node: 0, Load: 20, StateSize: 10},
+			{Op: 1, Node: 1, Load: 20, StateSize: 10},
+		},
+		Out: map[Pair]float64{
+			{0, 2}: 50, // collocated heavy pair on node 0
+			{1, 3}: 50, // collocated heavy pair on node 1
+		},
+		MaxMigrations: 4,
+	}
+	a := &ALBIC{TimeLimit: 15 * time.Millisecond, Seed: 3}
+	plan, err := a.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the plan, the load must stay balanced (each node 40).
+	if plan.Eval.LoadDistance > 10 {
+		t.Fatalf("load distance %v > maxLD", plan.Eval.LoadDistance)
+	}
+}
+
+func TestFrameworkTerminatesEmptyKillNodes(t *testing.T) {
+	s := chainSnapshot(4, 8, false)
+	s.Kill = []bool{false, false, false, true}
+	// Move everything off node 3.
+	for i := range s.Groups {
+		if s.Groups[i].Node == 3 {
+			s.Groups[i].Node = 0
+		}
+	}
+	f := &Framework{Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond}}
+	out, err := f.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Terminate) != 1 || out.Terminate[0] != 3 {
+		t.Fatalf("terminate = %v, want [3]", out.Terminate)
+	}
+}
+
+func TestFrameworkIntegratedScaleIn(t *testing.T) {
+	// Scaler marks node 2; the re-plan must start draining it within the
+	// same step (integrated decision).
+	s := chainSnapshot(3, 9, false)
+	s.MaxMigrations = 4
+	f := &Framework{
+		Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond},
+		Scaler:   &ManualScaler{Script: []ScaleDecision{{MarkForRemoval: []int{2}}}},
+	}
+	out, err := f.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scale.MarkForRemoval) != 1 {
+		t.Fatalf("scale = %+v", out.Scale)
+	}
+	movedOff2 := 0
+	for _, m := range out.Plan.Moves {
+		if m.From == 2 {
+			movedOff2++
+		}
+		if m.To == 2 {
+			t.Fatalf("plan moved group %d TO the kill-marked node", m.Group)
+		}
+	}
+	if movedOff2 == 0 {
+		t.Fatal("integrated plan did not start draining the marked node")
+	}
+}
+
+func TestFrameworkScaleOutReplans(t *testing.T) {
+	s := chainSnapshot(2, 8, false)
+	// Heavy overload: every group load 30 -> total 480 over 2 nodes.
+	for i := range s.Groups {
+		s.Groups[i].Load = 30
+	}
+	s.MaxMigrations = 6
+	f := &Framework{
+		Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond},
+		Scaler:   &UtilizationScaler{TargetUtil: 70, HighWater: 90, LowWater: 40},
+	}
+	out, err := f.Step(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scale.AddNodes == 0 {
+		t.Fatal("expected scale-out")
+	}
+	if out.NumNodes != 2+out.Scale.AddNodes {
+		t.Fatalf("NumNodes = %d", out.NumNodes)
+	}
+	usedNew := false
+	for _, n := range out.Plan.GroupNode {
+		if n >= 2 {
+			usedNew = true
+		}
+	}
+	if !usedNew {
+		t.Fatal("re-plan ignored the new nodes")
+	}
+}
+
+func TestUtilizationScalerNoActionInBand(t *testing.T) {
+	s := chainSnapshot(4, 8, false)
+	for i := range s.Groups {
+		s.Groups[i].Load = 17.5 // 16 groups x 17.5 = 280 total = 70 per node
+	}
+	plan, _ := (NoopBalancer{}).Plan(s)
+	dec := (&UtilizationScaler{}).Decide(s, plan)
+	if !dec.IsZero() {
+		t.Fatalf("unexpected scaling: %+v", dec)
+	}
+}
+
+func TestUtilizationScalerScaleIn(t *testing.T) {
+	// 8 groups of load 10 over 2 nodes: mean 40 < low water 45; one node
+	// can hold all 80 below the 90 high water, so one node is marked.
+	s := chainSnapshot(2, 4, false)
+	for i := range s.Groups {
+		s.Groups[i].Load = 10
+	}
+	plan, _ := (NoopBalancer{}).Plan(s)
+	dec := (&UtilizationScaler{TargetUtil: 85, HighWater: 90, LowWater: 45, MinNodes: 1}).Decide(s, plan)
+	if len(dec.MarkForRemoval) != 1 {
+		t.Fatalf("decision = %+v, want 1 node marked", dec)
+	}
+}
+
+func TestUtilizationScalerScaleInGuard(t *testing.T) {
+	// Heterogeneous cluster: mean is below low water so scale-in is
+	// considered, but removing the least-utilized node (the big one) would
+	// push the small survivor over the high water. The guard must cancel.
+	s := &Snapshot{
+		NumNodes: 2,
+		Capacity: []float64{1, 0.5},
+		Ops:      []OpStat{{Name: "o", Groups: []int{0, 1, 2, 3}}},
+		Groups: []GroupStat{
+			{Op: 0, Node: 0, Load: 13},
+			{Op: 0, Node: 0, Load: 10},
+			{Op: 0, Node: 1, Load: 11.5},
+			{Op: 0, Node: 1, Load: 11.5},
+		},
+	}
+	// Utils: node0 = 23, node1 = 46; total 46; mean = 46/1.5 ≈ 30.7 < 50.
+	// needed = ceil(46/85) = 1 < 2 alive, so removal is attempted; removing
+	// node 0 leaves capacity 0.5 -> predicted 92 > 90: guard cancels.
+	plan, _ := (NoopBalancer{}).Plan(s)
+	dec := (&UtilizationScaler{TargetUtil: 85, HighWater: 90, LowWater: 50, MinNodes: 1}).Decide(s, plan)
+	if len(dec.MarkForRemoval) != 0 {
+		t.Fatalf("guard failed: %+v", dec)
+	}
+}
+
+func TestSnapshotProblemRoundTrip(t *testing.T) {
+	s := chainSnapshot(3, 6, true)
+	s.Alpha = 0.01
+	p := s.Problem()
+	if len(p.Items) != len(s.Groups) {
+		t.Fatalf("items = %d, want %d", len(p.Items), len(s.Groups))
+	}
+	for k, it := range p.Items {
+		if it.Cur != s.Groups[k].Node {
+			t.Fatalf("item %d cur mismatch", k)
+		}
+		if math.Abs(it.MigCost-0.01*s.Groups[k].StateSize) > 1e-12 {
+			t.Fatalf("item %d migcost = %v", k, it.MigCost)
+		}
+	}
+}

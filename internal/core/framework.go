@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// ScaleDecision is the horizontal-scaling action for one adaptation period.
+type ScaleDecision struct {
+	// AddNodes requests this many new nodes (appended after the current
+	// ones, with unit capacity unless the caller overrides).
+	AddNodes int
+	// MarkForRemoval lists alive nodes to mark for removal; the balancer
+	// will drain them over the following periods (Lemma 2) and the
+	// framework terminates them once empty.
+	MarkForRemoval []int
+}
+
+// IsZero reports whether the decision changes nothing.
+func (d ScaleDecision) IsZero() bool { return d.AddNodes == 0 && len(d.MarkForRemoval) == 0 }
+
+// Scaler makes horizontal-scaling decisions. Implementations receive the
+// tentative allocation plan (Algorithm 1, line 5) so that problems solvable
+// by rebalancing or collocation alone do not trigger scaling.
+type Scaler interface {
+	Decide(s *Snapshot, plan *Plan) ScaleDecision
+}
+
+// Framework is the paper's integrative adaptation framework (Algorithm 1).
+// It is invoked once per statistics period.
+type Framework struct {
+	Balancer Balancer
+	// Scaler is optional; without it the framework only rebalances.
+	Scaler Scaler
+}
+
+// Outcome is the result of one adaptation step.
+type Outcome struct {
+	// Plan is the allocation to apply (over the possibly-enlarged cluster).
+	Plan *Plan
+	// Terminate lists kill-marked nodes that hold no key groups and can be
+	// shut down now (Algorithm 1, lines 1-3).
+	Terminate []int
+	// Scale is the scaling decision taken this period (zero if none).
+	Scale ScaleDecision
+	// NumNodes is the node count the plan's node indices refer to
+	// (snapshot's count plus Scale.AddNodes).
+	NumNodes int
+}
+
+// Step runs one adaptation period over the snapshot. The caller applies the
+// returned plan (migrations), terminates the listed nodes, and provisions
+// any requested ones before the next period.
+func (f *Framework) Step(s *Snapshot) (*Outcome, error) {
+	if f.Balancer == nil {
+		return nil, fmt.Errorf("core: framework has no balancer")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{NumNodes: s.NumNodes}
+
+	// Lines 1-3: kill-marked nodes with no key groups can be terminated.
+	occupied := make([]bool, s.NumNodes)
+	for _, g := range s.Groups {
+		occupied[g.Node] = true
+	}
+	for i := 0; i < s.NumNodes; i++ {
+		if s.killed(i) && !occupied[i] {
+			out.Terminate = append(out.Terminate, i)
+		}
+	}
+
+	// Line 4: tentative allocation plan.
+	plan, err := f.Balancer.Plan(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: tentative plan: %w", err)
+	}
+	out.Plan = plan
+
+	// Lines 5-7: scaling decision based on the tentative plan, then an
+	// integrative re-plan over the adjusted cluster.
+	if f.Scaler == nil {
+		return out, nil
+	}
+	dec := f.Scaler.Decide(s, plan)
+	if dec.IsZero() {
+		return out, nil
+	}
+	s2 := s.Clone()
+	if dec.AddNodes > 0 {
+		if s2.Capacity != nil {
+			for i := 0; i < dec.AddNodes; i++ {
+				s2.Capacity = append(s2.Capacity, 1)
+			}
+		}
+		if s2.Kill == nil {
+			s2.Kill = make([]bool, s2.NumNodes)
+		}
+		for i := 0; i < dec.AddNodes; i++ {
+			s2.Kill = append(s2.Kill, false)
+		}
+		s2.NumNodes += dec.AddNodes
+	}
+	if len(dec.MarkForRemoval) > 0 {
+		if s2.Kill == nil {
+			s2.Kill = make([]bool, s2.NumNodes)
+		}
+		for _, n := range dec.MarkForRemoval {
+			if n < 0 || n >= s.NumNodes {
+				return nil, fmt.Errorf("core: scaler marked invalid node %d", n)
+			}
+			s2.Kill[n] = true
+		}
+	}
+	plan2, err := f.Balancer.Plan(s2)
+	if err != nil {
+		return nil, fmt.Errorf("core: integrative re-plan after scaling: %w", err)
+	}
+	out.Plan = plan2
+	out.Scale = dec
+	out.NumNodes = s2.NumNodes
+	return out, nil
+}

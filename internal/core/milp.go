@@ -1,0 +1,63 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/assign"
+)
+
+// MILPBalancer solves the paper's integrated load-balancing MILP (Section
+// 4.3.1) each adaptation period, treating every key group as an independent
+// migration unit. It is the right choice for topologies where collocation
+// has little effect (high-degree partial/full partitioning patterns).
+type MILPBalancer struct {
+	// TimeLimit is the solver budget per invocation (the paper's CPLEX
+	// solve-time knob). Default 50ms.
+	TimeLimit time.Duration
+	// Exact switches to the branch-and-bound solver (small instances only).
+	Exact bool
+	// Seed drives the anytime solver's randomized phase.
+	Seed int64
+}
+
+// Name implements Balancer.
+func (b *MILPBalancer) Name() string { return "milp" }
+
+// Plan implements Balancer.
+func (b *MILPBalancer) Plan(s *Snapshot) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := s.Problem()
+	sol, err := assign.Solve(p, assign.Options{
+		TimeLimit: b.TimeLimit,
+		Exact:     b.Exact,
+		Seed:      b.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	groupNode := make([]int, len(s.Groups))
+	for idx, node := range sol.ItemNode {
+		for _, g := range p.Items[idx].Groups {
+			groupNode[g] = node
+		}
+	}
+	return PlanFromAssignment(s, groupNode, sol.Eval), nil
+}
+
+// NoopBalancer keeps the current allocation (used for PoTC runs, where
+// balance comes from two-choice routing rather than migration).
+type NoopBalancer struct{}
+
+// Name implements Balancer.
+func (NoopBalancer) Name() string { return "noop" }
+
+// Plan implements Balancer.
+func (NoopBalancer) Plan(s *Snapshot) (*Plan, error) {
+	groupNode := make([]int, len(s.Groups))
+	for k, g := range s.Groups {
+		groupNode[k] = g.Node
+	}
+	return PlanFromAssignment(s, groupNode, nil), nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// UtilizationScaler is a utilization-band scaling policy in the spirit of
+// the elasticity work the paper delegates to ([10,12]): keep the post-plan
+// average utilization of alive nodes inside [LowWater, HighWater] by adding
+// nodes or marking the least-loaded ones for removal, sized so the average
+// lands near TargetUtil.
+//
+// Per Algorithm 1, the decision is made against the *tentative plan*: if
+// rebalancing alone would cure an overloaded node, no scaling happens.
+type UtilizationScaler struct {
+	// TargetUtil is the desired post-scaling average utilization (default 70).
+	TargetUtil float64
+	// HighWater triggers scale-out when the plan's predicted maximum node
+	// utilization exceeds it (default 90).
+	HighWater float64
+	// LowWater triggers scale-in when the plan's predicted average
+	// utilization falls below it (default 45).
+	LowWater float64
+	// MinNodes and MaxNodes clamp the cluster size (defaults 1 and no cap).
+	MinNodes, MaxNodes int
+	// MaxStep caps how many nodes a single decision may add or mark
+	// (default 4); gradual scaling keeps migration budgets meaningful.
+	MaxStep int
+}
+
+func (u *UtilizationScaler) params() (target, high, low float64, minN, maxN, step int) {
+	target, high, low = u.TargetUtil, u.HighWater, u.LowWater
+	if target <= 0 {
+		target = 70
+	}
+	if high <= 0 {
+		high = 90
+	}
+	if low <= 0 {
+		low = 45
+	}
+	minN, maxN, step = u.MinNodes, u.MaxNodes, u.MaxStep
+	if minN <= 0 {
+		minN = 1
+	}
+	if maxN <= 0 {
+		maxN = math.MaxInt32
+	}
+	if step <= 0 {
+		step = 4
+	}
+	return
+}
+
+// Decide implements Scaler.
+func (u *UtilizationScaler) Decide(s *Snapshot, plan *Plan) ScaleDecision {
+	target, high, low, minN, maxN, step := u.params()
+
+	// Post-plan utilization per node.
+	utils := make([]float64, s.NumNodes)
+	for k, node := range plan.GroupNode {
+		utils[node] += s.Groups[k].Load
+	}
+	total := 0.0
+	var alive []int
+	for i := 0; i < s.NumNodes; i++ {
+		utils[i] /= s.capacity(i)
+		total += utils[i] * s.capacity(i)
+		if !s.killed(i) {
+			alive = append(alive, i)
+		}
+	}
+	capA := 0.0
+	for _, i := range alive {
+		capA += s.capacity(i)
+	}
+	if capA == 0 {
+		return ScaleDecision{}
+	}
+	meanAfter := total / capA
+	maxAfter := 0.0
+	for _, i := range alive {
+		if utils[i] > maxAfter {
+			maxAfter = utils[i]
+		}
+	}
+
+	// needed: unit-capacity node count so the average lands at TargetUtil.
+	needed := int(math.Ceil(total / target))
+	if needed < minN {
+		needed = minN
+	}
+	if needed > maxN {
+		needed = maxN
+	}
+
+	switch {
+	case maxAfter > high && needed > len(alive):
+		// Even the best rebalanced allocation overloads some node: scale out.
+		add := needed - len(alive)
+		if add > step {
+			add = step
+		}
+		return ScaleDecision{AddNodes: add}
+	case meanAfter < low && needed < len(alive):
+		// Underutilized: mark the least-loaded alive nodes for removal, but
+		// never so many that the survivors could not absorb the load.
+		remove := len(alive) - needed
+		if remove > step {
+			remove = step
+		}
+		// Undesirable-scale-in guard (Algorithm 1): the remaining nodes must
+		// be able to hold the total load below the high-water mark.
+		for remove > 0 {
+			capLeft := capA
+			sorted := append([]int(nil), alive...)
+			sort.Slice(sorted, func(a, b int) bool { return utils[sorted[a]] < utils[sorted[b]] })
+			for i := 0; i < remove; i++ {
+				capLeft -= s.capacity(sorted[i])
+			}
+			if capLeft > 0 && total/capLeft <= high {
+				return ScaleDecision{MarkForRemoval: sorted[:remove]}
+			}
+			remove--
+		}
+		return ScaleDecision{}
+	default:
+		return ScaleDecision{}
+	}
+}
+
+// ManualScaler replays a scripted sequence of decisions, one per invocation
+// (used by the Figure 5 experiment, which marks ten nodes for removal at a
+// fixed period).
+type ManualScaler struct {
+	Script []ScaleDecision
+	next   int
+}
+
+// Decide implements Scaler.
+func (m *ManualScaler) Decide(s *Snapshot, plan *Plan) ScaleDecision {
+	if m.next >= len(m.Script) {
+		return ScaleDecision{}
+	}
+	d := m.Script[m.next]
+	m.next++
+	return d
+}

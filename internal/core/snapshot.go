@@ -1,0 +1,220 @@
+// Package core implements the paper's contribution: the integrative
+// adaptation framework (Algorithm 1), the MILP-based key-group allocation
+// (Section 4.3.1) and ALBIC, Autonomic Load Balancing with Integrated
+// Collocation (Algorithm 2).
+//
+// The package operates on Snapshot values: the statistics a controller
+// collected over the last statistics period (SPL). Both the live engine
+// (internal/engine) and the synthetic optimizer experiments build Snapshots
+// and apply the returned plans.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/assign"
+)
+
+// Pair identifies an ordered key-group pair (communication edge).
+type Pair [2]int
+
+// GroupStat describes one key group at the end of a statistics period.
+type GroupStat struct {
+	// Op is the operator this group belongs to.
+	Op int
+	// Node currently hosting the group.
+	Node int
+	// Load is gLoad_k: the group's average load over the last SPL, in
+	// percentage points of a unit-capacity node.
+	Load float64
+	// StateSize is |σ_k|, the serialized size of the group's state. The
+	// migration cost is Alpha·StateSize.
+	StateSize float64
+}
+
+// OpStat describes one operator of the running job.
+type OpStat struct {
+	Name string
+	// Groups holds the global ids of the operator's key groups.
+	Groups []int
+	// Downstream lists operator indices that consume this operator's output.
+	Downstream []int
+}
+
+// Snapshot is the controller's view of the system over the last SPL.
+type Snapshot struct {
+	NumNodes int
+	// Capacity holds per-node capacity weights; nil means homogeneous.
+	Capacity []float64
+	// Kill marks nodes scheduled for removal by earlier scaling decisions.
+	Kill []bool
+
+	Groups []GroupStat
+	Ops    []OpStat
+	// Out holds the observed communication rate between key-group pairs
+	// (tuples or bytes per SPL; any consistent unit works).
+	Out map[Pair]float64
+
+	// MaxMigrCost bounds migration cost per adaptation (paper constraint 2);
+	// MaxMigrations is the count-based variant used when comparing against
+	// Flux. <= 0 disables the respective bound.
+	MaxMigrCost   float64
+	MaxMigrations int
+	// Alpha converts state size to migration cost (mc_k = Alpha·|σ_k|).
+	// Zero means cost 1 per group.
+	Alpha float64
+}
+
+// Validate reports structural problems.
+func (s *Snapshot) Validate() error {
+	if s.NumNodes <= 0 {
+		return fmt.Errorf("core: snapshot has %d nodes", s.NumNodes)
+	}
+	for k, g := range s.Groups {
+		if g.Node < 0 || g.Node >= s.NumNodes {
+			return fmt.Errorf("core: group %d on invalid node %d", k, g.Node)
+		}
+		if g.Op < 0 || g.Op >= len(s.Ops) {
+			return fmt.Errorf("core: group %d has invalid op %d", k, g.Op)
+		}
+	}
+	for i, op := range s.Ops {
+		for _, d := range op.Downstream {
+			if d < 0 || d >= len(s.Ops) {
+				return fmt.Errorf("core: op %d downstream %d invalid", i, d)
+			}
+		}
+		for _, g := range op.Groups {
+			if g < 0 || g >= len(s.Groups) {
+				return fmt.Errorf("core: op %d group %d invalid", i, g)
+			}
+			if s.Groups[g].Op != i {
+				return fmt.Errorf("core: group %d listed under op %d but records op %d", g, i, s.Groups[g].Op)
+			}
+		}
+	}
+	return nil
+}
+
+// migCost returns the migration cost of group k.
+func (s *Snapshot) migCost(k int) float64 {
+	if s.Alpha <= 0 {
+		return 1
+	}
+	return s.Alpha * s.Groups[k].StateSize
+}
+
+// Problem builds the assign.Problem treating every key group as its own
+// migration unit (the pure MILP of Section 4.3.1).
+func (s *Snapshot) Problem() *assign.Problem {
+	loads := make([]float64, len(s.Groups))
+	costs := make([]float64, len(s.Groups))
+	curs := make([]int, len(s.Groups))
+	for k, g := range s.Groups {
+		loads[k] = g.Load
+		costs[k] = s.migCost(k)
+		curs[k] = g.Node
+	}
+	return &assign.Problem{
+		NumNodes:      s.NumNodes,
+		Capacity:      cloneFloats(s.Capacity),
+		Kill:          cloneBools(s.Kill),
+		Items:         assign.SingleGroupItems(loads, costs, curs),
+		MaxMigrCost:   s.MaxMigrCost,
+		MaxMigrations: s.MaxMigrations,
+	}
+}
+
+// NodeLoads returns per-node load sums under the snapshot's current
+// allocation (utilization, i.e. divided by capacity).
+func (s *Snapshot) NodeLoads() []float64 {
+	loads := make([]float64, s.NumNodes)
+	for _, g := range s.Groups {
+		loads[g.Node] += g.Load
+	}
+	for i := range loads {
+		loads[i] /= s.capacity(i)
+	}
+	return loads
+}
+
+func (s *Snapshot) capacity(i int) float64 {
+	if s.Capacity == nil {
+		return 1
+	}
+	return s.Capacity[i]
+}
+
+func (s *Snapshot) killed(i int) bool { return s.Kill != nil && s.Kill[i] }
+
+// Clone deep-copies the snapshot (plans must not mutate the caller's view).
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	c.Capacity = cloneFloats(s.Capacity)
+	c.Kill = cloneBools(s.Kill)
+	c.Groups = append([]GroupStat(nil), s.Groups...)
+	c.Ops = make([]OpStat, len(s.Ops))
+	for i, op := range s.Ops {
+		c.Ops[i] = OpStat{
+			Name:       op.Name,
+			Groups:     append([]int(nil), op.Groups...),
+			Downstream: append([]int(nil), op.Downstream...),
+		}
+	}
+	if s.Out != nil {
+		c.Out = make(map[Pair]float64, len(s.Out))
+		for k, v := range s.Out {
+			c.Out[k] = v
+		}
+	}
+	return &c
+}
+
+func cloneFloats(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	return append([]float64(nil), v...)
+}
+
+func cloneBools(v []bool) []bool {
+	if v == nil {
+		return nil
+	}
+	return append([]bool(nil), v...)
+}
+
+// Plan is a target allocation produced by a balancer.
+type Plan struct {
+	// GroupNode maps every key group to its target node.
+	GroupNode []int
+	// Moves lists the groups whose node changes, in no particular order.
+	Moves []Move
+	// Eval is the assign-level valuation of the plan (may be nil for
+	// balancers that do not compute one).
+	Eval *assign.Eval
+}
+
+// Move is one key-group migration.
+type Move struct {
+	Group    int
+	From, To int
+}
+
+// PlanFromAssignment derives a Plan (including the move list) from a target
+// allocation.
+func PlanFromAssignment(s *Snapshot, groupNode []int, eval *assign.Eval) *Plan {
+	p := &Plan{GroupNode: groupNode, Eval: eval}
+	for k, node := range groupNode {
+		if node != s.Groups[k].Node {
+			p.Moves = append(p.Moves, Move{Group: k, From: s.Groups[k].Node, To: node})
+		}
+	}
+	return p
+}
+
+// Balancer computes a new key-group allocation from a snapshot.
+type Balancer interface {
+	Name() string
+	Plan(s *Snapshot) (*Plan, error)
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// This file implements checkpoint-based fault tolerance, the extension the
+// paper delegates to its companion work ([26] Madsen et al., "Integrating
+// fault-tolerance and elasticity in a distributed data stream processing
+// system", SSDBM 2014): between periods the controller checkpoints every
+// key group's state; when a worker fails, the lost groups are re-created on
+// surviving nodes from the last checkpoint.
+//
+// Recovery is at-most-once with respect to the tuples processed after the
+// checkpoint (the sources here are synthetic and cannot be replayed); what
+// the engine guarantees is that a failure never wedges the barrier protocol
+// and that recovered groups resume from a consistent state.
+
+// Checkpoint is a consistent snapshot of all key-group states, taken at a
+// period boundary.
+type Checkpoint struct {
+	// Period is the last completed period.
+	Period int
+	// States maps global key-group ids to their serialized state. Groups
+	// with no state yet are absent.
+	States map[int][]byte
+	// Alloc is the allocation at checkpoint time.
+	Alloc []int
+}
+
+// Bytes returns the checkpoint's total serialized size.
+func (c *Checkpoint) Bytes() int {
+	n := 0
+	for _, b := range c.States {
+		n += len(b)
+	}
+	return n
+}
+
+// Encode serializes the checkpoint (for durable storage).
+func (c *Checkpoint) Encode() []byte {
+	buf := codec.AppendUvarint(nil, uint64(c.Period))
+	buf = codec.AppendUvarint(buf, uint64(len(c.Alloc)))
+	for _, n := range c.Alloc {
+		buf = codec.AppendInt64(buf, int64(n))
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(c.States)))
+	for gid := 0; gid < len(c.Alloc); gid++ {
+		st, ok := c.States[gid]
+		if !ok {
+			continue
+		}
+		buf = codec.AppendUvarint(buf, uint64(gid))
+		buf = codec.AppendUvarint(buf, uint64(len(st)))
+		buf = append(buf, st...)
+	}
+	return buf
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	c := &Checkpoint{States: map[int][]byte{}}
+	period, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint period: %w", err)
+	}
+	c.Period = int(period)
+	nAlloc, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint alloc len: %w", err)
+	}
+	for i := uint64(0); i < nAlloc; i++ {
+		var v int64
+		if v, b, err = codec.ReadInt64(b); err != nil {
+			return nil, fmt.Errorf("engine: checkpoint alloc: %w", err)
+		}
+		c.Alloc = append(c.Alloc, int(v))
+	}
+	nStates, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint state count: %w", err)
+	}
+	for i := uint64(0); i < nStates; i++ {
+		var gid, size uint64
+		if gid, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("engine: checkpoint gid: %w", err)
+		}
+		if size, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("engine: checkpoint size: %w", err)
+		}
+		if uint64(len(b)) < size {
+			return nil, fmt.Errorf("engine: checkpoint truncated")
+		}
+		c.States[int(gid)] = append([]byte(nil), b[:size]...)
+		b = b[size:]
+	}
+	return c, nil
+}
+
+// TakeCheckpoint snapshots every key group's state. Must be called between
+// periods (the engine is quiescent then; the completion events of RunPeriod
+// establish the necessary happens-before edge, exactly as for statistics
+// merging).
+func (e *Engine) TakeCheckpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Period: e.period,
+		States: map[int][]byte{},
+		Alloc:  append([]int(nil), e.baseAlloc...),
+	}
+	for i, n := range e.nodes {
+		if e.removed[i] {
+			continue
+		}
+		for gid, st := range n.states {
+			cp.States[gid] = st.Encode(nil)
+		}
+	}
+	return cp
+}
+
+// FailNode simulates a worker crash between periods: the goroutine stops
+// and every state it held is lost. The node's key groups must be recovered
+// (Recover) or reassigned before the next period.
+func (e *Engine) FailNode(id int) error {
+	if id < 0 || id >= len(e.nodes) {
+		return fmt.Errorf("engine: fail invalid node %d", id)
+	}
+	if e.removed[id] {
+		return fmt.Errorf("engine: node %d already gone", id)
+	}
+	e.removed[id] = true
+	e.killed[id] = true
+	e.nodes[id].mb.close()
+	e.nodes[id].states = map[int]*State{}
+	return nil
+}
+
+// Recover reinstates the key groups lost with failed nodes from the
+// checkpoint: every group currently allocated to a removed node is moved to
+// a surviving node (least-loaded round-robin over `onto`, or all alive
+// nodes when onto is nil) and its state restored from the checkpoint.
+// Groups on surviving nodes keep their live (newer) state. Returns the
+// number of recovered groups.
+func (e *Engine) Recover(cp *Checkpoint, onto []int) (int, error) {
+	if cp == nil {
+		return 0, fmt.Errorf("engine: nil checkpoint")
+	}
+	if onto == nil {
+		for i := range e.nodes {
+			if !e.removed[i] {
+				onto = append(onto, i)
+			}
+		}
+	}
+	if len(onto) == 0 {
+		return 0, fmt.Errorf("engine: no surviving nodes to recover onto")
+	}
+	for _, n := range onto {
+		if n < 0 || n >= len(e.nodes) || e.removed[n] {
+			return 0, fmt.Errorf("engine: recovery target %d not alive", n)
+		}
+	}
+	recovered := 0
+	next := 0
+	for gid, node := range e.groupNode {
+		if !e.removed[node] {
+			continue
+		}
+		dest := onto[next%len(onto)]
+		next++
+		st := NewState()
+		if enc, ok := cp.States[gid]; ok && len(enc) > 0 {
+			var err error
+			st, err = DecodeState(enc)
+			if err != nil {
+				return recovered, fmt.Errorf("engine: recover group %d: %w", gid, err)
+			}
+		}
+		e.nodes[dest].states[gid] = st
+		e.groupNode[gid] = dest
+		e.baseAlloc[gid] = dest
+		recovered++
+	}
+	return recovered, nil
+}

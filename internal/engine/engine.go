@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Config tunes the engine's simulated cost model. All costs are in abstract
+// "cost units"; a node is 100% loaded when it spends NodeCapacity units in
+// one period.
+type Config struct {
+	// Nodes is the initial worker count.
+	Nodes int
+	// NodeCapacity is the cost units one node can spend per period at 100%
+	// load (default 1000).
+	NodeCapacity float64
+	// CapacityWeights makes the cluster heterogeneous (Section 4.3.1,
+	// "Extending to Heterogeneous Nodes"): node i is 100% loaded at
+	// NodeCapacity·CapacityWeights[i] cost units. nil means homogeneous;
+	// nodes added later via AddNodes get weight 1.
+	CapacityWeights []float64
+	// SerCostPerByte / DeserCostPerByte model the CPU cost of moving a
+	// tuple across nodes (defaults 0.02 / 0.02) — the overhead collocation
+	// eliminates.
+	SerCostPerByte   float64
+	DeserCostPerByte float64
+	// MigrSecondsPerByte converts migrated state volume to modeled pause
+	// latency (Figure 9's metric; default 0.002 s/byte ≈ 2.5 s for a
+	// ~1.2 kB state, matching the paper's observation).
+	MigrSecondsPerByte float64
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.NodeCapacity <= 0 {
+		c.NodeCapacity = 1000
+	}
+	if c.SerCostPerByte <= 0 {
+		c.SerCostPerByte = 0.02
+	}
+	if c.DeserCostPerByte <= 0 {
+		c.DeserCostPerByte = 0.02
+	}
+	if c.MigrSecondsPerByte <= 0 {
+		c.MigrSecondsPerByte = 0.002
+	}
+}
+
+// Engine executes a topology over a set of worker-node goroutines, one
+// period (SPL) at a time, under the control of an adaptation loop.
+type Engine struct {
+	topo *Topology
+	cfg  Config
+
+	nodes   []*node
+	removed []bool    // node terminated (scale-in completed)
+	killed  []bool    // node marked for removal (draining)
+	weights []float64 // per-node capacity weights (heterogeneity)
+
+	groupNode []int // authoritative target allocation (gid -> node)
+	baseAlloc []int // allocation physically in place (last period's end)
+
+	events chan engEvent
+	period int
+
+	last *PeriodStats
+}
+
+// New builds an engine for a topology. The topology must have been Built.
+// Key groups start allocated round-robin across nodes unless initial is
+// given (len NumGroups).
+func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
+	if !topo.built {
+		if err := topo.Build(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.defaults()
+	e := &Engine{
+		topo:    topo,
+		cfg:     cfg,
+		removed: make([]bool, cfg.Nodes),
+		killed:  make([]bool, cfg.Nodes),
+		weights: make([]float64, cfg.Nodes),
+		events:  make(chan engEvent, 4096),
+	}
+	for i := range e.weights {
+		e.weights[i] = 1
+	}
+	if cfg.CapacityWeights != nil {
+		if len(cfg.CapacityWeights) != cfg.Nodes {
+			return nil, fmt.Errorf("engine: %d capacity weights for %d nodes", len(cfg.CapacityWeights), cfg.Nodes)
+		}
+		for i, w := range cfg.CapacityWeights {
+			if w <= 0 {
+				return nil, fmt.Errorf("engine: node %d capacity weight %g", i, w)
+			}
+			e.weights[i] = w
+		}
+	}
+	if initial != nil {
+		if len(initial) != topo.NumGroups() {
+			return nil, fmt.Errorf("engine: initial allocation has %d entries, want %d", len(initial), topo.NumGroups())
+		}
+		for _, n := range initial {
+			if n < 0 || n >= cfg.Nodes {
+				return nil, fmt.Errorf("engine: initial allocation references node %d", n)
+			}
+		}
+		e.groupNode = append([]int(nil), initial...)
+	} else {
+		e.groupNode = make([]int, topo.NumGroups())
+		for g := range e.groupNode {
+			e.groupNode[g] = g % cfg.Nodes
+		}
+	}
+	e.baseAlloc = append([]int(nil), e.groupNode...)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(i, e)
+		e.nodes = append(e.nodes, n)
+		go n.run()
+	}
+	return e, nil
+}
+
+// NumNodes returns the engine's node-slot count (including removed slots).
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Allocation returns a copy of the current key-group allocation.
+func (e *Engine) Allocation() []int { return append([]int(nil), e.groupNode...) }
+
+// Period returns the number of completed periods.
+func (e *Engine) Period() int { return e.period }
+
+// nodeLoadEstimate returns the node's running cost units this period (for
+// PoTC two-choice routing). Removed nodes report +inf.
+func (e *Engine) nodeLoadEstimate(id int) float64 {
+	if e.removed[id] {
+		return math.Inf(1)
+	}
+	return float64(e.nodes[id].stats.nodeUnits.Load()) / 1000
+}
+
+// RunPeriod executes one statistics period: staged migrations are applied
+// via direct state migration concurrently with the new period's data flow,
+// sources generate their batch, every operator processes and flushes, and
+// the merged statistics are returned.
+func (e *Engine) RunPeriod() (*PeriodStats, error) {
+	e.period++
+	rt := newRouterTable(e.topo, e.groupNode, len(e.nodes))
+
+	// Reset per-period stats (nodes are quiescent between periods).
+	for i, n := range e.nodes {
+		if !e.removed[i] {
+			n.stats.reset()
+		}
+	}
+
+	// Expected barrier count per (node, op): one per source feeding the op
+	// plus one per host of each upstream operator; ops with no inputs get
+	// one synthetic engine barrier.
+	nops := len(e.topo.ops)
+	senders := make([]int, nops)
+	for _, edges := range e.topo.srcEdges {
+		for _, op := range edges {
+			senders[op]++
+		}
+	}
+	for op := range e.topo.ops {
+		for _, ed := range e.topo.opEdges[op] {
+			senders[ed.op] += len(rt.hosts[op])
+		}
+	}
+	synthetic := make([]bool, nops)
+	for op := range senders {
+		if senders[op] == 0 {
+			senders[op] = 1
+			synthetic[op] = true
+		}
+	}
+
+	// Migrations to execute this period: the diff between the target and
+	// the physically-installed allocation.
+	var staged []core.Move
+	for gid, to := range e.groupNode {
+		if from := e.baseAlloc[gid]; from != to {
+			staged = append(staged, core.Move{Group: gid, From: from, To: to})
+		}
+	}
+	awaitIn := map[int][]int{}
+	for _, mv := range staged {
+		awaitIn[mv.To] = append(awaitIn[mv.To], mv.Group)
+	}
+
+	// Phase 1: arm all nodes, collect acks.
+	active := 0
+	for i, n := range e.nodes {
+		if e.removed[i] {
+			continue
+		}
+		active++
+		n.mb.put(periodStartMsg{
+			period:      e.period,
+			router:      rt,
+			barrierNeed: senders,
+			awaitIn:     awaitIn[i],
+		})
+	}
+	expectedCompletions := 0
+	for op := range e.topo.ops {
+		expectedCompletions += len(rt.hosts[op])
+	}
+	var errs []error
+	acks := 0
+	for acks < active {
+		ev := <-e.events
+		switch ev.kind {
+		case evAck:
+			acks++
+		case evError:
+			errs = append(errs, ev.err)
+		default:
+			return nil, fmt.Errorf("engine: unexpected event %d during arm phase", ev.kind)
+		}
+	}
+
+	// Phase 2: issue staged migrations (direct state migration runs
+	// concurrently with the period's data flow; destinations buffer).
+	for _, mv := range staged {
+		op, kg := e.topo.OpOf(mv.Group)
+		e.nodes[mv.From].mb.put(migrateOutMsg{op: op, kg: kg, dest: mv.To})
+	}
+	migsExpected := len(staged)
+
+	// Phase 3: run sources on the engine (input-node) goroutine.
+	var srcErr error
+	for si, src := range e.topo.sources {
+		emit := func(t *Tuple) {
+			for _, op := range e.topo.srcEdges[si] {
+				kg := rt.keyGroup(op, t.Key)
+				dest := rt.nodeOf(op, kg)
+				enc := t.Encode(nil)
+				e.nodes[dest].mb.put(dataMsg{op: op, kg: kg, fromGID: -1, encoded: enc, period: e.period})
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					srcErr = fmt.Errorf("engine: source %q panicked: %v", src.Name, r)
+				}
+			}()
+			src.Gen(e.period, emit)
+		}()
+		if srcErr != nil {
+			return nil, srcErr
+		}
+	}
+	// Source barriers, then synthetic barriers for input-less ops.
+	for si := range e.topo.sources {
+		for _, op := range e.topo.srcEdges[si] {
+			for _, host := range rt.hosts[op] {
+				e.nodes[host].mb.put(barrierMsg{op: op, period: e.period})
+			}
+		}
+	}
+	for op, syn := range synthetic {
+		if syn {
+			for _, host := range rt.hosts[op] {
+				e.nodes[host].mb.put(barrierMsg{op: op, period: e.period})
+			}
+		}
+	}
+
+	// Phase 4: wait for all operator instances to flush and all migrations
+	// to be reported.
+	completions, migs := 0, 0
+	migratedBytes := 0
+	for completions < expectedCompletions || migs < migsExpected {
+		ev := <-e.events
+		switch ev.kind {
+		case evCompletion:
+			completions++
+		case evMigrated:
+			migs++
+			migratedBytes += ev.bytes
+		case evError:
+			errs = append(errs, ev.err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	// Phase 5: merge statistics (nodes quiescent again).
+	ps := &PeriodStats{
+		Period:           e.period,
+		GroupUnits:       make([]float64, e.topo.NumGroups()),
+		GroupNode:        append([]int(nil), e.groupNode...),
+		StateBytes:       make([]int, e.topo.NumGroups()),
+		Comm:             map[core.Pair]float64{},
+		NodeUnits:        make([]float64, len(e.nodes)),
+		Migrations:       migsExpected,
+		MigrationLatency: float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
+	}
+	for i, n := range e.nodes {
+		if e.removed[i] {
+			continue
+		}
+		ps.NodeUnits[i] += n.stats.migUnits
+		for gid, u := range n.stats.groupUnits {
+			ps.GroupUnits[gid] += u
+			ps.NodeUnits[i] += u
+		}
+		for gid, c := range n.stats.groupTuplesIn {
+			_ = gid
+			ps.TuplesIn += c
+		}
+		for _, c := range n.stats.groupTuplesOut {
+			ps.TuplesOut += c
+		}
+		for p, v := range n.stats.comm {
+			ps.Comm[p] += v
+		}
+		ps.BytesCrossNode += n.stats.bytesOut
+		for gid, st := range n.states {
+			ps.StateBytes[gid] = st.Size()
+		}
+	}
+	e.baseAlloc = append(e.baseAlloc[:0], e.groupNode...)
+	e.last = ps
+	return ps, nil
+}
+
+// ApplyPlan sets the target allocation; the required migrations execute
+// (with direct state migration) at the start of the next period. Moves onto
+// removed nodes are rejected.
+func (e *Engine) ApplyPlan(groupNode []int) error {
+	if len(groupNode) != e.topo.NumGroups() {
+		return fmt.Errorf("engine: plan has %d groups, want %d", len(groupNode), e.topo.NumGroups())
+	}
+	for gid, to := range groupNode {
+		if to < 0 || to >= len(e.nodes) {
+			return fmt.Errorf("engine: plan sends group %d to invalid node %d", gid, to)
+		}
+		if e.removed[to] {
+			return fmt.Errorf("engine: plan sends group %d to removed node %d", gid, to)
+		}
+	}
+	copy(e.groupNode, groupNode)
+	return nil
+}
+
+// AddNodes provisions count new worker nodes and returns their ids.
+func (e *Engine) AddNodes(count int) []int {
+	var ids []int
+	for i := 0; i < count; i++ {
+		id := len(e.nodes)
+		n := newNode(id, e)
+		e.nodes = append(e.nodes, n)
+		e.removed = append(e.removed, false)
+		e.killed = append(e.killed, false)
+		e.weights = append(e.weights, 1)
+		go n.run()
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// MarkForRemoval flags nodes for scale-in; the balancer drains them.
+func (e *Engine) MarkForRemoval(ids []int) {
+	for _, id := range ids {
+		if id >= 0 && id < len(e.nodes) {
+			e.killed[id] = true
+		}
+	}
+}
+
+// TerminateNode shuts a drained node down. It must hold no key groups.
+func (e *Engine) TerminateNode(id int) error {
+	if id < 0 || id >= len(e.nodes) {
+		return fmt.Errorf("engine: terminate invalid node %d", id)
+	}
+	if e.removed[id] {
+		return nil
+	}
+	for gid, n := range e.groupNode {
+		if n == id {
+			return fmt.Errorf("engine: node %d still hosts group %d", id, gid)
+		}
+	}
+	for gid, n := range e.baseAlloc {
+		if n == id {
+			return fmt.Errorf("engine: node %d still physically holds group %d (migration pending)", id, gid)
+		}
+	}
+	e.removed[id] = true
+	e.nodes[id].mb.close()
+	return nil
+}
+
+// Close stops all node goroutines.
+func (e *Engine) Close() {
+	for i, n := range e.nodes {
+		if !e.removed[i] {
+			n.mb.close()
+		}
+	}
+}
+
+// Snapshot converts the last period's statistics into the controller's
+// core.Snapshot. The caller sets migration budgets (MaxMigrCost /
+// MaxMigrations / Alpha) before planning.
+func (e *Engine) Snapshot() (*core.Snapshot, error) {
+	if e.last == nil {
+		return nil, fmt.Errorf("engine: no completed period")
+	}
+	s := &core.Snapshot{
+		NumNodes: len(e.nodes),
+		Kill:     make([]bool, len(e.nodes)),
+		Groups:   make([]core.GroupStat, e.topo.NumGroups()),
+		Ops:      make([]core.OpStat, len(e.topo.ops)),
+		Out:      e.last.Comm,
+	}
+	hetero := false
+	for i := range e.nodes {
+		s.Kill[i] = e.killed[i] || e.removed[i]
+		if e.weights[i] != 1 {
+			hetero = true
+		}
+	}
+	if hetero {
+		s.Capacity = append([]float64(nil), e.weights...)
+	}
+	for op := range e.topo.ops {
+		s.Ops[op].Name = e.topo.ops[op].Name
+		s.Ops[op].Downstream = e.topo.Downstream(op)
+		for kg := 0; kg < e.topo.ops[op].KeyGroups; kg++ {
+			s.Ops[op].Groups = append(s.Ops[op].Groups, e.topo.GID(op, kg))
+		}
+	}
+	for gid := range s.Groups {
+		op, _ := e.topo.OpOf(gid)
+		s.Groups[gid] = core.GroupStat{
+			Op:        op,
+			Node:      e.groupNode[gid],
+			Load:      e.loadPercent(e.last.GroupUnits[gid]),
+			StateSize: float64(e.last.StateBytes[gid]),
+		}
+	}
+	return s, nil
+}
+
+// CalibrateCapacity rescales NodeCapacity so that the average load of
+// non-removed nodes in the last period equals targetAvgPercent. Experiments
+// call this once after a warm-up period so the reported percentages sit in
+// a realistic band; it only changes the unit conversion, never behaviour.
+func (e *Engine) CalibrateCapacity(targetAvgPercent float64) {
+	if e.last == nil || targetAvgPercent <= 0 {
+		return
+	}
+	total, n := 0.0, 0
+	for i, u := range e.last.NodeUnits {
+		if !e.removed[i] {
+			total += u
+			n++
+		}
+	}
+	if n == 0 || total == 0 {
+		return
+	}
+	e.cfg.NodeCapacity = (total / float64(n)) * 100 / targetAvgPercent
+}
+
+// NodeLoadPercents returns per-node load (% of capacity) from the last
+// period.
+func (e *Engine) NodeLoadPercents() []float64 {
+	if e.last == nil {
+		return nil
+	}
+	out := make([]float64, len(e.nodes))
+	for i, u := range e.last.NodeUnits {
+		out[i] = e.loadPercent(u) / e.weights[i]
+	}
+	return out
+}

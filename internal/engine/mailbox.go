@@ -1,0 +1,97 @@
+package engine
+
+import "sync"
+
+// message is anything deliverable to a node's mailbox.
+type message interface{ isMessage() }
+
+// dataMsg carries one tuple to (op, kg). Exactly one of tuple / encoded is
+// set: node-local deliveries pass the pointer, cross-node deliveries carry
+// serialized bytes (the engine really pays the serialization).
+type dataMsg struct {
+	op, kg  int
+	fromGID int // emitting key group's global id (-1 for source input)
+	tuple   *Tuple
+	encoded []byte
+	period  int
+}
+
+// barrierMsg signals that sender instance (an upstream operator on one node,
+// or a source) has emitted everything for `period` toward operator op.
+type barrierMsg struct {
+	op     int
+	period int
+}
+
+// stateMsg installs migrated state for (op, kg); part of direct state
+// migration. encoded may be empty (group had no state yet).
+type stateMsg struct {
+	op, kg  int
+	encoded []byte
+}
+
+// migrateOutMsg asks a node to ship (op, kg)'s state to dest (direct state
+// migration, step "serialize and send").
+type migrateOutMsg struct {
+	op, kg, dest int
+}
+
+// stopMsg terminates the node goroutine.
+type stopMsg struct{}
+
+func (dataMsg) isMessage()       {}
+func (barrierMsg) isMessage()    {}
+func (stateMsg) isMessage()      {}
+func (migrateOutMsg) isMessage() {}
+func (stopMsg) isMessage()       {}
+
+// mailbox is an unbounded MPSC queue. Unboundedness removes any possibility
+// of cross-node backpressure deadlock; per-sender FIFO order (which the
+// barrier protocol relies on) is preserved because each sender enqueues from
+// a single goroutine under one lock.
+type mailbox struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	q      []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.nonEmp = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues msg. Puts after close are dropped.
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.q = append(m.q, msg)
+		m.nonEmp.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// get blocks until a message is available or the mailbox is closed.
+func (m *mailbox) get() (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.nonEmp.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	msg := m.q[0]
+	m.q[0] = nil
+	m.q = m.q[1:]
+	return msg, true
+}
+
+// close wakes the consumer and rejects further puts.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.nonEmp.Broadcast()
+	m.mu.Unlock()
+}

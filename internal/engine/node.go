@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// periodStartMsg arms a node for one period: routing snapshot, expected
+// barrier counts and the key groups awaiting in-bound migration.
+type periodStartMsg struct {
+	period      int
+	router      *routerTable
+	barrierNeed []int // per op
+	awaitIn     []int // gids whose state will arrive via stateMsg
+}
+
+func (periodStartMsg) isMessage() {}
+
+// event kinds reported to the engine.
+const (
+	evAck = iota
+	evCompletion
+	evMigrated
+	evError
+)
+
+type engEvent struct {
+	kind  int
+	node  int
+	op    int
+	bytes int
+	err   error
+}
+
+// node is one worker: a goroutine owning the states of its key groups.
+type node struct {
+	id  int
+	eng *Engine
+	mb  *mailbox
+
+	states  map[int]*State   // gid -> state
+	pending map[int][]*Tuple // gid -> tuples buffered awaiting migration
+	awaitIn map[int]bool     // gid awaiting a stateMsg
+	// potcSent tracks, per candidate key group, how much work this sender
+	// instance has routed there (PoTC balances the work each sender emits
+	// downstream using local knowledge).
+	potcSent map[int]float64
+
+	period      int
+	router      *routerTable
+	barrierNeed []int
+	barrierGot  []int
+	flushed     []bool
+	awaitByOp   []int // per op: outstanding in-bound migrations
+
+	stats   *nodeStats
+	scratch []byte
+}
+
+func newNode(id int, eng *Engine) *node {
+	return &node{
+		id:       id,
+		eng:      eng,
+		mb:       newMailbox(),
+		states:   map[int]*State{},
+		pending:  map[int][]*Tuple{},
+		awaitIn:  map[int]bool{},
+		potcSent: map[int]float64{},
+		stats:    newNodeStats(),
+	}
+}
+
+// run is the node goroutine main loop.
+func (n *node) run() {
+	for {
+		msg, ok := n.mb.get()
+		if !ok {
+			return
+		}
+		switch m := msg.(type) {
+		case stopMsg:
+			return
+		case periodStartMsg:
+			n.startPeriod(m)
+		case dataMsg:
+			n.onData(m)
+		case barrierMsg:
+			n.onBarrier(m)
+		case stateMsg:
+			n.onState(m)
+		case migrateOutMsg:
+			n.onMigrateOut(m)
+		}
+	}
+}
+
+func (n *node) startPeriod(m periodStartMsg) {
+	n.period = m.period
+	n.router = m.router
+	n.barrierNeed = m.barrierNeed
+	nops := len(n.eng.topo.ops)
+	n.barrierGot = make([]int, nops)
+	n.flushed = make([]bool, nops)
+	n.awaitByOp = make([]int, nops)
+	for _, gid := range m.awaitIn {
+		n.awaitIn[gid] = true
+		op, _ := n.eng.topo.OpOf(gid)
+		n.awaitByOp[op]++
+	}
+	// Flushing is triggered exclusively by barriers (the engine sends
+	// synthetic barriers to hosts of input-less operators after all nodes
+	// acked, so emissions never race a peer's period start).
+	n.eng.events <- engEvent{kind: evAck, node: n.id}
+}
+
+// onMigrateOut serializes and ships (op, kg)'s state to the destination
+// node, then reports the migrated volume to the engine for the latency
+// model.
+func (n *node) onMigrateOut(m migrateOutMsg) {
+	gid := n.eng.topo.GID(m.op, m.kg)
+	var encoded []byte
+	if st := n.states[gid]; st != nil {
+		encoded = st.Encode(nil)
+		delete(n.states, gid)
+	}
+	n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
+	n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
+	n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
+}
+
+func (n *node) onData(m dataMsg) {
+	gid := n.eng.topo.GID(m.op, m.kg)
+	t := m.tuple
+	if t == nil {
+		// Cross-node delivery: pay deserialization.
+		var err error
+		t, err = DecodeTuple(m.encoded)
+		if err != nil {
+			n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+			return
+		}
+		bytes := len(m.encoded)
+		n.stats.bytesIn += int64(bytes)
+		n.stats.addUnits(gid, float64(bytes)*n.eng.cfg.DeserCostPerByte)
+	}
+	if n.awaitIn[gid] {
+		// Direct state migration: the group's state has not arrived yet;
+		// buffer and replay on arrival.
+		n.pending[gid] = append(n.pending[gid], t)
+		return
+	}
+	n.process(m.op, m.kg, gid, t)
+}
+
+func (n *node) process(op, kg, gid int, t *Tuple) {
+	o := n.eng.topo.ops[op]
+	st := n.states[gid]
+	if st == nil {
+		st = NewState()
+		n.states[gid] = st
+	}
+	n.stats.groupTuplesIn[gid]++
+	n.stats.addUnits(gid, o.Cost)
+	defer n.recoverOp(o.Name, "process")
+	o.Proc(t, st, n.emitFrom(op, gid))
+}
+
+// recoverOp contains a panicking user operator: the tuple (or flush) is
+// dropped and the error surfaces through RunPeriod instead of killing the
+// worker goroutine mid-period (which would hang the barrier protocol).
+func (n *node) recoverOp(opName, phase string) {
+	if r := recover(); r != nil {
+		n.eng.events <- engEvent{kind: evError, node: n.id,
+			err: fmt.Errorf("engine: operator %q panicked in %s on node %d: %v", opName, phase, n.id, r)}
+	}
+}
+
+func (n *node) onBarrier(m barrierMsg) {
+	if m.period != n.period {
+		n.eng.events <- engEvent{kind: evError, node: n.id,
+			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", n.id, m.period, n.period)}
+		return
+	}
+	n.barrierGot[m.op]++
+	n.maybeFlush(m.op)
+}
+
+func (n *node) onState(m stateMsg) {
+	gid := n.eng.topo.GID(m.op, m.kg)
+	st := NewState()
+	if len(m.encoded) > 0 {
+		var err error
+		st, err = DecodeState(m.encoded)
+		if err != nil {
+			n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+			return
+		}
+		n.stats.addMigUnits(float64(len(m.encoded)) * n.eng.cfg.DeserCostPerByte)
+	}
+	n.states[gid] = st
+	if n.awaitIn[gid] {
+		delete(n.awaitIn, gid)
+		n.awaitByOp[m.op]--
+	}
+	// Replay buffered tuples in arrival order.
+	buf := n.pending[gid]
+	delete(n.pending, gid)
+	for _, t := range buf {
+		n.process(m.op, m.kg, gid, t)
+	}
+	n.maybeFlush(m.op)
+}
+
+// maybeFlush flushes operator op once all upstream barriers arrived and all
+// in-bound migrations for its local groups completed.
+func (n *node) maybeFlush(op int) {
+	if n.barrierNeed == nil || n.flushed[op] {
+		return
+	}
+	kgs := n.router.localKGs[n.id][op]
+	if len(kgs) == 0 {
+		return // not a host of op this period
+	}
+	if n.barrierGot[op] < n.barrierNeed[op] || n.awaitByOp[op] > 0 {
+		return
+	}
+	o := n.eng.topo.ops[op]
+	if o.Flush != nil {
+		sorted := append([]int(nil), kgs...)
+		sort.Ints(sorted)
+		for _, kg := range sorted {
+			gid := n.eng.topo.GID(op, kg)
+			st := n.states[gid]
+			if st == nil {
+				st = NewState()
+				n.states[gid] = st
+			}
+			func() {
+				defer n.recoverOp(o.Name, "flush")
+				o.Flush(kg, st, n.emitFrom(op, gid))
+			}()
+		}
+	}
+	n.flushed[op] = true
+	// Propagate barriers downstream: this instance is done for the period.
+	for _, e := range n.eng.topo.opEdges[op] {
+		for _, host := range n.router.hosts[e.op] {
+			n.sendBarrier(host, e.op)
+		}
+	}
+	n.eng.events <- engEvent{kind: evCompletion, node: n.id, op: op}
+}
+
+func (n *node) sendBarrier(host, op int) {
+	msg := barrierMsg{op: op, period: n.period}
+	if host == n.id {
+		// Self-delivery through the mailbox keeps FIFO with prior sends.
+		n.mb.put(msg)
+		return
+	}
+	n.eng.nodes[host].mb.put(msg)
+}
+
+// emitFrom returns the Emit closure for (op, gid): it routes the tuple to
+// every downstream operator of op.
+func (n *node) emitFrom(op, fromGID int) Emit {
+	return func(t *Tuple) {
+		n.stats.groupTuplesOut[fromGID]++
+		for _, e := range n.eng.topo.opEdges[op] {
+			n.routeTo(e, fromGID, t)
+		}
+	}
+}
+
+// routeTo delivers t to downstream edge e.
+func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
+	rt := n.router
+	key := t.Key
+	if e.keyBy != nil {
+		key = e.keyBy(t)
+	}
+	kg := rt.keyGroup(e.op, key)
+	if e.twoChoice {
+		// PoTC: each key has two candidate key groups (h1, h2); the sender
+		// balances the work it emits between them using its local counters
+		// ("each operator instance tries to balance the amount of work sent
+		// downstream").
+		alt := rt.altKeyGroup(e.op, key)
+		if alt != kg {
+			g1, g2 := n.eng.topo.GID(e.op, kg), n.eng.topo.GID(e.op, alt)
+			if n.potcSent[g2] < n.potcSent[g1] {
+				kg = alt
+			}
+		}
+		n.potcSent[n.eng.topo.GID(e.op, kg)]++
+	}
+	dest := rt.nodeOf(e.op, kg)
+	toGID := n.eng.topo.GID(e.op, kg)
+	n.stats.comm[pairOf(fromGID, toGID)]++
+	if dest == n.id {
+		// Node-local edge: no serialization. Deliver synchronously.
+		localKG := kg
+		if n.awaitIn[toGID] {
+			n.pending[toGID] = append(n.pending[toGID], t)
+			return
+		}
+		n.process(e.op, localKG, toGID, t)
+		return
+	}
+	// Cross-node edge: pay serialization, ship bytes.
+	n.scratch = t.Encode(n.scratch[:0])
+	enc := append([]byte(nil), n.scratch...)
+	n.stats.bytesOut += int64(len(enc))
+	n.stats.addUnits(fromGID, float64(len(enc))*n.eng.cfg.SerCostPerByte)
+	n.eng.nodes[dest].mb.put(dataMsg{op: e.op, kg: kg, fromGID: fromGID, encoded: enc, period: n.period})
+}

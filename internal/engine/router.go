@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"repro/internal/codec"
+)
+
+// routerTable is an immutable per-period snapshot of the key-group
+// allocation. Nodes route outgoing tuples with it; the engine swaps in a new
+// table between periods after applying migrations.
+type routerTable struct {
+	topo *Topology
+	// groupNode[gid] = engine node id hosting the group.
+	groupNode []int
+	// hosts[op] = sorted node ids hosting at least one key group of op.
+	hosts [][]int
+	// localKGs[node][op] = local key-group ids (sorted).
+	localKGs []map[int][]int
+}
+
+// newRouterTable builds the routing snapshot for an allocation.
+func newRouterTable(topo *Topology, groupNode []int, numNodes int) *routerTable {
+	rt := &routerTable{
+		topo:      topo,
+		groupNode: append([]int(nil), groupNode...),
+		hosts:     make([][]int, len(topo.ops)),
+		localKGs:  make([]map[int][]int, numNodes),
+	}
+	for n := 0; n < numNodes; n++ {
+		rt.localKGs[n] = map[int][]int{}
+	}
+	for op := range topo.ops {
+		seen := map[int]bool{}
+		for kg := 0; kg < topo.ops[op].KeyGroups; kg++ {
+			n := groupNode[topo.GID(op, kg)]
+			rt.localKGs[n][op] = append(rt.localKGs[n][op], kg)
+			if !seen[n] {
+				seen[n] = true
+				rt.hosts[op] = append(rt.hosts[op], n)
+			}
+		}
+	}
+	return rt
+}
+
+// keyGroup returns the canonical key group of key within op.
+func (rt *routerTable) keyGroup(op int, key string) int {
+	return int(codec.Hash(key) % uint64(rt.topo.ops[op].KeyGroups))
+}
+
+// altKeyGroup returns the second-choice key group (PoTC).
+func (rt *routerTable) altKeyGroup(op int, key string) int {
+	return int(codec.Hash2(key) % uint64(rt.topo.ops[op].KeyGroups))
+}
+
+// nodeOf returns the node hosting (op, kg).
+func (rt *routerTable) nodeOf(op, kg int) int {
+	return rt.groupNode[rt.topo.GID(op, kg)]
+}

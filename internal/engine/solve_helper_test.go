@@ -1,0 +1,18 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/assign"
+)
+
+// solveForTest runs the anytime solver for engine integration tests.
+func solveForTest(p *assign.Problem) ([]int, error) {
+	sol, err := assign.Solve(p, assign.Options{TimeLimit: 15 * time.Millisecond, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(sol.ItemNode))
+	out = append(out, sol.ItemNode...)
+	return out, nil
+}

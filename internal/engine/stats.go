@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// nodeStats is written only by its owning node goroutine during a period and
+// read by the engine between periods (the completion channel provides the
+// happens-before edge). nodeUnits is atomic because the PoTC router reads it
+// concurrently from other nodes.
+type nodeStats struct {
+	// groupUnits[gid] = cost units attributed to that key group this period
+	// (processing + serialization + deserialization).
+	groupUnits map[int]float64
+	// groupTuplesIn / Out count tuples per key group.
+	groupTuplesIn  map[int]int64
+	groupTuplesOut map[int]int64
+	// comm[{from,to}] = tuples sent from key group `from` to key group `to`.
+	comm map[core.Pair]float64
+	// bytesOut / bytesIn count serialized bytes crossing node boundaries.
+	bytesOut, bytesIn int64
+	// migUnits is the CPU spent serializing/deserializing migrated state.
+	// It counts toward node load (the paper's load-index measurements
+	// include migration overhead — COLA's weakness) but not toward any key
+	// group's gLoad, so planning inputs stay steady-state.
+	migUnits float64
+	// nodeUnits mirrors the sum of groupUnits in milli-units for concurrent
+	// readers (PoTC two-choice routing).
+	nodeUnits atomic.Int64
+}
+
+func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
+
+func newNodeStats() *nodeStats {
+	return &nodeStats{
+		groupUnits:     map[int]float64{},
+		groupTuplesIn:  map[int]int64{},
+		groupTuplesOut: map[int]int64{},
+		comm:           map[core.Pair]float64{},
+	}
+}
+
+func (s *nodeStats) addUnits(gid int, units float64) {
+	s.groupUnits[gid] += units
+	s.nodeUnits.Add(int64(units * 1000))
+}
+
+func (s *nodeStats) addMigUnits(units float64) {
+	s.migUnits += units
+	s.nodeUnits.Add(int64(units * 1000))
+}
+
+func (s *nodeStats) reset() {
+	s.groupUnits = map[int]float64{}
+	s.groupTuplesIn = map[int]int64{}
+	s.groupTuplesOut = map[int]int64{}
+	s.comm = map[core.Pair]float64{}
+	s.bytesOut, s.bytesIn = 0, 0
+	s.migUnits = 0
+	s.nodeUnits.Store(0)
+}
+
+// PeriodStats is the merged, engine-level view of one period.
+type PeriodStats struct {
+	Period int
+	// GroupUnits / GroupNode per global key-group id.
+	GroupUnits []float64
+	GroupNode  []int
+	// StateBytes is |σ_k| measured at period end.
+	StateBytes []int
+	// Comm is the out(gi, gj) matrix (tuples this period).
+	Comm map[core.Pair]float64
+	// NodeUnits per engine node id (includes removed slots as 0).
+	NodeUnits []float64
+	// TuplesIn / TuplesOut totals.
+	TuplesIn, TuplesOut int64
+	// BytesCrossNode is the serialized volume between nodes.
+	BytesCrossNode int64
+	// Migrations performed when entering this period, and their modeled
+	// latency (seconds of paused processing, Σ over migrated groups).
+	Migrations       int
+	MigrationLatency float64
+}
+
+// LoadPercent converts cost units to percentage points of node capacity.
+func (e *Engine) loadPercent(units float64) float64 {
+	return 100 * units / e.cfg.NodeCapacity
+}

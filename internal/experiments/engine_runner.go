@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// runMetrics holds the per-period series an engine experiment records.
+type runMetrics struct {
+	LoadDistance []float64
+	Collocation  []float64
+	LoadIndex    []float64 // avg load relative to the first recorded period
+	Migrations   []float64
+	CumLatencyM  []float64 // cumulative migration latency, minutes
+}
+
+// runSpec describes one adaptive engine run.
+type runSpec struct {
+	topo     *engine.Topology
+	nodes    int
+	periods  int
+	warmup   int // ignored initialization periods (the paper drops them)
+	balancer core.Balancer
+	maxMig   int // <= 0: unrestricted
+	initial  []int
+	// targetAvgLoad calibrates capacity after warm-up (default 60%).
+	targetAvgLoad float64
+}
+
+// runAdaptive executes the run: each period the engine processes a batch,
+// the controller snapshots statistics, the balancer plans under the
+// migration budget, and the plan is applied (migrations execute at the next
+// period's start, concurrent with its data).
+func runAdaptive(spec runSpec) (*runMetrics, error) {
+	e, err := engine.New(spec.topo, engine.Config{Nodes: spec.nodes}, spec.initial)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if spec.targetAvgLoad <= 0 {
+		spec.targetAvgLoad = 60
+	}
+
+	m := &runMetrics{}
+	baseAvg := 0.0
+	cumLat := 0.0
+	// Planner inputs are EWMA-smoothed across periods (the controller's
+	// SPL averaging); the reported metrics stay raw per-period measurements.
+	var smooth []float64
+	for p := 0; p < spec.warmup+spec.periods; p++ {
+		ps, err := e.RunPeriod()
+		if err != nil {
+			return nil, fmt.Errorf("period %d: %w", p, err)
+		}
+		if p == 0 {
+			e.CalibrateCapacity(spec.targetAvgLoad)
+		}
+		snap, err := e.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		recording := p >= spec.warmup
+		if recording {
+			if baseAvg == 0 {
+				if avg := snap.AverageLoad(); avg > 0 {
+					baseAvg = avg
+				}
+			}
+			m.LoadDistance = append(m.LoadDistance, snap.LoadDistance())
+			m.Collocation = append(m.Collocation, snap.CollocationFactor())
+			idx := 0.0
+			if baseAvg > 0 {
+				idx = 100 * snap.AverageLoad() / baseAvg
+			}
+			m.LoadIndex = append(m.LoadIndex, idx)
+			m.Migrations = append(m.Migrations, float64(ps.Migrations))
+			cumLat += ps.MigrationLatency
+			m.CumLatencyM = append(m.CumLatencyM, cumLat/60)
+		}
+		if spec.balancer != nil {
+			snap.MaxMigrations = spec.maxMig
+			if smooth == nil {
+				smooth = make([]float64, len(snap.Groups))
+				for k := range snap.Groups {
+					smooth[k] = snap.Groups[k].Load
+				}
+			} else {
+				const alpha = 0.5
+				for k := range snap.Groups {
+					smooth[k] = alpha*snap.Groups[k].Load + (1-alpha)*smooth[k]
+					snap.Groups[k].Load = smooth[k]
+				}
+			}
+			plan, err := spec.balancer.Plan(snap)
+			if err != nil {
+				return nil, fmt.Errorf("period %d plan: %w", p, err)
+			}
+			if err := e.ApplyPlan(plan.GroupNode); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// series converts a recorded metric into a plotted Series.
+func series(label string, ys []float64) Series {
+	s := Series{Label: label}
+	for i, y := range ys {
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, y)
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Fig5 reproduces Figure 5: integrating horizontal scale-in with load
+// balancing versus a non-integrated two-phase approach (drain first, then
+// balance). 60-node cluster, 10 nodes marked for removal, maxMigrations=20,
+// with 1 or 5 nodes overloaded at 100% (1OL / 5OL).
+func Fig5(opt Opts) *Result {
+	spec := clusterSpec{60, 1200, 30}
+	periods := 12
+	res := &Result{
+		Name:  "fig5",
+		Title: "Integrating horizontal scaling with load balancing",
+	}
+	distPanel := Panel{Title: "Load distance per period", XLabel: "period", YLabel: "load distance (%)"}
+	timePanel := Panel{Title: "Time to scale in", XLabel: "overloaded", YLabel: "periods"}
+
+	type variant struct {
+		label      string
+		overloaded int
+		integrated bool
+	}
+	variants := []variant{
+		{"INT (5OL)", 5, true},
+		{"NON-INT (5OL)", 5, false},
+		{"INT (1OL)", 1, true},
+		{"NON-INT (1OL)", 1, false},
+	}
+	var scaleIn []float64
+	for _, v := range variants {
+		dist, drained := runScaleIn(spec, v.overloaded, v.integrated, periods, opt)
+		s := Series{Label: v.label}
+		for p, d := range dist {
+			s.X = append(s.X, float64(p+1))
+			s.Y = append(s.Y, d)
+		}
+		distPanel.Series = append(distPanel.Series, s)
+		scaleIn = append(scaleIn, float64(drained))
+	}
+	timePanel.Series = []Series{
+		{Label: "Integrated", X: []float64{5, 1}, Y: []float64{scaleIn[0], scaleIn[2]}},
+		{Label: "Non-Integrated", X: []float64{5, 1}, Y: []float64{scaleIn[1], scaleIn[3]}},
+	}
+	res.Panels = []Panel{distPanel, timePanel}
+	return res
+}
+
+// runScaleIn simulates the drain. Returns the per-period load distance and
+// the period at which the kill-marked nodes became empty (periods+1 if
+// never).
+func runScaleIn(spec clusterSpec, overloaded int, integrated bool, periods int, opt Opts) ([]float64, int) {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(overloaded)*17))
+	loads, cur := synthLoads(spec, 0, 55, rng)
+	snap := synthSnapshot(spec, loads, cur)
+	snap.MaxMigrations = 20
+	snap.Kill = make([]bool, spec.nodes)
+	// Mark the last 10 nodes for removal; overload the first few.
+	for i := spec.nodes - 10; i < spec.nodes; i++ {
+		snap.Kill[i] = true
+	}
+	perNode := spec.groups / spec.nodes
+	for n := 0; n < overloaded; n++ {
+		// Scale this node's groups to 100% total load.
+		factor := 100 / (55.0)
+		for k := range snap.Groups {
+			if snap.Groups[k].Node == n {
+				snap.Groups[k].Load *= factor
+			}
+		}
+	}
+	_ = perNode
+
+	milp := &core.MILPBalancer{TimeLimit: 40 * time.Millisecond, Seed: opt.Seed}
+	var dist []float64
+	drained := periods + 1
+	for p := 1; p <= periods; p++ {
+		var plan *core.Plan
+		var err error
+		if integrated {
+			plan, err = milp.Plan(snap)
+		} else {
+			plan, err = nonIntegratedPlan(snap, milp)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("fig5: %v", err))
+		}
+		for k, node := range plan.GroupNode {
+			snap.Groups[k].Node = node
+		}
+		dist = append(dist, snap.LoadDistance())
+		if drained > periods && killEmpty(snap) {
+			drained = p
+		}
+	}
+	return dist, drained
+}
+
+func killEmpty(s *core.Snapshot) bool {
+	for _, g := range s.Groups {
+		if s.Kill[g.Node] {
+			return false
+		}
+	}
+	return true
+}
+
+// nonIntegratedPlan performs scale-in as an independent first phase: while
+// the marked nodes hold key groups, the whole migration budget drains them
+// onto the remaining nodes evenly (round-robin, load-oblivious); only once
+// the drain completes does load balancing run.
+func nonIntegratedPlan(s *core.Snapshot, balancer core.Balancer) (*core.Plan, error) {
+	var killGroups []int
+	for k, g := range s.Groups {
+		if s.Kill[g.Node] {
+			killGroups = append(killGroups, k)
+		}
+	}
+	if len(killGroups) == 0 {
+		return balancer.Plan(s)
+	}
+	var alive []int
+	for i := 0; i < s.NumNodes; i++ {
+		if !s.Kill[i] {
+			alive = append(alive, i)
+		}
+	}
+	assign := make([]int, len(s.Groups))
+	for k, g := range s.Groups {
+		assign[k] = g.Node
+	}
+	budget := s.MaxMigrations
+	if budget <= 0 || budget > len(killGroups) {
+		budget = len(killGroups)
+	}
+	for i := 0; i < budget; i++ {
+		assign[killGroups[i]] = alive[i%len(alive)]
+	}
+	return core.PlanFromAssignment(s, assign, nil), nil
+}

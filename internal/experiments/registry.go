@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one reproduced figure.
+type Runner func(Opts) *Result
+
+// Registry maps figure names to their runners. Entries not named "figN"
+// are extension experiments beyond the paper's numbered figures.
+var Registry = map[string]Runner{
+	"fig2":  Fig2,
+	"fig3":  Fig3,
+	"fig4":  Fig4,
+	"fig5":  Fig5,
+	"fig6":  Fig6,
+	"fig7":  Fig7,
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"decay": Decay,
+}
+
+// Names returns the registered experiment names: the paper figures in
+// numeric order, then the extension experiments alphabetically.
+func Names() []string {
+	var figs, extra []string
+	for n := range Registry {
+		var x int
+		if _, err := fmt.Sscanf(n, "fig%d", &x); err == nil {
+			figs = append(figs, n)
+		} else {
+			extra = append(extra, n)
+		}
+	}
+	sort.Slice(figs, func(a, b int) bool {
+		var x, y int
+		fmt.Sscanf(figs[a], "fig%d", &x)
+		fmt.Sscanf(figs[b], "fig%d", &y)
+		return x < y
+	})
+	sort.Strings(extra)
+	return append(figs, extra...)
+}

@@ -1,0 +1,183 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c + 4d s.t. 3a+4b+2c+d <= 6 binary.
+	// Optimum: a=1,c=1,d=1 -> 21? check: b+c: 13+7 weight 6 = 20; a+c+d: 10+7+4 w=6 = 21.
+	m := NewModel()
+	vals := []float64{10, 13, 7, 4}
+	wts := []float64{3, 4, 2, 1}
+	var vars []int
+	for i, v := range vals {
+		vars = append(vars, m.AddBinVar("", -v))
+		_ = i
+	}
+	m.AddCons("w", vars, wts, LE, 6)
+	sol := SolveMILP(m, MILPOptions{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Obj, -21, 1e-6) {
+		t.Fatalf("obj = %v, want -21", sol.Obj)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// max x + y s.t. 2x + y <= 7.5, x + 3y <= 9.7, x,y >= 0 integer.
+	m := NewModel()
+	x := m.AddIntVar("x", 0, Inf, -1)
+	y := m.AddIntVar("y", 0, Inf, -1)
+	m.AddCons("a", []int{x, y}, []float64{2, 1}, LE, 7.5)
+	m.AddCons("b", []int{x, y}, []float64{1, 3}, LE, 9.7)
+	sol := SolveMILP(m, MILPOptions{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Enumerate to verify.
+	best := 0.0
+	for xi := 0; xi <= 10; xi++ {
+		for yi := 0; yi <= 10; yi++ {
+			if 2*float64(xi)+float64(yi) <= 7.5 && float64(xi)+3*float64(yi) <= 9.7 {
+				if v := float64(xi + yi); v > best {
+					best = v
+				}
+			}
+		}
+	}
+	if !almostEq(sol.Obj, -best, 1e-6) {
+		t.Fatalf("obj = %v, want %v", sol.Obj, -best)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinVar("x", 1)
+	y := m.AddBinVar("y", 1)
+	m.AddCons("a", []int{x, y}, []float64{1, 1}, GE, 3)
+	if sol := SolveMILP(m, MILPOptions{}); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMILPMixed(t *testing.T) {
+	// min 2x + 3y + f, f continuous >= 0, x,y int.
+	// s.t. x + y >= 3; f >= 1.5 - x.
+	m := NewModel()
+	x := m.AddIntVar("x", 0, 10, 2)
+	y := m.AddIntVar("y", 0, 10, 3)
+	f := m.AddVar("f", 0, Inf, 1)
+	m.AddCons("a", []int{x, y}, []float64{1, 1}, GE, 3)
+	m.AddCons("b", []int{f, x}, []float64{1, 1}, GE, 1.5)
+	sol := SolveMILP(m, MILPOptions{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// x=3,y=0,f=0 -> 6; x=2,y=1,f=0 -> 7; x=3 dominates. Also x=1,y=2,f=0.5 -> 8.5.
+	if !almostEq(sol.Obj, 6, 1e-6) {
+		t.Fatalf("obj = %v, want 6 (x=3)", sol.Obj)
+	}
+}
+
+// TestMILPRandomVsBruteForce cross-checks small random binary programs
+// against exhaustive enumeration.
+func TestMILPRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nv := 3 + rng.Intn(5) // up to 7 binaries
+		nc := 1 + rng.Intn(3)
+		m := NewModel()
+		for j := 0; j < nv; j++ {
+			m.AddBinVar("", math.Round((rng.Float64()*8-4)*4)/4)
+		}
+		type consDef struct {
+			coefs []float64
+			rhs   float64
+			sense Sense
+		}
+		var defs []consDef
+		for i := 0; i < nc; i++ {
+			coefs := make([]float64, nv)
+			vars := make([]int, nv)
+			for j := 0; j < nv; j++ {
+				coefs[j] = math.Round((rng.Float64()*4 - 1) * 2)
+				vars[j] = j
+			}
+			rhs := math.Round(rng.Float64() * 6)
+			sense := LE
+			if rng.Intn(3) == 0 {
+				sense = GE
+			}
+			m.AddCons("", vars, coefs, sense, rhs)
+			defs = append(defs, consDef{coefs, rhs, sense})
+		}
+		// Brute force.
+		bestObj := math.Inf(1)
+		for mask := 0; mask < 1<<nv; mask++ {
+			x := make([]float64, nv)
+			for j := 0; j < nv; j++ {
+				if mask&(1<<j) != 0 {
+					x[j] = 1
+				}
+			}
+			ok := true
+			for _, d := range defs {
+				lhs := 0.0
+				for j := range d.coefs {
+					lhs += d.coefs[j] * x[j]
+				}
+				if d.sense == LE && lhs > d.rhs+1e-9 || d.sense == GE && lhs < d.rhs-1e-9 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if v := m.Eval(x); v < bestObj {
+					bestObj = v
+				}
+			}
+		}
+		sol := SolveMILP(m, MILPOptions{TimeLimit: 5 * time.Second})
+		if math.IsInf(bestObj, 1) {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v obj=%v", trial, sol.Status, sol.Obj)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status = %v", trial, sol.Status)
+		}
+		if !almostEq(sol.Obj, bestObj, 1e-6) {
+			t.Fatalf("trial %d: obj = %v, brute force = %v", trial, sol.Obj, bestObj)
+		}
+		if !m.Feasible(sol.X, 1e-6) {
+			t.Fatalf("trial %d: solution infeasible", trial)
+		}
+	}
+}
+
+func TestMILPTimeLimitReturnsIncumbent(t *testing.T) {
+	// A larger knapsack with an immediate rounding incumbent; with a
+	// microscopic time limit the solver must still return something sane.
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel()
+	var vars []int
+	var wts []float64
+	for j := 0; j < 30; j++ {
+		vars = append(vars, m.AddBinVar("", -(1+rng.Float64()*9)))
+		wts = append(wts, 1+rng.Float64()*9)
+	}
+	m.AddCons("w", vars, wts, LE, 40)
+	sol := SolveMILP(m, MILPOptions{TimeLimit: time.Millisecond})
+	if sol.Status != Optimal && sol.Status != TimeLimit {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Status == TimeLimit && sol.X != nil && !m.Feasible(sol.X, 1e-6) {
+		t.Fatal("incumbent infeasible")
+	}
+}

@@ -1,0 +1,240 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a model in a small textual format:
+//
+//	# comment
+//	min: 3x + 2y - z
+//	c1: x + 2y <= 14
+//	c2: 3x - y >= 0
+//	c3: x - y == 2
+//	bound: 0 <= x <= 10
+//	int x y
+//	bin b
+//	free z
+//
+// Variables are created on first mention with bounds [0, +inf). "free" makes
+// a variable unbounded below, "int"/"bin" mark integrality, and "bound" rows
+// set explicit bounds. The objective is minimized; use "max:" to maximize
+// (coefficients are negated internally and the caller should negate the
+// reported objective).
+func Parse(r io.Reader) (*Model, bool, error) {
+	m := NewModel()
+	maximize := false
+	varIdx := map[string]int{}
+	getVar := func(name string) int {
+		if j, ok := varIdx[name]; ok {
+			return j
+		}
+		j := m.AddVar(name, 0, Inf, 0)
+		varIdx[name] = j
+		return j
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawObj := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "min:"), strings.HasPrefix(lower, "max:"):
+			if sawObj {
+				return nil, false, fmt.Errorf("lp parse line %d: duplicate objective", lineNo)
+			}
+			sawObj = true
+			maximize = strings.HasPrefix(lower, "max:")
+			terms, err := parseLinExpr(line[len("min:"):])
+			if err != nil {
+				return nil, false, fmt.Errorf("lp parse line %d: %v", lineNo, err)
+			}
+			for _, t := range terms {
+				j := getVar(t.name)
+				if maximize {
+					m.Vars[j].Obj -= t.coef
+				} else {
+					m.Vars[j].Obj += t.coef
+				}
+			}
+		case strings.HasPrefix(lower, "int "):
+			for _, name := range strings.Fields(line[4:]) {
+				m.Vars[getVar(name)].Integer = true
+			}
+		case strings.HasPrefix(lower, "bin "):
+			for _, name := range strings.Fields(line[4:]) {
+				j := getVar(name)
+				m.Vars[j].Integer = true
+				m.Vars[j].Lo, m.Vars[j].Hi = 0, 1
+			}
+		case strings.HasPrefix(lower, "free "):
+			for _, name := range strings.Fields(line[5:]) {
+				m.Vars[getVar(name)].Lo = -Inf
+			}
+		case strings.HasPrefix(lower, "bound:"):
+			if err := parseBound(line[len("bound:"):], m, getVar); err != nil {
+				return nil, false, fmt.Errorf("lp parse line %d: %v", lineNo, err)
+			}
+		default:
+			name := ""
+			body := line
+			if i := strings.Index(line, ":"); i >= 0 {
+				name = strings.TrimSpace(line[:i])
+				body = line[i+1:]
+			}
+			sense, lhs, rhs, err := splitRelation(body)
+			if err != nil {
+				return nil, false, fmt.Errorf("lp parse line %d: %v", lineNo, err)
+			}
+			terms, err := parseLinExpr(lhs)
+			if err != nil {
+				return nil, false, fmt.Errorf("lp parse line %d: %v", lineNo, err)
+			}
+			rv, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+			if err != nil {
+				return nil, false, fmt.Errorf("lp parse line %d: bad rhs %q", lineNo, rhs)
+			}
+			var vars []int
+			var coefs []float64
+			for _, t := range terms {
+				vars = append(vars, getVar(t.name))
+				coefs = append(coefs, t.coef)
+			}
+			m.AddCons(name, vars, coefs, sense, rv)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, err
+	}
+	if !sawObj {
+		return nil, false, fmt.Errorf("lp parse: missing objective (min:/max:)")
+	}
+	return m, maximize, m.Validate()
+}
+
+type linTerm struct {
+	coef float64
+	name string
+}
+
+// parseLinExpr parses "3x + 2 y - z" into terms.
+func parseLinExpr(s string) ([]linTerm, error) {
+	// Normalize: ensure +/- are separated tokens.
+	s = strings.ReplaceAll(s, "+", " + ")
+	s = strings.ReplaceAll(s, "-", " - ")
+	fields := strings.Fields(s)
+	var terms []linTerm
+	sign := 1.0
+	pendingCoef := 1.0
+	haveCoef := false
+	flushVar := func(name string) {
+		terms = append(terms, linTerm{coef: sign * pendingCoef, name: name})
+		sign, pendingCoef, haveCoef = 1.0, 1.0, false
+	}
+	for _, f := range fields {
+		switch f {
+		case "+":
+			// keep sign
+		case "-":
+			sign = -sign
+		default:
+			// Either "3", "3x", or "x".
+			i := 0
+			for i < len(f) && (f[i] >= '0' && f[i] <= '9' || f[i] == '.') {
+				i++
+			}
+			numPart, varPart := f[:i], f[i:]
+			if numPart != "" {
+				c, err := strconv.ParseFloat(numPart, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad coefficient %q", f)
+				}
+				if haveCoef {
+					return nil, fmt.Errorf("two consecutive numbers near %q", f)
+				}
+				pendingCoef = c
+				haveCoef = true
+			}
+			if varPart != "" {
+				if !isIdent(varPart) {
+					return nil, fmt.Errorf("bad variable name %q", varPart)
+				}
+				flushVar(varPart)
+			}
+		}
+	}
+	if haveCoef {
+		return nil, fmt.Errorf("dangling coefficient in %q", s)
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("empty expression %q", s)
+	}
+	return terms, nil
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && (r >= '0' && r <= '9'))
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func splitRelation(s string) (Sense, string, string, error) {
+	for _, rel := range []struct {
+		tok string
+		s   Sense
+	}{{"<=", LE}, {">=", GE}, {"==", EQ}, {"=", EQ}} {
+		if i := strings.Index(s, rel.tok); i >= 0 {
+			return rel.s, s[:i], s[i+len(rel.tok):], nil
+		}
+	}
+	return LE, "", "", fmt.Errorf("no relation (<=, >=, ==) in %q", s)
+}
+
+// parseBound handles "0 <= x <= 10", "x <= 5", "x >= 1".
+func parseBound(s string, m *Model, getVar func(string) int) error {
+	parts := strings.Split(s, "<=")
+	if len(parts) == 3 {
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		name := strings.TrimSpace(parts[1])
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err1 != nil || err2 != nil || !isIdent(name) {
+			return fmt.Errorf("bad bound %q", s)
+		}
+		j := getVar(name)
+		m.Vars[j].Lo, m.Vars[j].Hi = lo, hi
+		return nil
+	}
+	if len(parts) == 2 {
+		name := strings.TrimSpace(parts[0])
+		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err == nil && isIdent(name) {
+			m.Vars[getVar(name)].Hi = hi
+			return nil
+		}
+	}
+	parts = strings.Split(s, ">=")
+	if len(parts) == 2 {
+		name := strings.TrimSpace(parts[0])
+		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err == nil && isIdent(name) {
+			m.Vars[getVar(name)].Lo = lo
+			return nil
+		}
+	}
+	return fmt.Errorf("bad bound %q", s)
+}

@@ -1,0 +1,124 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndSolve(t *testing.T) {
+	src := `
+# a small test program
+max: 3x + 5y
+c1: x <= 4
+c2: 2y <= 12
+c3: 3x + 2y <= 18
+`
+	m, maximize, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !maximize {
+		t.Fatal("want maximize")
+	}
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(-sol.Obj, 36, 1e-6) {
+		t.Fatalf("obj = %v, want 36 after negation", -sol.Obj)
+	}
+}
+
+func TestParseIntegerAndBounds(t *testing.T) {
+	src := `
+min: x + y + 2z
+bound: 1 <= x <= 3
+c: x + y >= 4
+int y
+free z
+z >= -2
+`
+	m, maximize, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maximize {
+		t.Fatal("want minimize")
+	}
+	xi, yi, zi := -1, -1, -1
+	for j, v := range m.Vars {
+		switch v.Name {
+		case "x":
+			xi = j
+		case "y":
+			yi = j
+		case "z":
+			zi = j
+		}
+	}
+	if xi < 0 || yi < 0 || zi < 0 {
+		t.Fatalf("missing variables: %+v", m.Vars)
+	}
+	if m.Vars[xi].Lo != 1 || m.Vars[xi].Hi != 3 {
+		t.Fatalf("x bounds = [%v,%v]", m.Vars[xi].Lo, m.Vars[xi].Hi)
+	}
+	if !m.Vars[yi].Integer {
+		t.Fatal("y must be integer")
+	}
+	if m.Vars[zi].Lo != -Inf {
+		t.Fatalf("z must be free, lo = %v", m.Vars[zi].Lo)
+	}
+	sol := SolveMILP(m, MILPOptions{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// x=1 (lower bound), y=3 (integer, x+y>=4), z=-2 (its own lower bound):
+	// objective 1 + 3 - 4 = 0.
+	if !almostEq(sol.Obj, 0, 1e-6) {
+		t.Fatalf("obj = %v, want 0", sol.Obj)
+	}
+}
+
+func TestParseUnbounded(t *testing.T) {
+	src := `
+min: -2z
+free z
+`
+	m, _, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol := SolveLP(m); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"c1: x <= 4",              // no objective
+		"min: x\nmin: y",          // duplicate objective
+		"min: x\nc: x ! 3",        // bad relation
+		"min: x\nc: x <= banana",  // bad rhs
+		"min: 3 4 x\nc: x <= 1",   // double coefficient
+		"min: x\nbound: q <= r s", // bad bound
+	}
+	for _, src := range bad {
+		if _, _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCoefficientForms(t *testing.T) {
+	src := "min: 2x + 3 y - z + 0.5w\nc: x + y + z + w >= 1\n"
+	m, _, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"x": 2, "y": 3, "z": -1, "w": 0.5}
+	for _, v := range m.Vars {
+		if v.Obj != want[v.Name] {
+			t.Errorf("obj[%s] = %v, want %v", v.Name, v.Obj, want[v.Name])
+		}
+	}
+}

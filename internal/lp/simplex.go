@@ -1,0 +1,353 @@
+package lp
+
+import (
+	"math"
+)
+
+// solver tolerances.
+const (
+	tolPivot = 1e-9  // smallest usable pivot element
+	tolCost  = 1e-9  // reduced-cost optimality tolerance
+	tolFeas  = 1e-7  // feasibility tolerance on RHS / bounds
+	tolInt   = 1e-6  // integrality tolerance
+	blandAt  = 5_000 // switch to Bland's rule after this many iterations
+)
+
+// SolveLP solves the continuous relaxation of the model (integrality is
+// ignored) with a dense two-phase primal simplex. The objective is
+// minimized.
+func SolveLP(m *Model) *Solution {
+	return solveLPBounds(m, nil, nil)
+}
+
+// solveLPBounds solves the relaxation with per-variable bound overrides
+// (used by branch and bound). lo/hi may be nil to use the model bounds.
+func solveLPBounds(m *Model, lo, hi []float64) *Solution {
+	n0 := len(m.Vars)
+	getLo := func(j int) float64 {
+		if lo != nil {
+			return lo[j]
+		}
+		return m.Vars[j].Lo
+	}
+	getHi := func(j int) float64 {
+		if hi != nil {
+			return hi[j]
+		}
+		return m.Vars[j].Hi
+	}
+	for j := 0; j < n0; j++ {
+		if getLo(j) > getHi(j)+tolFeas {
+			return &Solution{Status: Infeasible, Gap: math.NaN()}
+		}
+	}
+
+	// Standard-form transformation. Every model variable becomes one or two
+	// nonnegative columns:
+	//   finite lo:        x = lo + u,          u >= 0
+	//   lo = -inf:        x = u - v,           u, v >= 0
+	// Finite upper bounds become explicit rows  u <= hi - lo  (or u - v <= hi).
+	type colMap struct {
+		pos int // column of the positive part
+		neg int // column of the negative part, -1 if none
+		off float64
+	}
+	cols := make([]colMap, n0)
+	ncols := 0
+	for j := 0; j < n0; j++ {
+		l := getLo(j)
+		if math.IsInf(l, -1) {
+			cols[j] = colMap{pos: ncols, neg: ncols + 1, off: 0}
+			ncols += 2
+		} else {
+			cols[j] = colMap{pos: ncols, neg: -1, off: l}
+			ncols++
+		}
+	}
+
+	type row struct {
+		coefs []float64 // dense over ncols
+		sense Sense
+		rhs   float64
+	}
+	var rows []row
+	addRow := func(r row) { rows = append(rows, r) }
+
+	// Model constraints.
+	for _, c := range m.Cons {
+		r := row{coefs: make([]float64, ncols), sense: c.Sense, rhs: c.RHS}
+		for i, j := range c.Vars {
+			cm := cols[j]
+			r.coefs[cm.pos] += c.Coefs[i]
+			if cm.neg >= 0 {
+				r.coefs[cm.neg] -= c.Coefs[i]
+			}
+			r.rhs -= c.Coefs[i] * cm.off
+		}
+		addRow(r)
+	}
+	// Upper-bound rows.
+	for j := 0; j < n0; j++ {
+		h := getHi(j)
+		if math.IsInf(h, 1) {
+			continue
+		}
+		cm := cols[j]
+		r := row{coefs: make([]float64, ncols), sense: LE, rhs: h - cm.off}
+		r.coefs[cm.pos] = 1
+		if cm.neg >= 0 {
+			r.coefs[cm.neg] = -1
+		}
+		addRow(r)
+	}
+
+	nrows := len(rows)
+
+	// Tableau columns: structural (ncols) + slack/surplus (one per row) +
+	// artificial (as needed) + RHS.
+	slackCol := make([]int, nrows)
+	artCol := make([]int, nrows)
+	total := ncols
+	for i := range rows {
+		// Normalize RHS to be nonnegative.
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+		switch rows[i].sense {
+		case LE:
+			slackCol[i] = total
+			total++
+			artCol[i] = -1
+		case GE:
+			slackCol[i] = total
+			total++
+			artCol[i] = total
+			total++
+		case EQ:
+			slackCol[i] = -1
+			artCol[i] = total
+			total++
+		}
+	}
+	width := total + 1 // + RHS column
+	rhsCol := total
+
+	// Build tableau.
+	t := make([][]float64, nrows)
+	basis := make([]int, nrows)
+	isArt := make([]bool, total)
+	for i := 0; i < nrows; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], rows[i].coefs)
+		t[i][rhsCol] = rows[i].rhs
+		if slackCol[i] >= 0 {
+			if rows[i].sense == LE {
+				t[i][slackCol[i]] = 1
+			} else {
+				t[i][slackCol[i]] = -1
+			}
+		}
+		if artCol[i] >= 0 {
+			t[i][artCol[i]] = 1
+			isArt[artCol[i]] = true
+			basis[i] = artCol[i]
+		} else {
+			basis[i] = slackCol[i]
+		}
+	}
+
+	obj := make([]float64, width)
+
+	pivot := func(r, c int) {
+		pr := t[r]
+		inv := 1 / pr[c]
+		for j := 0; j < width; j++ {
+			pr[j] *= inv
+		}
+		pr[c] = 1 // exact
+		for i := 0; i < nrows; i++ {
+			if i == r {
+				continue
+			}
+			f := t[i][c]
+			if f == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := 0; j < width; j++ {
+				ri[j] -= f * pr[j]
+			}
+			ri[c] = 0
+		}
+		f := obj[c]
+		if f != 0 {
+			for j := 0; j < width; j++ {
+				obj[j] -= f * pr[j]
+			}
+			obj[c] = 0
+		}
+		basis[r] = c
+	}
+
+	// iterate runs simplex pivots on the current objective row until optimal,
+	// unbounded or the iteration limit. banned columns never enter.
+	iterate := func(banned func(int) bool) Status {
+		maxIter := 20000 + 50*(nrows+total)
+		for iter := 0; iter < maxIter; iter++ {
+			useBland := iter > blandAt
+			// Entering column.
+			enter := -1
+			best := -tolCost
+			for j := 0; j < total; j++ {
+				if banned != nil && banned(j) {
+					continue
+				}
+				if obj[j] < best {
+					if useBland {
+						if obj[j] < -tolCost {
+							enter = j
+							break
+						}
+					} else {
+						best = obj[j]
+						enter = j
+					}
+				}
+			}
+			if enter == -1 {
+				return Optimal
+			}
+			// Ratio test.
+			leave := -1
+			minRatio := math.Inf(1)
+			for i := 0; i < nrows; i++ {
+				a := t[i][enter]
+				if a > tolPivot {
+					ratio := t[i][rhsCol] / a
+					if ratio < minRatio-tolPivot ||
+						(ratio < minRatio+tolPivot && (leave == -1 || basis[i] < basis[leave])) {
+						minRatio = ratio
+						leave = i
+					}
+				}
+			}
+			if leave == -1 {
+				return Unbounded
+			}
+			pivot(leave, enter)
+		}
+		return IterLimit
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	needPhase1 := false
+	for i := 0; i < nrows; i++ {
+		if artCol[i] >= 0 {
+			needPhase1 = true
+		}
+	}
+	if needPhase1 {
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := 0; j < total; j++ {
+			if isArt[j] {
+				obj[j] = 1
+			}
+		}
+		// Price out basic artificials.
+		for i := 0; i < nrows; i++ {
+			if isArt[basis[i]] {
+				for j := 0; j < width; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		st := iterate(nil)
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Gap: math.NaN()}
+		}
+		if -obj[rhsCol] > tolFeas {
+			return &Solution{Status: Infeasible, Gap: math.NaN()}
+		}
+		// Drive remaining artificials (basic at zero) out of the basis.
+		for i := 0; i < nrows; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			done := false
+			for j := 0; j < total && !done; j++ {
+				if !isArt[j] && math.Abs(t[i][j]) > tolPivot {
+					pivot(i, j)
+					done = true
+				}
+			}
+			// If the row is all zeros over structural columns it is
+			// redundant; the artificial stays basic at zero harmlessly as
+			// long as it never re-enters (banned below).
+		}
+	}
+
+	// Phase 2: original objective.
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n0; j++ {
+		cm := cols[j]
+		obj[cm.pos] += m.Vars[j].Obj
+		if cm.neg >= 0 {
+			obj[cm.neg] -= m.Vars[j].Obj
+		}
+	}
+	constOff := 0.0
+	for j := 0; j < n0; j++ {
+		constOff += m.Vars[j].Obj * cols[j].off
+	}
+	// Price out basic columns.
+	for i := 0; i < nrows; i++ {
+		b := basis[i]
+		f := obj[b]
+		if f != 0 {
+			for j := 0; j < width; j++ {
+				obj[j] -= f * t[i][j]
+			}
+			obj[b] = 0
+		}
+	}
+	st := iterate(func(j int) bool { return isArt[j] })
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Gap: math.NaN()}
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Gap: math.NaN()}
+	}
+
+	// Extract solution.
+	vals := make([]float64, total)
+	for i := 0; i < nrows; i++ {
+		if basis[i] < total {
+			vals[basis[i]] = t[i][rhsCol]
+		}
+	}
+	x := make([]float64, n0)
+	objVal := constOff
+	for j := 0; j < n0; j++ {
+		cm := cols[j]
+		v := vals[cm.pos]
+		if cm.neg >= 0 {
+			v -= vals[cm.neg]
+		}
+		x[j] = cm.off + v
+		objVal += m.Vars[j].Obj * (x[j] - cols[j].off)
+	}
+	return &Solution{Status: Optimal, X: x, Obj: objVal, Gap: math.NaN()}
+}

@@ -1,0 +1,188 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimplexBasic2D(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  (classic Dantzig).
+	// Optimum: x=2, y=6, obj=36. We minimize the negation.
+	m := NewModel()
+	x := m.AddVar("x", 0, Inf, -3)
+	y := m.AddVar("y", 0, Inf, -5)
+	m.AddCons("c1", []int{x}, []float64{1}, LE, 4)
+	m.AddCons("c2", []int{y}, []float64{2}, LE, 12)
+	m.AddCons("c3", []int{x, y}, []float64{3, 2}, LE, 18)
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEq(sol.Obj, -36, 1e-6) {
+		t.Fatalf("obj = %v, want -36", sol.Obj)
+	}
+	if !almostEq(sol.X[x], 2, 1e-6) || !almostEq(sol.X[y], 6, 1e-6) {
+		t.Fatalf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestSimplexEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y >= 4, x - y == 2, x,y >= 0 -> x=3, y=1, obj=4.
+	m := NewModel()
+	x := m.AddVar("x", 0, Inf, 1)
+	y := m.AddVar("y", 0, Inf, 1)
+	m.AddCons("ge", []int{x, y}, []float64{1, 1}, GE, 4)
+	m.AddCons("eq", []int{x, y}, []float64{1, -1}, EQ, 2)
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Obj, 4, 1e-6) {
+		t.Fatalf("obj = %v, want 4", sol.Obj)
+	}
+	if !almostEq(sol.X[x], 3, 1e-6) || !almostEq(sol.X[y], 1, 1e-6) {
+		t.Fatalf("x = %v, want (3,1)", sol.X)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, Inf, 1)
+	m.AddCons("a", []int{x}, []float64{1}, LE, 1)
+	m.AddCons("b", []int{x}, []float64{1}, GE, 2)
+	if sol := SolveLP(m); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, Inf, -1) // maximize x with no upper limit
+	m.AddCons("a", []int{x}, []float64{-1}, LE, 0)
+	if sol := SolveLP(m); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexFreeVariable(t *testing.T) {
+	// min z s.t. z >= -5 has no lower bound variable-wise; with free z the
+	// constraint binds at z = -5.
+	m := NewModel()
+	z := m.AddVar("z", -Inf, Inf, 1)
+	m.AddCons("c", []int{z}, []float64{1}, GE, -5)
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.X[z], -5, 1e-6) {
+		t.Fatalf("z = %v, want -5", sol.X[z])
+	}
+}
+
+func TestSimplexVariableBounds(t *testing.T) {
+	// min -x - y with 1 <= x <= 3, 0 <= y <= 2, x + y <= 4 -> x=3, y=1 is one
+	// optimum with obj -4 (any point on x+y=4 within bounds).
+	m := NewModel()
+	x := m.AddVar("x", 1, 3, -1)
+	y := m.AddVar("y", 0, 2, -1)
+	m.AddCons("c", []int{x, y}, []float64{1, 1}, LE, 4)
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !almostEq(sol.Obj, -4, 1e-6) {
+		t.Fatalf("obj = %v, want -4", sol.Obj)
+	}
+	if sol.X[x] < 1-1e-9 || sol.X[x] > 3+1e-9 || sol.X[y] < -1e-9 || sol.X[y] > 2+1e-9 {
+		t.Fatalf("solution out of bounds: %v", sol.X)
+	}
+}
+
+func TestSimplexNegativeLowerBound(t *testing.T) {
+	// min x with -7 <= x <= 9 -> x = -7.
+	m := NewModel()
+	x := m.AddVar("x", -7, 9, 1)
+	sol := SolveLP(m)
+	if sol.Status != Optimal || !almostEq(sol.X[x], -7, 1e-6) {
+		t.Fatalf("sol = %+v, want x=-7", sol)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A classically degenerate LP; the solver must terminate.
+	m := NewModel()
+	x1 := m.AddVar("x1", 0, Inf, -0.75)
+	x2 := m.AddVar("x2", 0, Inf, 150)
+	x3 := m.AddVar("x3", 0, Inf, -0.02)
+	x4 := m.AddVar("x4", 0, Inf, 6)
+	m.AddCons("c1", []int{x1, x2, x3, x4}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	m.AddCons("c2", []int{x1, x2, x3, x4}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	m.AddCons("c3", []int{x3}, []float64{1}, LE, 1)
+	sol := SolveLP(m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v (Beale cycling example must terminate)", sol.Status)
+	}
+	if !almostEq(sol.Obj, -0.05, 1e-6) {
+		t.Fatalf("obj = %v, want -0.05", sol.Obj)
+	}
+}
+
+// TestSimplexRandomVsVertexEnum checks small random LPs against brute-force
+// vertex enumeration of the feasible box intersected with constraints.
+func TestSimplexRandomFeasibilityAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + rng.Intn(4)
+		nc := 1 + rng.Intn(4)
+		m := NewModel()
+		for j := 0; j < nv; j++ {
+			m.AddVar("", 0, float64(1+rng.Intn(10)), rng.Float64()*4-2)
+		}
+		for i := 0; i < nc; i++ {
+			vars := make([]int, nv)
+			coefs := make([]float64, nv)
+			for j := 0; j < nv; j++ {
+				vars[j] = j
+				coefs[j] = rng.Float64()*2 - 0.5
+			}
+			m.AddCons("", vars, coefs, LE, rng.Float64()*10)
+		}
+		sol := SolveLP(m)
+		if sol.Status == IterLimit {
+			t.Fatalf("trial %d: iteration limit", trial)
+		}
+		if sol.Status != Optimal {
+			continue // may legitimately be infeasible (negative rhs impossible here? keep guard)
+		}
+		if !m.Feasible(sol.X, 1e-6) {
+			t.Fatalf("trial %d: reported optimal but infeasible: %v", trial, sol.X)
+		}
+		// Monte-Carlo: no random feasible point may beat the optimum.
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, nv)
+			for j := range x {
+				x[j] = rng.Float64() * m.Vars[j].Hi
+			}
+			if m.Feasible(x, 0) && m.Eval(x) < sol.Obj-1e-6 {
+				t.Fatalf("trial %d: found better feasible point %v (%v < %v)",
+					trial, x, m.Eval(x), sol.Obj)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 3, 1, 0)
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for lo > hi")
+	}
+	m.Vars[x].Hi = 5
+	m.AddCons("c", []int{99}, []float64{1}, LE, 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for bad var reference")
+	}
+}

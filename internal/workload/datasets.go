@@ -1,0 +1,180 @@
+// Package workload provides the data generators and jobs used by the
+// paper's evaluation (Section 5).
+//
+// The original experiments use three real datasets — the Parsed Wikipedia
+// edit history, the US DOT Airline On-Time data, and NOAA's Global Surface
+// Summary of the Day — none of which can ship with this repository. Each is
+// replaced by a synthetic generator that preserves the properties the
+// respective experiments depend on: key distributions (Zipf article
+// popularity, plane/route identities), input-rate fluctuation, and the
+// partitioning attributes that create or prevent collocation opportunities.
+// The substitutions are catalogued in DESIGN.md.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+)
+
+// WikipediaConfig tunes the Wikipedia edit-history simulator.
+type WikipediaConfig struct {
+	// Articles is the size of the article universe (default 20000).
+	Articles int
+	// BaseRate is the average edits per period (default 4000).
+	BaseRate int
+	// Fluctuation is the relative amplitude of the rate's slow sine drift
+	// plus noise (default 0.25).
+	Fluctuation float64
+	// ZipfS is the skew of article popularity (default 1.1).
+	ZipfS float64
+	// ZipfV is the Zipf offset; larger flattens the head (default 10, which
+	// puts the hottest article near 2% of the edits — a realistic share for
+	// an edit-history window).
+	ZipfV float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Wikipedia returns a source generating edit tuples:
+// key = article id, fields: editor, bytes changed, geohash cell.
+//
+// The paper's Real Job 1 assumes "a completely even distribution of GeoHash
+// values covering Denmark"; the generator assigns each edit a uniform cell
+// from a fixed 100-cell grid.
+func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
+	if cfg.Articles <= 0 {
+		cfg.Articles = 20000
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = 4000
+	}
+	if cfg.Fluctuation <= 0 {
+		cfg.Fluctuation = 0.25
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ZipfV <= 0 {
+		cfg.ZipfV = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x11aa))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Articles-1))
+	return func(period int, emit engine.Emit) {
+		drift := 1 + cfg.Fluctuation*math.Sin(float64(period)/7)
+		noise := 1 + cfg.Fluctuation*0.4*(rng.Float64()*2-1)
+		n := int(float64(cfg.BaseRate) * drift * noise)
+		for i := 0; i < n; i++ {
+			article := fmt.Sprintf("article-%06d", zipf.Uint64())
+			t := &engine.Tuple{Key: article, TS: int64(period*1_000_000 + i)}
+			t.WithStr("editor", fmt.Sprintf("editor-%04d", rng.Intn(5000)))
+			t.WithStr("geo", fmt.Sprintf("dk-%02d", rng.Intn(100)))
+			t.WithNum("bytes", float64(10+rng.Intn(2000)))
+			emit(t)
+		}
+	}
+}
+
+// AirlineConfig tunes the Airline On-Time simulator.
+type AirlineConfig struct {
+	// Planes is the tail-number universe (default 2000).
+	Planes int
+	// Airports is the airport universe; routes are ordered pairs
+	// (default 60).
+	Airports int
+	// Rate is flights per period (default 4000).
+	Rate int
+	// RateScale multiplies Rate (the paper halves COLA's input in Real
+	// Job 3).
+	RateScale float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Airline returns a source generating flight records: key = tail number,
+// fields: route, origin, destination, departure delay minutes, year.
+func Airline(cfg AirlineConfig) engine.SourceFunc {
+	if cfg.Planes <= 0 {
+		cfg.Planes = 2000
+	}
+	if cfg.Airports <= 0 {
+		cfg.Airports = 60
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 4000
+	}
+	if cfg.RateScale <= 0 {
+		cfg.RateScale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x22bb))
+	// Plane popularity is mildly skewed (fleet workhorses fly more, but no
+	// tail number exceeds a fraction of a percent of all flights).
+	zipf := rand.NewZipf(rng, 1.1, 30, uint64(cfg.Planes-1))
+	return func(period int, emit engine.Emit) {
+		n := int(float64(cfg.Rate) * cfg.RateScale)
+		for i := 0; i < n; i++ {
+			plane := fmt.Sprintf("N%05d", zipf.Uint64())
+			o, d := rng.Intn(cfg.Airports), rng.Intn(cfg.Airports)
+			if o == d {
+				d = (d + 1) % cfg.Airports
+			}
+			// Delay distribution: most flights near-on-time, a long tail.
+			delay := rng.ExpFloat64() * 12
+			if rng.Intn(10) == 0 {
+				delay += rng.ExpFloat64() * 45
+			}
+			t := &engine.Tuple{Key: plane, TS: int64(period*1_000_000 + i)}
+			t.WithStr("route", fmt.Sprintf("A%02d-A%02d", o, d))
+			t.WithStr("origin", fmt.Sprintf("A%02d", o))
+			t.WithStr("dest", fmt.Sprintf("A%02d", d))
+			t.WithNum("delay", math.Round(delay))
+			t.WithNum("year", float64(2004+period%10))
+			emit(t)
+		}
+	}
+}
+
+// WeatherConfig tunes the GSOD weather simulator.
+type WeatherConfig struct {
+	// Stations is the weather-station universe (default 500).
+	Stations int
+	// Airports links stations to routes (each airport has one station;
+	// default 60, matching AirlineConfig).
+	Airports int
+	// Rate is observations per period (default 1000).
+	Rate int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Weather returns a source generating daily surface summaries: key =
+// station id, fields: airport served, precipitation, max historical
+// precipitation (for the rainscore of Real Job 4).
+func Weather(cfg WeatherConfig) engine.SourceFunc {
+	if cfg.Stations <= 0 {
+		cfg.Stations = 500
+	}
+	if cfg.Airports <= 0 {
+		cfg.Airports = 60
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x33cc))
+	return func(period int, emit engine.Emit) {
+		for i := 0; i < cfg.Rate; i++ {
+			st := rng.Intn(cfg.Stations)
+			t := &engine.Tuple{Key: fmt.Sprintf("ST%04d", st), TS: int64(period*1_000_000 + i)}
+			t.WithStr("airport", fmt.Sprintf("A%02d", st%cfg.Airports))
+			precip := 0.0
+			if rng.Intn(3) == 0 { // rainy day
+				precip = rng.ExpFloat64() * 8
+			}
+			t.WithNum("precip", precip)
+			t.WithNum("histMax", 60+rng.Float64()*40)
+			emit(t)
+		}
+	}
+}

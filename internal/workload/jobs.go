@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// JobConfig sizes the "Real Job" topologies. The paper runs each operator
+// with 100 key groups on 20 worker nodes; tests shrink these.
+type JobConfig struct {
+	// KeyGroups per operator (default 100).
+	KeyGroups int
+	// WindowPeriods is the rolling window length in statistics periods
+	// (default 6, standing in for the paper's 1-minute windows).
+	WindowPeriods int
+	// TopK is the result size of the TopK operators (default 10).
+	TopK int
+	// Rate is the input tuples per period (defaults per dataset).
+	Rate int
+	// RateScale multiplies Rate.
+	RateScale float64
+	// Seed drives the generators.
+	Seed int64
+	// TwoChoice routes the keyed aggregation edges with the power of two
+	// choices (PoTC baseline runs of Real Job 1).
+	TwoChoice bool
+}
+
+func (c *JobConfig) defaults() {
+	if c.KeyGroups <= 0 {
+		c.KeyGroups = 100
+	}
+	if c.WindowPeriods <= 0 {
+		c.WindowPeriods = 6
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.RateScale <= 0 {
+		c.RateScale = 1
+	}
+}
+
+// windowAdd records v for key into the current window bucket.
+func windowAdd(st *engine.State, period int, window int, key string, v float64) {
+	bucket := fmt.Sprintf("w%d", period%window)
+	st.Table(bucket)[key] += v
+}
+
+// windowTotals sums the last `window` buckets per key and clears the bucket
+// that is about to be reused.
+func windowTotals(st *engine.State, period, window int) map[string]float64 {
+	totals := map[string]float64{}
+	for b := 0; b < window; b++ {
+		for k, v := range st.Table(fmt.Sprintf("w%d", b)) {
+			totals[k] += v
+		}
+	}
+	// Expire the oldest bucket (the one the NEXT period will write into).
+	st.ClearTable(fmt.Sprintf("w%d", (period+1)%window))
+	return totals
+}
+
+// topKOf returns the k keys with the largest totals, deterministically.
+func topKOf(totals map[string]float64, k int) []string {
+	keys := make([]string, 0, len(totals))
+	for key := range totals {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if totals[keys[a]] != totals[keys[b]] {
+			return totals[keys[a]] > totals[keys[b]]
+		}
+		return keys[a] < keys[b]
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+// RealJob1 is the Wikipedia job of Section 5.2: GeoHash → per-cell TopK
+// (1-minute window) → global TopK. The three partitioning functions are
+// independent, so every edge exhibits the Full Partitioning pattern and
+// collocation has little to offer (the paper measures ~5%).
+func RealJob1(cfg JobConfig) (*engine.Topology, error) {
+	cfg.defaults()
+	rate := cfg.Rate
+	if rate <= 0 {
+		rate = 4000
+	}
+	t := engine.NewTopology()
+	t.AddSource("wiki", Wikipedia(WikipediaConfig{
+		BaseRate: int(float64(rate) * cfg.RateScale),
+		Seed:     cfg.Seed,
+	}))
+
+	// Operator 1: compute a GeoHash cell per edit (keyed by article).
+	t.AddOperator(&engine.Operator{
+		Name:      "geohash",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      1,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			st.Add("edits", 1)
+			out := (&engine.Tuple{Key: tu.Str("geo"), TS: tu.TS}).
+				WithStr("article", tu.Key).
+				WithNum("bytes", tu.Num("bytes"))
+			emit(out)
+		},
+	})
+
+	// Operator 2: TopK updated articles per GeoHash cell over a window.
+	window, topk := cfg.WindowPeriods, cfg.TopK
+	t.AddOperator(&engine.Operator{
+		Name:      "topk",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      1,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			p := int(st.Add("period", 0)) // current period set by Flush below
+			windowAdd(st, p, window, tu.Str("article"), 1)
+		},
+		Flush: func(kg int, st *engine.State, emit engine.Emit) {
+			p := int(st.Num("period"))
+			totals := windowTotals(st, p, window)
+			for _, article := range topKOf(totals, topk) {
+				emit((&engine.Tuple{Key: article, TS: int64(p)}).
+					WithNum("count", totals[article]))
+			}
+			st.Add("period", 1)
+		},
+	})
+
+	// Operator 3: global TopK — the merge stage. Partial per-cell results
+	// are combined per article, so this edge is always canonically keyed:
+	// under PoTC the upstream aggregation splits each cell's state over two
+	// key groups, which roughly doubles the partial tuples for hot articles
+	// and leaves the merge skew unbalanceable by routing (the weakness the
+	// paper demonstrates). Merging is priced higher per tuple than plain
+	// counting.
+	t.AddOperator(&engine.Operator{
+		Name:      "globaltopk",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      4,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			p := int(st.Num("period"))
+			windowAdd(st, p, window, tu.Key, tu.Num("count"))
+		},
+		Flush: func(kg int, st *engine.State, emit engine.Emit) {
+			p := int(st.Num("period"))
+			totals := windowTotals(st, p, window)
+			_ = topKOf(totals, topk) // final selection; job is a sink here
+			st.Add("period", 1)
+		},
+	})
+
+	t.Connect("wiki", "geohash")
+	if cfg.TwoChoice {
+		t.ConnectTwoChoice("geohash", "topk")
+	} else {
+		t.Connect("geohash", "topk")
+	}
+	t.Connect("topk", "globaltopk") // merge is canonically keyed either way
+	return t, t.Build()
+}
+
+// RealJob2 is the airline job of Section 5.4: ExtractDelay → SumDelay by
+// plane and year. Both operators partition on the same attribute (the tail
+// number), forming a One-To-One pattern with a perfect collocation
+// available.
+func RealJob2(cfg JobConfig) (*engine.Topology, error) {
+	cfg.defaults()
+	t := engine.NewTopology()
+	addAirlineSourceAndExtract(t, cfg)
+	addSumDelay(t, cfg)
+	t.Connect("extract", "sumdelay")
+	return t, t.Build()
+}
+
+// RealJob3 extends Real Job 2 with SumDelayByRoute, partitioned on the
+// route attribute — that stream cannot be collocated with the plane-keyed
+// operators, halving the obtainable collocation factor.
+func RealJob3(cfg JobConfig) (*engine.Topology, error) {
+	cfg.defaults()
+	t := engine.NewTopology()
+	addAirlineSourceAndExtract(t, cfg)
+	addSumDelay(t, cfg)
+	addRouteDelay(t, cfg)
+	t.Connect("extract", "sumdelay")
+	t.ConnectBy("extract", "routedelay", func(tu *engine.Tuple) string { return tu.Str("route") })
+	return t, t.Build()
+}
+
+// RealJob4 extends Real Job 3 with the weather pipeline: RainScore per
+// station, a rainscore-route join, courier efficiency bucketed by rainscore
+// decile, and store operators writing results out.
+func RealJob4(cfg JobConfig) (*engine.Topology, error) {
+	cfg.defaults()
+	t := engine.NewTopology()
+	addAirlineSourceAndExtract(t, cfg)
+	addSumDelay(t, cfg)
+	addRouteDelay(t, cfg)
+
+	weatherRate := cfg.Rate / 4
+	t.AddSource("weather", Weather(WeatherConfig{Rate: weatherRate, Seed: cfg.Seed + 9}))
+
+	// RainScore: percentage of precipitation against the historical max.
+	t.AddOperator(&engine.Operator{
+		Name:      "rainscore",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      1,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			score := 0.0
+			if tu.Num("histMax") > 0 {
+				score = 100 * tu.Num("precip") / tu.Num("histMax")
+				if score > 100 {
+					score = 100
+				}
+			}
+			emit((&engine.Tuple{Key: tu.Str("airport"), TS: tu.TS}).
+				WithNum("rainscore", score))
+		},
+	})
+
+	// Join: per origin airport, join route delays with the latest
+	// rainscore, pre-aggregating delay sums per rainscore bucket and
+	// flushing one tuple per bucket per period (without pre-aggregation a
+	// single dry-weather bucket would concentrate most of the stream on one
+	// indivisible key group).
+	t.AddOperator(&engine.Operator{
+		Name:      "join",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      1,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			if _, isScore := tu.Nums["rainscore"]; isScore {
+				st.Table("score")[tu.Key] = tu.Num("rainscore")
+				return
+			}
+			score := st.Table("score")[tu.Str("origin")]
+			bucket := int(score) / 10 * 10
+			st.Table("bucketSum")[fmt.Sprintf("b%02d", bucket)] += tu.Num("delay")
+		},
+		Flush: func(kg int, st *engine.State, emit engine.Emit) {
+			for bucket, sum := range st.Table("bucketSum") {
+				emit((&engine.Tuple{Key: bucket}).WithNum("delay", sum))
+			}
+			st.ClearTable("bucketSum")
+		},
+	})
+
+	// Courier efficiency: sum of delays per rainscore interval of ten.
+	t.AddOperator(&engine.Operator{
+		Name:      "courier",
+		KeyGroups: cfg.KeyGroups / 2,
+		Cost:      1,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			st.Table("eff")[tu.Key] += tu.Num("delay")
+		},
+		Flush: func(kg int, st *engine.State, emit engine.Emit) {
+			for bucket, sum := range st.Table("eff") {
+				emit((&engine.Tuple{Key: bucket}).WithNum("sum", sum))
+			}
+		},
+	})
+
+	// Store operators: periodic writes to a local database (modeled cost).
+	store := func(name string) *engine.Operator {
+		return &engine.Operator{
+			Name:      name,
+			KeyGroups: cfg.KeyGroups / 2,
+			Cost:      0.5,
+			Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+				st.Add("rows", 1)
+			},
+		}
+	}
+	t.AddOperator(store("store-delay"))
+	t.AddOperator(store("store-courier"))
+
+	t.Connect("extract", "sumdelay")
+	t.ConnectBy("extract", "routedelay", func(tu *engine.Tuple) string { return tu.Str("route") })
+	t.Connect("weather", "rainscore")
+	t.Connect("rainscore", "join")
+	t.ConnectBy("extract", "join", func(tu *engine.Tuple) string { return tu.Str("origin") })
+	t.Connect("join", "courier")
+	t.Connect("sumdelay", "store-delay")
+	t.Connect("courier", "store-courier")
+	return t, t.Build()
+}
+
+func addAirlineSourceAndExtract(t *engine.Topology, cfg JobConfig) {
+	rate := cfg.Rate
+	if rate <= 0 {
+		rate = 4000
+	}
+	t.AddSource("flights", Airline(AirlineConfig{
+		Rate:      rate,
+		RateScale: cfg.RateScale,
+		Seed:      cfg.Seed,
+	}))
+	// ExtractDelay: light parsing, forwards the delay keyed by plane.
+	t.AddOperator(&engine.Operator{
+		Name:      "extract",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      0.3,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			out := (&engine.Tuple{Key: tu.Key, TS: tu.TS}).
+				WithStr("route", tu.Str("route")).
+				WithStr("origin", tu.Str("origin")).
+				WithNum("delay", tu.Num("delay")).
+				WithNum("year", tu.Num("year"))
+			emit(out)
+		},
+	})
+	t.Connect("flights", "extract")
+}
+
+func addSumDelay(t *engine.Topology, cfg JobConfig) {
+	// SumDelay by plane and year: keyed identically to extract, so kg i of
+	// extract feeds exactly kg i of sumdelay (One-To-One). The flush emits
+	// the sums updated this period (consumed by the store operator in Real
+	// Job 4; dropped when nothing is connected).
+	t.AddOperator(&engine.Operator{
+		Name:      "sumdelay",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      0.3,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			key := fmt.Sprintf("%s|%d", tu.Key, int(tu.Num("year")))
+			st.Table("byYear")[key] += tu.Num("delay")
+			st.Table("dirty")[tu.Key]++
+		},
+		Flush: func(kg int, st *engine.State, emit engine.Emit) {
+			for plane := range st.Table("dirty") {
+				emit((&engine.Tuple{Key: plane}).WithNum("updates", st.Table("dirty")[plane]))
+			}
+			st.ClearTable("dirty")
+		},
+	})
+}
+
+func addRouteDelay(t *engine.Topology, cfg JobConfig) {
+	// SumDelayByRoute: keyed by the route attribute.
+	t.AddOperator(&engine.Operator{
+		Name:      "routedelay",
+		KeyGroups: cfg.KeyGroups,
+		Cost:      0.3,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			st.Table("byRoute")[tu.Key] += tu.Num("delay")
+		},
+	})
+}

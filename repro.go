@@ -1,0 +1,146 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Madsen, Zhou, Cao: "Integrative Dynamic Reconfiguration in a Parallel
+//	Stream Processing Engine" (arXiv:1602.03770, ICDE 2017 line of work).
+//
+// It bundles a Storm-style parallel stream processing engine (operators
+// parallelized over key groups with migratable state), the paper's
+// integrative reconfiguration stack — the MILP key-group allocator, the
+// ALBIC collocation-aware balancer (Algorithm 2) and the adaptation
+// framework (Algorithm 1) — plus the comparison baselines (Flux, PoTC,
+// COLA) and every substrate they need (a simplex/branch-and-bound MILP
+// solver standing in for CPLEX and a multilevel graph partitioner standing
+// in for METIS).
+//
+// This file re-exports the public API from the internal packages; see
+// examples/ for runnable programs and cmd/albic-bench for the experiment
+// harness regenerating the paper's Figures 2-14.
+package repro
+
+import (
+	"repro/internal/assign"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Streaming engine (internal/engine).
+type (
+	// Topology is a job: sources feeding a DAG of operators.
+	Topology = engine.Topology
+	// Operator is one vertex of the job DAG, parallelized over key groups.
+	Operator = engine.Operator
+	// Source generates a period's input batch.
+	Source = engine.Source
+	// SourceFunc is the generator signature.
+	SourceFunc = engine.SourceFunc
+	// Tuple is the data unit ⟨key, value, ts⟩.
+	Tuple = engine.Tuple
+	// State is the migratable computation state of one key group.
+	State = engine.State
+	// Emit sends a tuple downstream.
+	Emit = engine.Emit
+	// KeyBy extracts a custom partitioning key for an edge.
+	KeyBy = engine.KeyBy
+	// Engine executes a topology over worker-node goroutines.
+	Engine = engine.Engine
+	// EngineConfig tunes the engine's cost model.
+	EngineConfig = engine.Config
+	// PeriodStats is one period's merged statistics.
+	PeriodStats = engine.PeriodStats
+	// Checkpoint is a consistent snapshot of all key-group states for
+	// failure recovery (extension, see internal/engine/checkpoint.go).
+	Checkpoint = engine.Checkpoint
+)
+
+// Reconfiguration stack (internal/core).
+type (
+	// Snapshot is the controller's statistics view of one period.
+	Snapshot = core.Snapshot
+	// Plan is a target key-group allocation.
+	Plan = core.Plan
+	// Balancer computes plans from snapshots.
+	Balancer = core.Balancer
+	// MILPBalancer solves the integrated load-balancing MILP each period.
+	MILPBalancer = core.MILPBalancer
+	// ALBIC is Algorithm 2: autonomic load balancing with integrated
+	// collocation.
+	ALBIC = core.ALBIC
+	// Framework is Algorithm 1: the integrative adaptation framework.
+	Framework = core.Framework
+	// Scaler makes horizontal-scaling decisions.
+	Scaler = core.Scaler
+	// ScaleDecision is one period's scaling action.
+	ScaleDecision = core.ScaleDecision
+	// UtilizationScaler is the default utilization-band scaling policy.
+	UtilizationScaler = core.UtilizationScaler
+)
+
+// Baselines (internal/baseline).
+type (
+	// Flux is the ICDE'03 pairwise-exchange balancer.
+	Flux = baseline.Flux
+	// COLA is the Middleware'09 graph-partitioning balancer.
+	COLA = baseline.COLA
+)
+
+// Optimization problem layer (internal/assign).
+type (
+	// Problem is one invocation of the key-group allocation program.
+	Problem = assign.Problem
+	// ProblemItem is an indivisible migration unit.
+	ProblemItem = assign.Item
+	// Solution is a solved allocation.
+	Solution = assign.Solution
+	// SolveOptions configures the solver.
+	SolveOptions = assign.Options
+)
+
+// Paper workloads (internal/workload).
+type (
+	// JobConfig sizes the paper's Real Jobs.
+	JobConfig = workload.JobConfig
+	// WikipediaConfig tunes the Wikipedia edit-history simulator.
+	WikipediaConfig = workload.WikipediaConfig
+	// AirlineConfig tunes the airline on-time simulator.
+	AirlineConfig = workload.AirlineConfig
+	// WeatherConfig tunes the GSOD weather simulator.
+	WeatherConfig = workload.WeatherConfig
+)
+
+// NewTopology returns an empty topology builder.
+func NewTopology() *Topology { return engine.NewTopology() }
+
+// NewEngine builds an engine for a topology (initial may be nil for a
+// round-robin allocation).
+func NewEngine(t *Topology, cfg EngineConfig, initial []int) (*Engine, error) {
+	return engine.New(t, cfg, initial)
+}
+
+// NewState returns an empty key-group state.
+func NewState() *State { return engine.NewState() }
+
+// Solve runs the anytime (or exact) solver on an allocation problem.
+func Solve(p *Problem, opt SolveOptions) (*Solution, error) { return assign.Solve(p, opt) }
+
+// RealJob1 is the paper's Wikipedia job (GeoHash → TopK → global TopK).
+func RealJob1(cfg JobConfig) (*Topology, error) { return workload.RealJob1(cfg) }
+
+// RealJob2 is the airline job with a perfect collocation available.
+func RealJob2(cfg JobConfig) (*Topology, error) { return workload.RealJob2(cfg) }
+
+// RealJob3 adds the route-keyed operator (halves obtainable collocation).
+func RealJob3(cfg JobConfig) (*Topology, error) { return workload.RealJob3(cfg) }
+
+// RealJob4 adds the weather/rainscore join pipeline.
+func RealJob4(cfg JobConfig) (*Topology, error) { return workload.RealJob4(cfg) }
+
+// WikipediaSource returns the Wikipedia edit-history simulator.
+func WikipediaSource(cfg WikipediaConfig) SourceFunc { return workload.Wikipedia(cfg) }
+
+// AirlineSource returns the airline on-time simulator.
+func AirlineSource(cfg AirlineConfig) SourceFunc { return workload.Airline(cfg) }
+
+// WeatherSource returns the GSOD weather simulator.
+func WeatherSource(cfg WeatherConfig) SourceFunc { return workload.Weather(cfg) }
