@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/assign"
+	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graphpart"
@@ -255,6 +256,42 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(tuples)/sec, "tuples/s")
 	}
+}
+
+// BenchmarkTupleBatchCodec measures the batched cross-node wire path in
+// isolation: 256 tuples encoded into one pooled frame (codec.EncodeBatch
+// framing) and decoded back — the unit of work a dataBatchMsg represents.
+func BenchmarkTupleBatchCodec(b *testing.B) {
+	tuples := make([]*engine.Tuple, 256)
+	for i := range tuples {
+		tuples[i] = (&engine.Tuple{Key: "article-001234", TS: int64(i)}).
+			WithStr("editor", "editor-0042").
+			WithStr("geo", "dk-17").
+			WithNum("bytes", float64(100+i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := codec.GetBuf()
+		var scratch []byte
+		for _, t := range tuples {
+			scratch = t.Encode(scratch[:0])
+			frame = codec.AppendBatchItem(frame, scratch)
+		}
+		n := 0
+		err := codec.DecodeBatch(frame, func(item []byte) error {
+			t, err := engine.DecodeTuple(item)
+			if err == nil && t.Key != "" {
+				n++
+			}
+			return err
+		})
+		if err != nil || n != len(tuples) {
+			b.Fatalf("decoded %d, err %v", n, err)
+		}
+		codec.PutBuf(frame)
+	}
+	b.ReportMetric(float64(len(tuples)), "tuples/frame")
 }
 
 // BenchmarkStateMigration measures direct state migration round trips.

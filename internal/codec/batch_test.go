@@ -1,0 +1,191 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func collectBatch(t *testing.T, frame []byte) [][]byte {
+	t.Helper()
+	var items [][]byte
+	if err := DecodeBatch(frame, func(item []byte) error {
+		items = append(items, append([]byte(nil), item...))
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	return items
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	frame := EncodeBatch(nil)
+	if len(frame) != 0 {
+		t.Fatalf("empty batch encoded to %d bytes", len(frame))
+	}
+	if got := collectBatch(t, frame); len(got) != 0 {
+		t.Fatalf("empty batch decoded to %d items", len(got))
+	}
+	// An empty item inside a batch is also valid and distinct from no item.
+	frame = EncodeBatch(nil, []byte{})
+	got := collectBatch(t, frame)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("batch of one empty item decoded to %v", got)
+	}
+}
+
+func TestBatchRoundTripSingle(t *testing.T) {
+	item := []byte("one tuple worth of bytes")
+	frame := EncodeBatch(GetBuf(), item)
+	got := collectBatch(t, frame)
+	if len(got) != 1 || !bytes.Equal(got[0], item) {
+		t.Fatalf("single round trip: %q", got)
+	}
+	PutBuf(frame)
+}
+
+func TestBatchRoundTripMany(t *testing.T) {
+	var items [][]byte
+	for i := 0; i < 300; i++ {
+		items = append(items, []byte(fmt.Sprintf("item-%d-%s", i, string(make([]byte, i%37)))))
+	}
+	// Incremental construction (AppendBatchItem) must equal one-shot
+	// construction (EncodeBatch).
+	inc := GetBuf()
+	for _, it := range items {
+		inc = AppendBatchItem(inc, it)
+	}
+	oneShot := EncodeBatch(nil, items...)
+	if !bytes.Equal(inc, oneShot) {
+		t.Fatal("AppendBatchItem and EncodeBatch disagree")
+	}
+	got := collectBatch(t, inc)
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if !bytes.Equal(got[i], items[i]) {
+			t.Fatalf("item %d: %q != %q", i, got[i], items[i])
+		}
+	}
+	PutBuf(inc)
+}
+
+func TestBatchPooledBufferReuseNoAliasing(t *testing.T) {
+	// Encode a batch into a pooled buffer, copy the decoded items out,
+	// return the buffer, and encode a different batch that will likely
+	// reuse the same backing array: the copies must be unaffected. This is
+	// the contract the engine relies on (DecodeTuple copies everything out
+	// of the frame before the receiver calls PutBuf).
+	first := EncodeBatch(GetBuf(), []byte("alpha"), []byte("beta"))
+	copies := collectBatch(t, first)
+	var aliases [][]byte
+	if err := DecodeBatch(first, func(item []byte) error {
+		aliases = append(aliases, item) // intentionally keep aliasing slices
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	PutBuf(first)
+
+	second := EncodeBatch(GetBuf(), []byte("XXXXX"), []byte("YYYY"))
+	_ = second
+	if string(copies[0]) != "alpha" || string(copies[1]) != "beta" {
+		t.Fatalf("copied items corrupted by pooled-buffer reuse: %q %q", copies[0], copies[1])
+	}
+	// Document the aliasing hazard: the zero-copy item slices MAY now see
+	// the second frame's bytes (same backing array). We only assert that
+	// the aliases still point into a live array (no crash) — their content
+	// is unspecified after PutBuf, which is exactly why receivers copy.
+	_ = aliases
+	PutBuf(second)
+}
+
+func TestBatchDecodeTruncated(t *testing.T) {
+	frame := EncodeBatch(nil, []byte("hello"), []byte("world"))
+	// Truncating mid-item must error; truncating exactly at the item
+	// boundary yields a shorter valid batch.
+	boundary := len(frame) / 2 // frame is two symmetric 6-byte items
+	if err := DecodeBatch(frame[:boundary], func([]byte) error { return nil }); err != nil {
+		t.Fatalf("boundary truncation should decode as one-item batch: %v", err)
+	}
+	if err := DecodeBatch(frame[:boundary+2], func([]byte) error { return nil }); err == nil {
+		t.Fatal("mid-item truncation did not error")
+	}
+	// A frame whose length prefix overruns the buffer must error.
+	bad := AppendUvarint(nil, 1000)
+	bad = append(bad, 'x')
+	if err := DecodeBatch(bad, func([]byte) error { return nil }); err == nil {
+		t.Fatal("overlong item length prefix did not error")
+	}
+}
+
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(items [][]byte) bool {
+		frame := EncodeBatch(nil, items...)
+		var got [][]byte
+		if err := DecodeBatch(frame, func(item []byte) error {
+			got = append(got, append([]byte(nil), item...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if !bytes.Equal(got[i], items[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeHelpersMatchEncoders(t *testing.T) {
+	f := func(sm map[string]string, fm map[string]float64) bool {
+		if SizeStringMap(sm) != len(AppendStringMap(nil, sm)) {
+			return false
+		}
+		if SizeFloatMap(fm) != len(AppendFloatMap(nil, fm)) {
+			return false
+		}
+		nested := map[string]map[string]float64{"a": fm, "b": nil}
+		return SizeNestedFloatMap(nested) == len(AppendNestedFloatMap(nil, nested))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternerDedupsAndResets(t *testing.T) {
+	var in Interner
+	a := in.Intern([]byte("field"))
+	b := in.Intern([]byte("field"))
+	if a != b {
+		t.Fatal("interner returned different values for equal input")
+	}
+	// Same backing string instance (pointer equality via unsafe-free check:
+	// interning must not grow the table for a hit).
+	if len(in.m) != 1 {
+		t.Fatalf("table has %d entries after two hits of one string", len(in.m))
+	}
+	// Fill past the cap: the table must reset, not grow without bound.
+	for i := 0; i < maxInterned+10; i++ {
+		in.Intern([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	if len(in.m) > maxInterned {
+		t.Fatalf("interner table grew to %d > cap %d", len(in.m), maxInterned)
+	}
+	// The returned string must not alias the (mutable) input buffer.
+	buf := []byte("mutate-me")
+	s := in.Intern(buf)
+	buf[0] = 'X'
+	if s != "mutate-me" {
+		t.Fatalf("interned string aliases caller buffer: %q", s)
+	}
+}

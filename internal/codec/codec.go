@@ -3,6 +3,11 @@
 // state migration. Determinism (sorted map keys) makes serialized sizes —
 // and therefore the paper's migration-cost model mc_k = α·|σ_k| —
 // reproducible across runs.
+//
+// The batch framing (EncodeBatch / AppendBatchItem / DecodeBatch) packs many
+// encoded items into one length-prefixed frame so cross-node deliveries
+// amortize framing and allocation over N items instead of paying per item;
+// GetBuf/PutBuf recycle frame buffers through a sync.Pool.
 package codec
 
 import (
@@ -10,7 +15,77 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
+
+// ---------------------------------------------------------------------------
+// Batch framing with buffer pooling.
+
+// maxPooledBuf caps the capacity of buffers returned to the pool so one
+// pathological frame cannot pin memory forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns an empty byte buffer from the pool. Pair with PutBuf once
+// every slice derived from the buffer has been consumed or copied.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer to the pool. The caller must not retain any slice
+// aliasing b afterwards: the next GetBuf may hand the same backing array to
+// another encoder.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// AppendBatchItem appends one length-prefixed item to a batch frame under
+// construction. A frame is simply the concatenation of its items; an empty
+// frame is a valid empty batch.
+func AppendBatchItem(dst, item []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(item)))
+	return append(dst, item...)
+}
+
+// EncodeBatch frames items into dst in one call (equivalent to folding
+// AppendBatchItem over items).
+func EncodeBatch(dst []byte, items ...[]byte) []byte {
+	for _, it := range items {
+		dst = AppendBatchItem(dst, it)
+	}
+	return dst
+}
+
+// DecodeBatch iterates the items of a frame built by AppendBatchItem /
+// EncodeBatch, calling fn with each item in order. The item slice aliases b:
+// callers that outlive the frame buffer (e.g. before PutBuf) must copy what
+// they keep. Decoding stops at the first error.
+func DecodeBatch(b []byte, fn func(item []byte) error) error {
+	for len(b) > 0 {
+		n, rest, err := ReadUvarint(b)
+		if err != nil {
+			return fmt.Errorf("codec: batch item length: %w", err)
+		}
+		if uint64(len(rest)) < n {
+			return fmt.Errorf("codec: short batch item (%d of %d bytes)", len(rest), n)
+		}
+		if err := fn(rest[:n]); err != nil {
+			return err
+		}
+		b = rest[n:]
+	}
+	return nil
+}
 
 // AppendUvarint appends x.
 func AppendUvarint(b []byte, x uint64) []byte {
@@ -71,9 +146,77 @@ func ReadString(b []byte) (string, []byte, error) {
 	return string(b[:n]), b[n:], nil
 }
 
+// smallMapN is the map size up to which the encoders sort keys in a
+// stack-allocated array (no per-encode allocation) instead of building and
+// sorting a heap slice. Tuple payloads are almost always this small.
+const smallMapN = 16
+
+// insertSorted appends k keeping keys sorted (insertion sort step).
+func insertSorted(keys []string, k string) []string {
+	keys = append(keys, k)
+	for i := len(keys) - 1; i > 0 && keys[i-1] > keys[i]; i-- {
+		keys[i-1], keys[i] = keys[i], keys[i-1]
+	}
+	return keys
+}
+
+// Interner dedups decoded strings: repeated field names, keys and low-
+// cardinality values decode to the same string without allocating. It is a
+// single-goroutine cache (one per decoder); the table resets when it exceeds
+// maxInterned entries so adversarial key streams cannot pin memory.
+type Interner struct {
+	m map[string]string
+}
+
+const maxInterned = 4096
+
+// Intern returns a string equal to b, reusing a previously-decoded instance
+// when possible. The returned string never aliases b.
+func (in *Interner) Intern(b []byte) string {
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	if s, ok := in.m[string(b)]; ok { // no-alloc lookup
+		return s
+	}
+	if len(in.m) >= maxInterned {
+		clear(in.m)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// ReadStringInterned reads a length-prefixed string through the interner.
+func ReadStringInterned(b []byte, in *Interner) (string, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("codec: short string (%d of %d bytes)", len(b), n)
+	}
+	return in.Intern(b[:n]), b[n:], nil
+}
+
 // AppendStringMap appends a map with sorted keys.
 func AppendStringMap(b []byte, m map[string]string) []byte {
 	b = AppendUvarint(b, uint64(len(m)))
+	if len(m) == 0 {
+		return b
+	}
+	if len(m) <= smallMapN {
+		var arr [smallMapN]string
+		keys := arr[:0]
+		for k := range m {
+			keys = insertSorted(keys, k)
+		}
+		for _, k := range keys {
+			b = AppendString(b, k)
+			b = AppendString(b, m[k])
+		}
+		return b
+	}
 	for _, k := range sortedKeys(m) {
 		b = AppendString(b, k)
 		b = AppendString(b, m[k])
@@ -108,6 +251,21 @@ func ReadStringMap(b []byte) (map[string]string, []byte, error) {
 // AppendFloatMap appends a map with sorted keys.
 func AppendFloatMap(b []byte, m map[string]float64) []byte {
 	b = AppendUvarint(b, uint64(len(m)))
+	if len(m) == 0 {
+		return b
+	}
+	if len(m) <= smallMapN {
+		var arr [smallMapN]string
+		keys := arr[:0]
+		for k := range m {
+			keys = insertSorted(keys, k)
+		}
+		for _, k := range keys {
+			b = AppendString(b, k)
+			b = AppendFloat64(b, m[k])
+		}
+		return b
+	}
 	for _, k := range sortedFloatKeys(m) {
 		b = AppendString(b, k)
 		b = AppendFloat64(b, m[k])
@@ -179,6 +337,54 @@ func ReadNestedFloatMap(b []byte) (map[string]map[string]float64, []byte, error)
 		m[k] = inner
 	}
 	return m, b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Size helpers: the exact encoded length of a value, computed without
+// building bytes (and, for maps, without sorting — length is order
+// independent). SizeX(m) == len(AppendX(nil, m)) by construction; the stats
+// path measures |σ_k| every period with these instead of re-encoding.
+
+// SizeUvarint returns the encoded length of x.
+func SizeUvarint(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// SizeString returns the encoded length of a length-prefixed string.
+func SizeString(s string) int {
+	return SizeUvarint(uint64(len(s))) + len(s)
+}
+
+// SizeStringMap returns the encoded length of AppendStringMap(nil, m).
+func SizeStringMap(m map[string]string) int {
+	n := SizeUvarint(uint64(len(m)))
+	for k, v := range m {
+		n += SizeString(k) + SizeString(v)
+	}
+	return n
+}
+
+// SizeFloatMap returns the encoded length of AppendFloatMap(nil, m).
+func SizeFloatMap(m map[string]float64) int {
+	n := SizeUvarint(uint64(len(m)))
+	for k := range m {
+		n += SizeString(k) + 8
+	}
+	return n
+}
+
+// SizeNestedFloatMap returns the encoded length of AppendNestedFloatMap(nil, m).
+func SizeNestedFloatMap(m map[string]map[string]float64) int {
+	n := SizeUvarint(uint64(len(m)))
+	for k, inner := range m {
+		n += SizeString(k) + SizeFloatMap(inner)
+	}
+	return n
 }
 
 func sortedKeys(m map[string]string) []string {

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Sender-side batching of cross-node deliveries. Every sender (each node
+// goroutine, and the engine goroutine running the sources) keeps one outbox
+// per destination node; tuples routed to a remote (destNode, op) are encoded
+// into the outbox's pooled frame buffer and shipped as a single dataBatchMsg
+// when the batch fills, the destination operator changes, or the sender
+// reaches an ordering point (a barrier or control message toward that node).
+// This amortizes the frame allocation and the mailbox lock over the batch
+// while keeping per-sender FIFO intact: a sender's flush always precedes its
+// barrier enqueue.
+const (
+	// flushBatchBytes / flushBatchTuples bound how much data a sender may
+	// buffer per destination before shipping, so batching adds bounded
+	// latency and memory.
+	flushBatchBytes  = 32 << 10
+	flushBatchTuples = 512
+)
+
+// outbox accumulates encoded tuple records bound for one destination node.
+// All buffered records belong to a single operator (op); the frame buffer is
+// leased from codec.GetBuf and ownership passes to the receiver with the
+// dataBatchMsg.
+type outbox struct {
+	op    int
+	count int
+	buf   []byte
+}
+
+// stage appends one (kg, tuple) record to the outbox frame and returns the
+// record's encoded length in bytes — the cost-model "wire bytes" of the
+// tuple, excluding the frame's per-item length prefix so sender-side
+// accounting matches what the receiver measures per decoded record.
+// scratch is a caller-owned reusable encode buffer.
+func (o *outbox) stage(kg int, t *Tuple, scratch *[]byte) int {
+	s := codec.AppendUvarint((*scratch)[:0], uint64(kg))
+	s = t.Encode(s)
+	*scratch = s
+	if o.buf == nil {
+		o.buf = codec.GetBuf()
+	}
+	o.buf = codec.AppendBatchItem(o.buf, s)
+	o.count++
+	return len(s)
+}
+
+// full reports whether the outbox reached a flush threshold.
+func (o *outbox) full() bool {
+	return o.count >= flushBatchTuples || len(o.buf) >= flushBatchBytes
+}
+
+// take detaches the accumulated frame as a ready-to-send message. It returns
+// ok=false when nothing is buffered.
+func (o *outbox) take(period int) (dataBatchMsg, bool) {
+	if o.count == 0 {
+		return dataBatchMsg{}, false
+	}
+	m := dataBatchMsg{op: o.op, period: period, count: o.count, encoded: o.buf}
+	o.buf, o.count = nil, 0
+	return m, true
+}
+
+// decodeBatch iterates the records of a dataBatchMsg frame: for each record
+// it yields the key group, the decoded tuple and the record's wire length.
+// Strings decode through the receiver's interner.
+func decodeBatch(encoded []byte, in *codec.Interner, fn func(kg int, t *Tuple, wire int)) error {
+	return codec.DecodeBatch(encoded, func(item []byte) error {
+		kg, rest, err := codec.ReadUvarint(item)
+		if err != nil {
+			return fmt.Errorf("engine: batch record kg: %w", err)
+		}
+		t, err := decodeTupleInterned(rest, in)
+		if err != nil {
+			return err
+		}
+		fn(int(kg), t, len(item))
+		return nil
+	})
+}

@@ -237,15 +237,41 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 	}
 	migsExpected := len(staged)
 
-	// Phase 3: run sources on the engine (input-node) goroutine.
+	// Phase 3: run sources on the engine (input-node) goroutine. Source
+	// emissions go through the same per-(dest, op) batching as node-to-node
+	// traffic; the flush below precedes the source barriers, preserving the
+	// per-sender FIFO invariant for the engine as a sender.
+	srcOuts := make([]*outbox, len(e.nodes))
+	var srcScratch []byte
+	srcBatches := int64(0)
+	flushSrc := func(dest int) {
+		if srcOuts[dest] == nil {
+			return
+		}
+		if m, ok := srcOuts[dest].take(e.period); ok {
+			srcBatches++
+			e.nodes[dest].mb.put(m)
+		}
+	}
 	var srcErr error
 	for si, src := range e.topo.sources {
 		emit := func(t *Tuple) {
 			for _, op := range e.topo.srcEdges[si] {
 				kg := rt.keyGroup(op, t.Key)
 				dest := rt.nodeOf(op, kg)
-				enc := t.Encode(nil)
-				e.nodes[dest].mb.put(dataMsg{op: op, kg: kg, fromGID: -1, encoded: enc, period: e.period})
+				ob := srcOuts[dest]
+				if ob == nil {
+					ob = &outbox{}
+					srcOuts[dest] = ob
+				}
+				if ob.count > 0 && ob.op != op {
+					flushSrc(dest)
+				}
+				ob.op = op
+				ob.stage(kg, t, &srcScratch)
+				if ob.full() {
+					flushSrc(dest)
+				}
 			}
 		}
 		func() {
@@ -259,6 +285,9 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 		if srcErr != nil {
 			return nil, srcErr
 		}
+	}
+	for dest := range srcOuts {
+		flushSrc(dest)
 	}
 	// Source barriers, then synthetic barriers for input-less ops.
 	for si := range e.topo.sources {
@@ -306,6 +335,7 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 		NodeUnits:        make([]float64, len(e.nodes)),
 		Migrations:       migsExpected,
 		MigrationLatency: float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
+		BatchesCrossNode: srcBatches,
 	}
 	for i, n := range e.nodes {
 		if e.removed[i] {
@@ -327,6 +357,7 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 			ps.Comm[p] += v
 		}
 		ps.BytesCrossNode += n.stats.bytesOut
+		ps.BatchesCrossNode += n.stats.batchesOut
 		for gid, st := range n.states {
 			ps.StateBytes[gid] = st.Size()
 		}

@@ -5,15 +5,16 @@ import "sync"
 // message is anything deliverable to a node's mailbox.
 type message interface{ isMessage() }
 
-// dataMsg carries one tuple to (op, kg). Exactly one of tuple / encoded is
-// set: node-local deliveries pass the pointer, cross-node deliveries carry
-// serialized bytes (the engine really pays the serialization).
-type dataMsg struct {
-	op, kg  int
-	fromGID int // emitting key group's global id (-1 for source input)
-	tuple   *Tuple
-	encoded []byte
+// dataBatchMsg carries count tuples for operator op in one frame: a codec
+// batch of records, each record being uvarint(kg) followed by the encoded
+// tuple. Cross-node deliveries pay serialization once per record but amortize
+// the frame, the allocation (encoded comes from codec.GetBuf and is returned
+// to the pool by the receiver) and the mailbox lock over the whole batch.
+type dataBatchMsg struct {
+	op      int
 	period  int
+	count   int
+	encoded []byte
 }
 
 // barrierMsg signals that sender instance (an upstream operator on one node,
@@ -39,20 +40,29 @@ type migrateOutMsg struct {
 // stopMsg terminates the node goroutine.
 type stopMsg struct{}
 
-func (dataMsg) isMessage()       {}
+func (dataBatchMsg) isMessage()  {}
 func (barrierMsg) isMessage()    {}
 func (stateMsg) isMessage()      {}
 func (migrateOutMsg) isMessage() {}
 func (stopMsg) isMessage()       {}
 
-// mailbox is an unbounded MPSC queue. Unboundedness removes any possibility
-// of cross-node backpressure deadlock; per-sender FIFO order (which the
-// barrier protocol relies on) is preserved because each sender enqueues from
-// a single goroutine under one lock.
+// mailbox is an unbounded batch-oriented MPSC queue. Unboundedness removes
+// any possibility of cross-node backpressure deadlock. Producers append one
+// message (put) or a whole slice (putBatch) under a single lock acquisition;
+// the consumer takes ownership of the entire queued backlog per wakeup
+// (drain) instead of locking once per message, and hands its spent buffer
+// back so the producer side reuses it for the next backlog.
+//
+// FIFO invariant: messages from one sender goroutine are delivered in send
+// order, because each sender enqueues from a single goroutine and every
+// enqueue appends atomically under the lock. The barrier protocol relies on
+// exactly this: a sender's barrierMsg, enqueued after its last data batch,
+// is drained after it. No ordering is guaranteed between different senders.
 type mailbox struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
 	q      []message
+	spare  []message // recycled consumer buffer, becomes the next q
 	closed bool
 }
 
@@ -62,30 +72,55 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues msg. Puts after close are dropped.
+// put enqueues one message. Puts after close are dropped.
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
 	if !m.closed {
+		if len(m.q) == 0 {
+			m.nonEmp.Signal()
+		}
 		m.q = append(m.q, msg)
-		m.nonEmp.Signal()
 	}
 	m.mu.Unlock()
 }
 
-// get blocks until a message is available or the mailbox is closed.
-func (m *mailbox) get() (message, bool) {
+// putBatch enqueues a slice of messages under one lock acquisition,
+// preserving slice order. Puts after close are dropped. The slice is copied;
+// the caller may reuse it.
+func (m *mailbox) putBatch(msgs []message) {
+	if len(msgs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if !m.closed {
+		if len(m.q) == 0 {
+			m.nonEmp.Signal()
+		}
+		m.q = append(m.q, msgs...)
+	}
+	m.mu.Unlock()
+}
+
+// drain blocks until messages are available (or the mailbox is closed and
+// empty) and returns the whole backlog, transferring ownership to the
+// caller. recycled is the caller's previous batch (element references already
+// cleared); it becomes the queue's next append buffer. After close, drain
+// first delivers any remaining backlog, then reports false.
+func (m *mailbox) drain(recycled []message) ([]message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if recycled != nil && m.spare == nil {
+		m.spare = recycled[:0]
+	}
 	for len(m.q) == 0 && !m.closed {
 		m.nonEmp.Wait()
 	}
 	if len(m.q) == 0 {
 		return nil, false
 	}
-	msg := m.q[0]
-	m.q[0] = nil
-	m.q = m.q[1:]
-	return msg, true
+	batch := m.q
+	m.q, m.spare = m.spare, nil
+	return batch, true
 }
 
 // close wakes the consumer and rejects further puts.

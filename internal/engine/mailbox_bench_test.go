@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkMailbox isolates the MPSC queue: 4 senders blast messages at one
+// draining receiver. The batched variant stages 64 messages per putBatch —
+// one lock acquisition per 64 sends — while the unbatched variant pays one
+// lock per message; both drain whole backlogs per wakeup.
+func benchmarkMailbox(b *testing.B, batchSize int) {
+	const senders = 4
+	mb := newMailbox()
+	var wg sync.WaitGroup
+	per := b.N/senders + 1
+	b.ResetTimer()
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if batchSize <= 1 {
+				for i := 0; i < per; i++ {
+					mb.put(testMsg{sender: s, seq: i})
+				}
+				return
+			}
+			batch := make([]message, 0, batchSize)
+			for i := 0; i < per; i++ {
+				batch = append(batch, testMsg{sender: s, seq: i})
+				if len(batch) == batchSize {
+					mb.putBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			mb.putBatch(batch)
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		mb.close()
+	}()
+	count := 0
+	var batch []message
+	for {
+		var ok bool
+		batch, ok = mb.drain(batch)
+		if !ok {
+			break
+		}
+		for i := range batch {
+			batch[i] = nil
+			count++
+		}
+	}
+	b.StopTimer()
+	if count != senders*per {
+		b.Fatalf("received %d of %d", count, senders*per)
+	}
+}
+
+func BenchmarkMailbox(b *testing.B)          { benchmarkMailbox(b, 64) }
+func BenchmarkMailboxUnbatched(b *testing.B) { benchmarkMailbox(b, 1) }

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/codec"
 )
 
 // periodStartMsg arms a node for one period: routing snapshot, expected
@@ -44,7 +46,12 @@ type node struct {
 	// potcSent tracks, per candidate key group, how much work this sender
 	// instance has routed there (PoTC balances the work each sender emits
 	// downstream using local knowledge).
-	potcSent map[int]float64
+	potcSent []float64
+	// emitters caches the Emit closure per emitting gid (one closure per
+	// group instead of one per processed tuple).
+	emitters []Emit
+	// intern dedups strings decoded from cross-node frames.
+	intern codec.Interner
 
 	period      int
 	router      *routerTable
@@ -53,11 +60,15 @@ type node struct {
 	flushed     []bool
 	awaitByOp   []int // per op: outstanding in-bound migrations
 
-	stats   *nodeStats
+	stats *nodeStats
+	// outs[dest] batches this node's cross-node deliveries (see batch.go);
+	// owned exclusively by the node goroutine, grown lazily as nodes appear.
+	outs    []*outbox
 	scratch []byte
 }
 
 func newNode(id int, eng *Engine) *node {
+	numGroups := eng.topo.NumGroups()
 	return &node{
 		id:       id,
 		eng:      eng,
@@ -65,32 +76,71 @@ func newNode(id int, eng *Engine) *node {
 		states:   map[int]*State{},
 		pending:  map[int][]*Tuple{},
 		awaitIn:  map[int]bool{},
-		potcSent: map[int]float64{},
-		stats:    newNodeStats(),
+		potcSent: make([]float64, numGroups),
+		emitters: make([]Emit, numGroups),
+		stats:    newNodeStats(numGroups),
 	}
 }
 
-// run is the node goroutine main loop.
+// run is the node goroutine main loop: it drains the mailbox's whole backlog
+// per wakeup and processes the batch in order, recycling the spent slice.
 func (n *node) run() {
+	var batch []message
 	for {
-		msg, ok := n.mb.get()
+		var ok bool
+		batch, ok = n.mb.drain(batch)
 		if !ok {
 			return
 		}
-		switch m := msg.(type) {
-		case stopMsg:
-			return
-		case periodStartMsg:
-			n.startPeriod(m)
-		case dataMsg:
-			n.onData(m)
-		case barrierMsg:
-			n.onBarrier(m)
-		case stateMsg:
-			n.onState(m)
-		case migrateOutMsg:
-			n.onMigrateOut(m)
+		for i, msg := range batch {
+			batch[i] = nil // release the reference for the recycled buffer
+			switch m := msg.(type) {
+			case stopMsg:
+				return
+			case periodStartMsg:
+				n.startPeriod(m)
+			case dataBatchMsg:
+				n.onDataBatch(m)
+			case barrierMsg:
+				n.onBarrier(m)
+			case stateMsg:
+				n.onState(m)
+			case migrateOutMsg:
+				n.onMigrateOut(m)
+			}
 		}
+	}
+}
+
+// outFor returns the outbox for destination node dest, growing the table as
+// nodes are added.
+func (n *node) outFor(dest int) *outbox {
+	for len(n.outs) <= dest {
+		n.outs = append(n.outs, nil)
+	}
+	if n.outs[dest] == nil {
+		n.outs[dest] = &outbox{}
+	}
+	return n.outs[dest]
+}
+
+// flushOut ships the outbox for dest (if non-empty) as one dataBatchMsg.
+func (n *node) flushOut(dest int) {
+	if dest >= len(n.outs) || n.outs[dest] == nil {
+		return
+	}
+	if m, ok := n.outs[dest].take(n.period); ok {
+		n.stats.batchesOut++
+		n.eng.nodes[dest].mb.put(m)
+	}
+}
+
+// flushAllOut ships every non-empty outbox. Must be called before enqueuing
+// any message that has to be ordered after this node's data (barriers), so
+// the per-sender FIFO invariant extends through sender-side batching.
+func (n *node) flushAllOut() {
+	for dest := range n.outs {
+		n.flushOut(dest)
 	}
 }
 
@@ -124,32 +174,34 @@ func (n *node) onMigrateOut(m migrateOutMsg) {
 		delete(n.states, gid)
 	}
 	n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
+	// Flush buffered data for dest first so every message this sender ever
+	// enqueues there stays in send order (uniform FIFO, not strictly needed
+	// by the awaitIn protocol but what the documented invariant promises).
+	n.flushOut(m.dest)
 	n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
 	n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
 }
 
-func (n *node) onData(m dataMsg) {
-	gid := n.eng.topo.GID(m.op, m.kg)
-	t := m.tuple
-	if t == nil {
-		// Cross-node delivery: pay deserialization.
-		var err error
-		t, err = DecodeTuple(m.encoded)
-		if err != nil {
-			n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+// onDataBatch decodes one cross-node frame and processes its tuples in
+// order, paying deserialization per record. The frame buffer goes back to
+// the codec pool afterwards (DecodeTuple copies everything out of it).
+func (n *node) onDataBatch(m dataBatchMsg) {
+	err := decodeBatch(m.encoded, &n.intern, func(kg int, t *Tuple, wire int) {
+		gid := n.eng.topo.GID(m.op, kg)
+		n.stats.bytesIn += int64(wire)
+		n.stats.addUnits(gid, float64(wire)*n.eng.cfg.DeserCostPerByte)
+		if n.awaitIn[gid] {
+			// Direct state migration: the group's state has not arrived
+			// yet; buffer and replay on arrival.
+			n.pending[gid] = append(n.pending[gid], t)
 			return
 		}
-		bytes := len(m.encoded)
-		n.stats.bytesIn += int64(bytes)
-		n.stats.addUnits(gid, float64(bytes)*n.eng.cfg.DeserCostPerByte)
+		n.process(m.op, kg, gid, t)
+	})
+	if err != nil {
+		n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
 	}
-	if n.awaitIn[gid] {
-		// Direct state migration: the group's state has not arrived yet;
-		// buffer and replay on arrival.
-		n.pending[gid] = append(n.pending[gid], t)
-		return
-	}
-	n.process(m.op, m.kg, gid, t)
+	codec.PutBuf(m.encoded)
 }
 
 func (n *node) process(op, kg, gid int, t *Tuple) {
@@ -243,6 +295,9 @@ func (n *node) maybeFlush(op int) {
 	}
 	n.flushed[op] = true
 	// Propagate barriers downstream: this instance is done for the period.
+	// Ship every buffered data batch first — a barrier must never overtake
+	// data this sender staged before it (per-sender FIFO invariant).
+	n.flushAllOut()
 	for _, e := range n.eng.topo.opEdges[op] {
 		for _, host := range n.router.hosts[e.op] {
 			n.sendBarrier(host, e.op)
@@ -262,14 +317,20 @@ func (n *node) sendBarrier(host, op int) {
 }
 
 // emitFrom returns the Emit closure for (op, gid): it routes the tuple to
-// every downstream operator of op.
+// every downstream operator of op. Closures are cached per gid — the Emit
+// for a group is identical across tuples, so the hot path allocates none.
 func (n *node) emitFrom(op, fromGID int) Emit {
-	return func(t *Tuple) {
+	if e := n.emitters[fromGID]; e != nil {
+		return e
+	}
+	e := func(t *Tuple) {
 		n.stats.groupTuplesOut[fromGID]++
 		for _, e := range n.eng.topo.opEdges[op] {
 			n.routeTo(e, fromGID, t)
 		}
 	}
+	n.emitters[fromGID] = e
+	return e
 }
 
 // routeTo delivers t to downstream edge e.
@@ -307,10 +368,18 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 		n.process(e.op, localKG, toGID, t)
 		return
 	}
-	// Cross-node edge: pay serialization, ship bytes.
-	n.scratch = t.Encode(n.scratch[:0])
-	enc := append([]byte(nil), n.scratch...)
-	n.stats.bytesOut += int64(len(enc))
-	n.stats.addUnits(fromGID, float64(len(enc))*n.eng.cfg.SerCostPerByte)
-	n.eng.nodes[dest].mb.put(dataMsg{op: e.op, kg: kg, fromGID: fromGID, encoded: enc, period: n.period})
+	// Cross-node edge: pay serialization, stage into the per-destination
+	// batch. Batches are per (dest, op): switching operators ships the
+	// previous batch so a frame never mixes operators.
+	ob := n.outFor(dest)
+	if ob.count > 0 && ob.op != e.op {
+		n.flushOut(dest)
+	}
+	ob.op = e.op
+	wire := ob.stage(kg, t, &n.scratch)
+	n.stats.bytesOut += int64(wire)
+	n.stats.addUnits(fromGID, float64(wire)*n.eng.cfg.SerCostPerByte)
+	if ob.full() {
+		n.flushOut(dest)
+	}
 }

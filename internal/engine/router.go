@@ -15,6 +15,9 @@ type routerTable struct {
 	hosts [][]int
 	// localKGs[node][op] = local key-group ids (sorted).
 	localKGs []map[int][]int
+	// kgCount[op] caches the operator's key-group count for the per-tuple
+	// hashing hot path.
+	kgCount []uint64
 }
 
 // newRouterTable builds the routing snapshot for an allocation.
@@ -24,6 +27,10 @@ func newRouterTable(topo *Topology, groupNode []int, numNodes int) *routerTable 
 		groupNode: append([]int(nil), groupNode...),
 		hosts:     make([][]int, len(topo.ops)),
 		localKGs:  make([]map[int][]int, numNodes),
+		kgCount:   make([]uint64, len(topo.ops)),
+	}
+	for op := range topo.ops {
+		rt.kgCount[op] = uint64(topo.ops[op].KeyGroups)
 	}
 	for n := 0; n < numNodes; n++ {
 		rt.localKGs[n] = map[int][]int{}
@@ -44,12 +51,12 @@ func newRouterTable(topo *Topology, groupNode []int, numNodes int) *routerTable 
 
 // keyGroup returns the canonical key group of key within op.
 func (rt *routerTable) keyGroup(op int, key string) int {
-	return int(codec.Hash(key) % uint64(rt.topo.ops[op].KeyGroups))
+	return int(codec.Hash(key) % rt.kgCount[op])
 }
 
 // altKeyGroup returns the second-choice key group (PoTC).
 func (rt *routerTable) altKeyGroup(op int, key string) int {
-	return int(codec.Hash2(key) % uint64(rt.topo.ops[op].KeyGroups))
+	return int(codec.Hash2(key) % rt.kgCount[op])
 }
 
 // nodeOf returns the node hosting (op, kg).

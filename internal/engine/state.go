@@ -94,9 +94,13 @@ func (s *State) Encode(buf []byte) []byte {
 	return buf
 }
 
-// Size returns |σ|: the serialized size in bytes.
+// Size returns |σ|: the serialized size in bytes. It is computed
+// arithmetically (no encode, no sort) — encoded length is independent of
+// key order, so Size() == len(Encode(nil)) always.
 func (s *State) Size() int {
-	return len(s.Encode(nil))
+	return codec.SizeFloatMap(s.Nums) +
+		codec.SizeStringMap(s.Strs) +
+		codec.SizeNestedFloatMap(s.Tables)
 }
 
 // DecodeState reads a state written by Encode.

@@ -12,15 +12,19 @@ import (
 // concurrently from other nodes.
 type nodeStats struct {
 	// groupUnits[gid] = cost units attributed to that key group this period
-	// (processing + serialization + deserialization).
-	groupUnits map[int]float64
+	// (processing + serialization + deserialization). Dense per-gid slices,
+	// not maps: these are incremented for every tuple on the hot path.
+	groupUnits []float64
 	// groupTuplesIn / Out count tuples per key group.
-	groupTuplesIn  map[int]int64
-	groupTuplesOut map[int]int64
+	groupTuplesIn  []int64
+	groupTuplesOut []int64
 	// comm[{from,to}] = tuples sent from key group `from` to key group `to`.
 	comm map[core.Pair]float64
 	// bytesOut / bytesIn count serialized bytes crossing node boundaries.
 	bytesOut, bytesIn int64
+	// batchesOut counts cross-node frames shipped (each amortizing one
+	// allocation and one mailbox lock over its tuples).
+	batchesOut int64
 	// migUnits is the CPU spent serializing/deserializing migrated state.
 	// It counts toward node load (the paper's load-index measurements
 	// include migration overhead — COLA's weakness) but not toward any key
@@ -33,11 +37,11 @@ type nodeStats struct {
 
 func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
 
-func newNodeStats() *nodeStats {
+func newNodeStats(numGroups int) *nodeStats {
 	return &nodeStats{
-		groupUnits:     map[int]float64{},
-		groupTuplesIn:  map[int]int64{},
-		groupTuplesOut: map[int]int64{},
+		groupUnits:     make([]float64, numGroups),
+		groupTuplesIn:  make([]int64, numGroups),
+		groupTuplesOut: make([]int64, numGroups),
 		comm:           map[core.Pair]float64{},
 	}
 }
@@ -53,11 +57,12 @@ func (s *nodeStats) addMigUnits(units float64) {
 }
 
 func (s *nodeStats) reset() {
-	s.groupUnits = map[int]float64{}
-	s.groupTuplesIn = map[int]int64{}
-	s.groupTuplesOut = map[int]int64{}
+	clear(s.groupUnits)
+	clear(s.groupTuplesIn)
+	clear(s.groupTuplesOut)
 	s.comm = map[core.Pair]float64{}
 	s.bytesOut, s.bytesIn = 0, 0
+	s.batchesOut = 0
 	s.migUnits = 0
 	s.nodeUnits.Store(0)
 }
@@ -78,6 +83,10 @@ type PeriodStats struct {
 	TuplesIn, TuplesOut int64
 	// BytesCrossNode is the serialized volume between nodes.
 	BytesCrossNode int64
+	// BatchesCrossNode is the number of cross-node frames those bytes rode
+	// in (sources included); BytesCrossNode/BatchesCrossNode is the realized
+	// amortization of the batched data path.
+	BatchesCrossNode int64
 	// Migrations performed when entering this period, and their modeled
 	// latency (seconds of paused processing, Σ over migrated groups).
 	Migrations       int

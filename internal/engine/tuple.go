@@ -2,12 +2,17 @@
 // style of Apache Storm, as required by the paper's execution model
 // (Section 3): jobs are DAGs of operators, each parallelized over key
 // groups with independent computation state; worker nodes are goroutines
-// exchanging tuples through mailboxes; tuples crossing node boundaries are
-// really serialized and deserialized (and the cost accounted), while
-// node-local edges are free — which is exactly the saving that collocation
-// (ALBIC) exploits. The engine supports direct state migration [27], the
-// statistics the controller needs (per-key-group loads, state sizes and the
-// out(gi,gj) communication matrix), horizontal scaling, and two-choice
+// exchanging tuples through batch-oriented mailboxes; tuples crossing node
+// boundaries are really serialized and deserialized (and the cost
+// accounted), while node-local edges are free — which is exactly the saving
+// that collocation (ALBIC) exploits. Cross-node deliveries are batched per
+// (destination node, operator): senders stage encoded tuples in per-
+// destination outboxes and ship one pooled frame per batch, so the frame
+// allocation and the mailbox lock amortize over many tuples (see batch.go
+// and mailbox.go; the per-sender FIFO invariant the barrier protocol needs
+// is documented there). The engine supports direct state migration [27],
+// the statistics the controller needs (per-key-group loads, state sizes and
+// the out(gi,gj) communication matrix), horizontal scaling, and two-choice
 // (PoTC) routing for the baseline comparison.
 package engine
 
@@ -17,68 +22,186 @@ import (
 	"repro/internal/codec"
 )
 
+// strField / numField are single payload fields. The field vectors of a
+// Tuple are kept sorted by name, so encoding is deterministic without
+// sorting and lookups scan a handful of entries — tuple payloads are small,
+// and vectors avoid the two map allocations per tuple that dominated the
+// decode hot path.
+type strField struct {
+	K string
+	V string
+}
+
+type numField struct {
+	K string
+	V float64
+}
+
 // Tuple is the engine's data unit: ⟨key, value, ts⟩ with the value split
 // into string and numeric fields (both opaque to the engine, per the
-// paper's data model).
+// paper's data model). Access fields with Str/Num/HasStr/HasNum and build
+// tuples with WithStr/WithNum.
 type Tuple struct {
 	// Key partitions the downstream operator's input.
 	Key string
-	// Strs and Nums carry the tuple's payload fields.
-	Strs map[string]string
-	Nums map[string]float64
+	// strs and nums carry the payload fields, sorted by name.
+	strs []strField
+	nums []numField
 	// TS is the event timestamp. The engine processes out of order within a
 	// period (Section 3, Processing Order).
 	TS int64
 }
 
 // Str returns a string field ("" if absent).
-func (t *Tuple) Str(name string) string { return t.Strs[name] }
+func (t *Tuple) Str(name string) string {
+	for i := range t.strs {
+		if t.strs[i].K == name {
+			return t.strs[i].V
+		}
+	}
+	return ""
+}
 
 // Num returns a numeric field (0 if absent).
-func (t *Tuple) Num(name string) float64 { return t.Nums[name] }
+func (t *Tuple) Num(name string) float64 {
+	for i := range t.nums {
+		if t.nums[i].K == name {
+			return t.nums[i].V
+		}
+	}
+	return 0
+}
 
-// WithStr sets a string field, allocating the map on first use.
+// HasStr reports whether the string field is present.
+func (t *Tuple) HasStr(name string) bool {
+	for i := range t.strs {
+		if t.strs[i].K == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNum reports whether the numeric field is present.
+func (t *Tuple) HasNum(name string) bool {
+	for i := range t.nums {
+		if t.nums[i].K == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WithStr sets a string field, keeping fields sorted by name.
 func (t *Tuple) WithStr(name, v string) *Tuple {
-	if t.Strs == nil {
-		t.Strs = map[string]string{}
+	i := 0
+	for i < len(t.strs) && t.strs[i].K < name {
+		i++
 	}
-	t.Strs[name] = v
+	if i < len(t.strs) && t.strs[i].K == name {
+		t.strs[i].V = v
+		return t
+	}
+	t.strs = append(t.strs, strField{})
+	copy(t.strs[i+1:], t.strs[i:])
+	t.strs[i] = strField{K: name, V: v}
 	return t
 }
 
-// WithNum sets a numeric field, allocating the map on first use.
+// WithNum sets a numeric field, keeping fields sorted by name.
 func (t *Tuple) WithNum(name string, v float64) *Tuple {
-	if t.Nums == nil {
-		t.Nums = map[string]float64{}
+	i := 0
+	for i < len(t.nums) && t.nums[i].K < name {
+		i++
 	}
-	t.Nums[name] = v
+	if i < len(t.nums) && t.nums[i].K == name {
+		t.nums[i].V = v
+		return t
+	}
+	t.nums = append(t.nums, numField{})
+	copy(t.nums[i+1:], t.nums[i:])
+	t.nums[i] = numField{K: name, V: v}
 	return t
 }
 
-// Encode serializes the tuple (appended to buf).
+// NumFields returns the number of payload fields (both kinds).
+func (t *Tuple) NumFields() int { return len(t.strs) + len(t.nums) }
+
+// Encode serializes the tuple (appended to buf). The wire format is
+// identical to the historical map-based encoding: counts followed by
+// name-sorted pairs.
 func (t *Tuple) Encode(buf []byte) []byte {
 	buf = codec.AppendString(buf, t.Key)
 	buf = codec.AppendInt64(buf, t.TS)
-	buf = codec.AppendStringMap(buf, t.Strs)
-	buf = codec.AppendFloatMap(buf, t.Nums)
+	buf = codec.AppendUvarint(buf, uint64(len(t.strs)))
+	for _, f := range t.strs {
+		buf = codec.AppendString(buf, f.K)
+		buf = codec.AppendString(buf, f.V)
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(t.nums)))
+	for _, f := range t.nums {
+		buf = codec.AppendString(buf, f.K)
+		buf = codec.AppendFloat64(buf, f.V)
+	}
 	return buf
 }
 
 // DecodeTuple reads one tuple from b.
 func DecodeTuple(b []byte) (*Tuple, error) {
+	return decodeTuple(b, nil)
+}
+
+// decodeTupleInterned is DecodeTuple for the receive hot path: the tuple's
+// key, field names and string values go through the decoder's interner, so
+// the repeated strings of a stream decode without allocating. The decoded
+// tuple never aliases b.
+func decodeTupleInterned(b []byte, in *codec.Interner) (*Tuple, error) {
+	return decodeTuple(b, in)
+}
+
+func decodeTuple(b []byte, in *codec.Interner) (*Tuple, error) {
+	readString := codec.ReadString
+	if in != nil {
+		readString = func(b []byte) (string, []byte, error) {
+			return codec.ReadStringInterned(b, in)
+		}
+	}
 	t := &Tuple{}
 	var err error
-	if t.Key, b, err = codec.ReadString(b); err != nil {
+	if t.Key, b, err = readString(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple key: %w", err)
 	}
 	if t.TS, b, err = codec.ReadInt64(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple ts: %w", err)
 	}
-	if t.Strs, b, err = codec.ReadStringMap(b); err != nil {
+	var n uint64
+	if n, b, err = codec.ReadUvarint(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple strs: %w", err)
 	}
-	if t.Nums, _, err = codec.ReadFloatMap(b); err != nil {
+	if n > 0 {
+		t.strs = make([]strField, n)
+		for i := range t.strs {
+			if t.strs[i].K, b, err = readString(b); err != nil {
+				return nil, fmt.Errorf("engine: decode tuple strs: %w", err)
+			}
+			if t.strs[i].V, b, err = readString(b); err != nil {
+				return nil, fmt.Errorf("engine: decode tuple strs: %w", err)
+			}
+		}
+	}
+	if n, b, err = codec.ReadUvarint(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple nums: %w", err)
+	}
+	if n > 0 {
+		t.nums = make([]numField, n)
+		for i := range t.nums {
+			if t.nums[i].K, b, err = readString(b); err != nil {
+				return nil, fmt.Errorf("engine: decode tuple nums: %w", err)
+			}
+			if t.nums[i].V, b, err = codec.ReadFloat64(b); err != nil {
+				return nil, fmt.Errorf("engine: decode tuple nums: %w", err)
+			}
+		}
 	}
 	return t, nil
 }

@@ -57,11 +57,16 @@ func runAdaptive(spec runSpec) (*runMetrics, error) {
 		if p == 0 {
 			e.CalibrateCapacity(spec.targetAvgLoad)
 		}
+		recording := p >= spec.warmup
+		if !recording && spec.balancer == nil {
+			// Nobody consumes the snapshot during an unbalanced warm-up
+			// period; skip building it.
+			continue
+		}
 		snap, err := e.Snapshot()
 		if err != nil {
 			return nil, err
 		}
-		recording := p >= spec.warmup
 		if recording {
 			if baseAvg == 0 {
 				if avg := snap.AverageLoad(); avg > 0 {

@@ -46,6 +46,9 @@ func findSeries(p Panel, label string) Series {
 }
 
 func TestFig2ShapesMILPBeatsFlux(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweep experiment")
+	}
 	res := Fig2(Opts{Seed: 1})
 	if len(res.Panels) != 4 {
 		t.Fatalf("panels = %d, want 4 (one per maxMigrations)", len(res.Panels))
@@ -155,6 +158,9 @@ func TestFig8And9QualityOverheadTradeoff(t *testing.T) {
 }
 
 func TestFig10ALBICBeatsCOLA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collocation sweep experiment")
+	}
 	res := Fig10(Opts{Seed: 6})
 	p := res.Panels[0]
 	aCol := findSeries(p, "Collocate (ALBIC)")

@@ -19,6 +19,28 @@ import (
 	"repro/internal/engine"
 )
 
+// nameTable lazily memoizes formatted identifier strings so the generators
+// do not re-format (and re-allocate) the same id for every tuple; with
+// Zipf-skewed ids the hot head of the table is hit almost every time.
+type nameTable struct {
+	format string
+	names  []string
+}
+
+func newNameTable(format string, n int) *nameTable {
+	return &nameTable{format: format, names: make([]string, n)}
+}
+
+func (t *nameTable) name(i int) string {
+	if i < 0 || i >= len(t.names) {
+		return fmt.Sprintf(t.format, i)
+	}
+	if t.names[i] == "" {
+		t.names[i] = fmt.Sprintf(t.format, i)
+	}
+	return t.names[i]
+}
+
 // WikipediaConfig tunes the Wikipedia edit-history simulator.
 type WikipediaConfig struct {
 	// Articles is the size of the article universe (default 20000).
@@ -62,15 +84,18 @@ func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x11aa))
 	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Articles-1))
+	articles := newNameTable("article-%06d", cfg.Articles)
+	editors := newNameTable("editor-%04d", 5000)
+	geos := newNameTable("dk-%02d", 100)
 	return func(period int, emit engine.Emit) {
 		drift := 1 + cfg.Fluctuation*math.Sin(float64(period)/7)
 		noise := 1 + cfg.Fluctuation*0.4*(rng.Float64()*2-1)
 		n := int(float64(cfg.BaseRate) * drift * noise)
 		for i := 0; i < n; i++ {
-			article := fmt.Sprintf("article-%06d", zipf.Uint64())
+			article := articles.name(int(zipf.Uint64()))
 			t := &engine.Tuple{Key: article, TS: int64(period*1_000_000 + i)}
-			t.WithStr("editor", fmt.Sprintf("editor-%04d", rng.Intn(5000)))
-			t.WithStr("geo", fmt.Sprintf("dk-%02d", rng.Intn(100)))
+			t.WithStr("editor", editors.name(rng.Intn(5000)))
+			t.WithStr("geo", geos.name(rng.Intn(100)))
 			t.WithNum("bytes", float64(10+rng.Intn(2000)))
 			emit(t)
 		}
@@ -112,10 +137,20 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 	// Plane popularity is mildly skewed (fleet workhorses fly more, but no
 	// tail number exceeds a fraction of a percent of all flights).
 	zipf := rand.NewZipf(rng, 1.1, 30, uint64(cfg.Planes-1))
+	planes := newNameTable("N%05d", cfg.Planes)
+	airports := newNameTable("A%02d", cfg.Airports)
+	routes := make([]string, cfg.Airports*cfg.Airports)
+	routeName := func(o, d int) string {
+		i := o*cfg.Airports + d
+		if routes[i] == "" {
+			routes[i] = airports.name(o) + "-" + airports.name(d)
+		}
+		return routes[i]
+	}
 	return func(period int, emit engine.Emit) {
 		n := int(float64(cfg.Rate) * cfg.RateScale)
 		for i := 0; i < n; i++ {
-			plane := fmt.Sprintf("N%05d", zipf.Uint64())
+			plane := planes.name(int(zipf.Uint64()))
 			o, d := rng.Intn(cfg.Airports), rng.Intn(cfg.Airports)
 			if o == d {
 				d = (d + 1) % cfg.Airports
@@ -126,9 +161,9 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 				delay += rng.ExpFloat64() * 45
 			}
 			t := &engine.Tuple{Key: plane, TS: int64(period*1_000_000 + i)}
-			t.WithStr("route", fmt.Sprintf("A%02d-A%02d", o, d))
-			t.WithStr("origin", fmt.Sprintf("A%02d", o))
-			t.WithStr("dest", fmt.Sprintf("A%02d", d))
+			t.WithStr("route", routeName(o, d))
+			t.WithStr("origin", airports.name(o))
+			t.WithStr("dest", airports.name(d))
 			t.WithNum("delay", math.Round(delay))
 			t.WithNum("year", float64(2004+period%10))
 			emit(t)
@@ -163,11 +198,13 @@ func Weather(cfg WeatherConfig) engine.SourceFunc {
 		cfg.Rate = 1000
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x33cc))
+	stations := newNameTable("ST%04d", cfg.Stations)
+	airports := newNameTable("A%02d", cfg.Airports)
 	return func(period int, emit engine.Emit) {
 		for i := 0; i < cfg.Rate; i++ {
 			st := rng.Intn(cfg.Stations)
-			t := &engine.Tuple{Key: fmt.Sprintf("ST%04d", st), TS: int64(period*1_000_000 + i)}
-			t.WithStr("airport", fmt.Sprintf("A%02d", st%cfg.Airports))
+			t := &engine.Tuple{Key: stations.name(st), TS: int64(period*1_000_000 + i)}
+			t.WithStr("airport", airports.name(st%cfg.Airports))
 			precip := 0.0
 			if rng.Intn(3) == 0 { // rainy day
 				precip = rng.ExpFloat64() * 8

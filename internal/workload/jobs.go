@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 
 	"repro/internal/engine"
 )
@@ -43,10 +43,42 @@ func (c *JobConfig) defaults() {
 	}
 }
 
+// bucketNames caches the window-bucket table names ("w0", "w1", ...) so the
+// per-tuple windowAdd does not format a string for every tuple.
+var bucketNames = func() [64]string {
+	var names [64]string
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	return names
+}()
+
+func bucketName(i int) string {
+	if i >= 0 && i < len(bucketNames) {
+		return bucketNames[i]
+	}
+	return fmt.Sprintf("w%d", i)
+}
+
+// rainBucketNames caches the rainscore decile bucket names ("b00" … "b100").
+var rainBucketNames = func() [11]string {
+	var names [11]string
+	for i := range names {
+		names[i] = fmt.Sprintf("b%02d", i*10)
+	}
+	return names
+}()
+
+func rainBucketName(bucket int) string {
+	if i := bucket / 10; i >= 0 && i < len(rainBucketNames) {
+		return rainBucketNames[i]
+	}
+	return fmt.Sprintf("b%02d", bucket)
+}
+
 // windowAdd records v for key into the current window bucket.
 func windowAdd(st *engine.State, period int, window int, key string, v float64) {
-	bucket := fmt.Sprintf("w%d", period%window)
-	st.Table(bucket)[key] += v
+	st.Table(bucketName(period % window))[key] += v
 }
 
 // windowTotals sums the last `window` buckets per key and clears the bucket
@@ -54,29 +86,44 @@ func windowAdd(st *engine.State, period int, window int, key string, v float64) 
 func windowTotals(st *engine.State, period, window int) map[string]float64 {
 	totals := map[string]float64{}
 	for b := 0; b < window; b++ {
-		for k, v := range st.Table(fmt.Sprintf("w%d", b)) {
+		for k, v := range st.Table(bucketName(b)) {
 			totals[k] += v
 		}
 	}
 	// Expire the oldest bucket (the one the NEXT period will write into).
-	st.ClearTable(fmt.Sprintf("w%d", (period+1)%window))
+	st.ClearTable(bucketName((period + 1) % window))
 	return totals
 }
 
-// topKOf returns the k keys with the largest totals, deterministically.
+// topKOf returns the k keys with the largest totals, deterministically
+// (value descending, key ascending on ties). It keeps a bounded insertion-
+// sorted selection of k entries instead of sorting the whole map: O(n·k)
+// worst case but ~O(n) on typical data, with a single small allocation.
 func topKOf(totals map[string]float64, k int) []string {
-	keys := make([]string, 0, len(totals))
-	for key := range totals {
-		keys = append(keys, key)
+	if k <= 0 || len(totals) == 0 {
+		return nil
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if totals[keys[a]] != totals[keys[b]] {
-			return totals[keys[a]] > totals[keys[b]]
+	if k > len(totals) {
+		k = len(totals)
+	}
+	keys := make([]string, 0, k)
+	worse := func(a, b string) bool { // a ranks after b
+		if totals[a] != totals[b] {
+			return totals[a] < totals[b]
 		}
-		return keys[a] < keys[b]
-	})
-	if len(keys) > k {
-		keys = keys[:k]
+		return a > b
+	}
+	for key := range totals {
+		if len(keys) == k {
+			if worse(key, keys[k-1]) {
+				continue
+			}
+			keys = keys[:k-1]
+		}
+		keys = append(keys, key)
+		for i := len(keys) - 1; i > 0 && worse(keys[i-1], keys[i]); i-- {
+			keys[i-1], keys[i] = keys[i], keys[i-1]
+		}
 	}
 	return keys
 }
@@ -233,13 +280,13 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		KeyGroups: cfg.KeyGroups,
 		Cost:      1,
 		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			if _, isScore := tu.Nums["rainscore"]; isScore {
+			if tu.HasNum("rainscore") {
 				st.Table("score")[tu.Key] = tu.Num("rainscore")
 				return
 			}
 			score := st.Table("score")[tu.Str("origin")]
 			bucket := int(score) / 10 * 10
-			st.Table("bucketSum")[fmt.Sprintf("b%02d", bucket)] += tu.Num("delay")
+			st.Table("bucketSum")[rainBucketName(bucket)] += tu.Num("delay")
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for bucket, sum := range st.Table("bucketSum") {
@@ -326,7 +373,7 @@ func addSumDelay(t *engine.Topology, cfg JobConfig) {
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
 		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			key := fmt.Sprintf("%s|%d", tu.Key, int(tu.Num("year")))
+			key := tu.Key + "|" + strconv.Itoa(int(tu.Num("year")))
 			st.Table("byYear")[key] += tu.Num("delay")
 			st.Table("dirty")[tu.Key]++
 		},

@@ -12,6 +12,18 @@
 // solver standing in for CPLEX and a multilevel graph partitioner standing
 // in for METIS).
 //
+// Engine data path. The engine moves tuples through batch-oriented,
+// lock-light machinery: every sender (worker node or the source-running
+// engine goroutine) stages cross-node tuples in per-destination outboxes
+// and ships one pooled, length-prefixed frame per (destination, operator)
+// batch; mailboxes are unbounded MPSC queues whose producers append whole
+// slices under one lock acquisition and whose consumer drains the entire
+// backlog per wakeup. The correctness contract is the per-sender FIFO
+// invariant: messages from one sender are delivered in send order — senders
+// flush their outboxes before enqueuing a barrier, so a barrier can never
+// overtake the data it covers, which is what the period/migration barrier
+// protocol relies on (see internal/engine/mailbox.go and batch.go).
+//
 // This file re-exports the public API from the internal packages; see
 // examples/ for runnable programs and cmd/albic-bench for the experiment
 // harness regenerating the paper's Figures 2-14.
