@@ -1,21 +1,28 @@
 // Command albic-run executes one of the paper's streaming jobs on the
-// engine under a chosen reconfiguration policy, printing per-period
-// metrics.
+// engine under a chosen reconfiguration policy, driven by the shared
+// control plane (internal/controller), printing per-period metrics.
+//
+// By default planning is pipelined: while period N+1's data flows, the
+// controller plans on period N's snapshot in a separate goroutine and the
+// moves are staged for period N+2, so a slow planner never stops the data
+// path. -pipelined=false restores the paper's lockstep loop.
 //
 // Usage:
 //
 //	albic-run -job rj2 -balancer albic -nodes 10 -periods 40 -budget 10
-//	albic-run -job rj1 -balancer milp
+//	albic-run -job rj1 -balancer milp -pipelined=false
 //	albic-run -job rj1 -balancer potc       # two-choice routing, no migration
 //	albic-run -job rj3 -balancer cola
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -30,7 +37,13 @@ func main() {
 	budget := flag.Int("budget", 10, "max key-group migrations per period (0 = unlimited)")
 	rate := flag.Int("rate", 0, "input tuples per period (0 = job default)")
 	seed := flag.Int64("seed", 1, "random seed")
+	pipelined := flag.Bool("pipelined", true, "overlap planning with the next period's data flow")
+	smooth := flag.Float64("smooth", 1, "EWMA factor for planner inputs, in (0,1]; 1 = plan on raw loads")
 	flag.Parse()
+	if *smooth <= 0 || *smooth > 1 {
+		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
+		os.Exit(2)
+	}
 
 	cfg := workload.JobConfig{KeyGroups: 5 * *nodes, Rate: *rate, Seed: *seed}
 	if cfg.Rate == 0 {
@@ -74,43 +87,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	e, err := engine.New(topo, engine.Config{Nodes: *nodes}, nil)
+	e, err := repro.NewEngine(topo, repro.EngineConfig{Nodes: *nodes}, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
 		os.Exit(1)
 	}
 	defer e.Close()
 
-	fmt.Printf("job=%s balancer=%s nodes=%d budget=%d rate=%d\n",
-		*job, *balancerName, *nodes, *budget, cfg.Rate)
-	fmt.Printf("%7s %10s %12s %10s %11s %12s\n",
-		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "migLatency_s")
-	for p := 1; p <= *periods; p++ {
-		ps, err := e.RunPeriod()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "albic-run: period %d: %v\n", p, err)
-			os.Exit(1)
-		}
-		if p == 1 {
-			e.CalibrateCapacity(60)
-		}
-		snap, err := e.Snapshot()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%7d %10.2f %12.1f %10.1f %11d %12.2f\n",
-			p, snap.LoadDistance(), snap.CollocationFactor(), snap.AverageLoad(),
-			ps.Migrations, ps.MigrationLatency)
-		snap.MaxMigrations = *budget
-		plan, err := bal.Plan(snap)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "albic-run: plan: %v\n", err)
-			os.Exit(1)
-		}
-		if err := e.ApplyPlan(plan.GroupNode); err != nil {
-			fmt.Fprintf(os.Stderr, "albic-run: apply: %v\n", err)
-			os.Exit(1)
-		}
+	fmt.Printf("job=%s balancer=%s nodes=%d budget=%d rate=%d pipelined=%v\n",
+		*job, *balancerName, *nodes, *budget, cfg.Rate, *pipelined)
+	fmt.Printf("%7s %10s %12s %10s %11s %12s %10s\n",
+		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "migLatency_s", "plan_ms")
+	ctrl := repro.NewController(e, repro.ControllerOptions{
+		Balancer:      bal,
+		MaxMigrations: *budget,
+		SmoothAlpha:   *smooth,
+		Pipelined:     *pipelined,
+		OnPeriod: func(r repro.PeriodReport) {
+			planMS := "-"
+			if r.Outcome != nil {
+				planMS = fmt.Sprintf("%.1f", float64(r.PlanLatency.Microseconds())/1000)
+			}
+			fmt.Printf("%7d %10.2f %12.1f %10.1f %11d %12.2f %10s\n",
+				r.Period, r.LoadDistance, r.Collocation, r.AverageLoad,
+				r.Stats.Migrations, r.Stats.MigrationLatency, planMS)
+		},
+	})
+	if _, err := ctrl.Run(context.Background(), *periods); err != nil {
+		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,9 +1,10 @@
 // Quickstart: build a small streaming word-count job, run it on the engine,
-// and let the paper's MILP balancer erase a load imbalance under a
-// migration budget.
+// and let the controller (the paper's integrative adaptation loop) erase a
+// load imbalance with the MILP balancer under a migration budget.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,32 +62,22 @@ func main() {
 	}
 	defer e.Close()
 
-	// 3. Each period: process a batch, snapshot statistics, plan with the
-	// MILP under a budget of 4 migrations, apply.
-	balancer := &repro.MILPBalancer{TimeLimit: 20 * time.Millisecond}
+	// 3. Hand the engine to the controller: each period it processes a
+	// batch, snapshots statistics, plans with the MILP under a budget of 4
+	// migrations and applies the plan. (Set Pipelined: true to overlap
+	// planning with the next period's data instead of running in lockstep —
+	// see examples/scaling.)
 	fmt.Println("period  loadDistance%  migrations")
-	for period := 1; period <= 10; period++ {
-		stats, err := e.RunPeriod()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if period == 1 {
-			e.CalibrateCapacity(60)
-		}
-		snap, err := e.Snapshot()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%6d  %12.2f  %10d\n", period, snap.LoadDistance(), stats.Migrations)
-
-		snap.MaxMigrations = 4
-		plan, err := balancer.Plan(snap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := e.ApplyPlan(plan.GroupNode); err != nil {
-			log.Fatal(err)
-		}
+	ctrl := repro.NewController(e, repro.ControllerOptions{
+		Balancer:      &repro.MILPBalancer{TimeLimit: 20 * time.Millisecond},
+		MaxMigrations: 4,
+		SmoothAlpha:   1, // plan on raw per-period loads
+		OnPeriod: func(r repro.PeriodReport) {
+			fmt.Printf("%6d  %12.2f  %10d\n", r.Period, r.LoadDistance, r.Stats.Migrations)
+		},
+	})
+	if _, err := ctrl.Run(context.Background(), 10); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("\nThe MILP drains the overloaded node a few key groups at a time;")
 	fmt.Println("load distance falls toward the sampling-noise floor.")

@@ -1,9 +1,12 @@
-// Scaling: the integrative adaptation framework (Algorithm 1) reacting to a
-// load surge and a later lull — scale-out under pressure, then scale-in
-// with the MILP draining the marked nodes (Lemma 2) before they terminate.
+// Scaling: the asynchronous control plane reacting to a load surge and a
+// later lull — scale-out under pressure, then scale-in with the MILP
+// draining the marked nodes (Lemma 2) before the controller terminates
+// them. Planning runs pipelined: the planner works on the previous
+// period's snapshot while the next period's data flows.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,70 +60,61 @@ func main() {
 	}
 	defer e.Close()
 
-	fw := &repro.Framework{
-		Balancer: &repro.MILPBalancer{TimeLimit: 20 * time.Millisecond},
+	// The controller runs the integrative adaptation framework
+	// (Algorithm 1) each period: terminate drained nodes, plan, and size
+	// the cluster from the tentative plan. Scale decisions and plans are
+	// applied at period boundaries; planning itself overlaps the data flow.
+	fmt.Println("period  nodes  avgLoad%  maxLoad%  action")
+	draining := map[int]bool{} // kill-marked or terminated
+	// The MILP budget is kept proportionate to this demo's millisecond
+	// periods: in pipelined mode a plan spanning many periods would react
+	// to the surge only after it passed.
+	ctrl := repro.NewController(e, repro.ControllerOptions{
+		Balancer: &repro.MILPBalancer{TimeLimit: 2 * time.Millisecond},
 		Scaler: &repro.UtilizationScaler{
 			TargetUtil: 65, HighWater: 90, LowWater: 40, MinNodes: 2, MaxStep: 2,
 		},
-	}
-
-	terminated := map[int]bool{}
-	fmt.Println("period  nodes  avgLoad%  maxLoad%  action")
-	for period := 1; period <= 26; period++ {
-		if _, err := e.RunPeriod(); err != nil {
-			log.Fatal(err)
-		}
-		if period == 1 {
-			e.CalibrateCapacity(65)
-		}
-		snap, err := e.Snapshot()
-		if err != nil {
-			log.Fatal(err)
-		}
-		snap.MaxMigrations = 8
-
-		out, err := fw.Step(snap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		action := ""
-		// Terminate drained kill-marked nodes (Algorithm 1, lines 1-3).
-		for _, id := range out.Terminate {
-			if terminated[id] {
-				continue
-			}
-			if err := e.TerminateNode(id); err == nil {
-				terminated[id] = true
+		MaxMigrations: 8,
+		TargetAvgLoad: 65,
+		SmoothAlpha:   1,
+		Pipelined:     true,
+		OnPeriod: func(r repro.PeriodReport) {
+			action := ""
+			for _, id := range r.Terminated {
+				draining[id] = true
 				action += fmt.Sprintf("terminated node %d; ", id)
 			}
-		}
-		if out.Scale.AddNodes > 0 {
-			e.AddNodes(out.Scale.AddNodes)
-			action += fmt.Sprintf("added %d node(s); ", out.Scale.AddNodes)
-		}
-		if len(out.Scale.MarkForRemoval) > 0 {
-			e.MarkForRemoval(out.Scale.MarkForRemoval)
-			action += fmt.Sprintf("marked %v for removal; ", out.Scale.MarkForRemoval)
-		}
-		if err := e.ApplyPlan(out.Plan.GroupNode); err != nil {
-			log.Fatal(err)
-		}
-
-		loads := e.NodeLoadPercents()
-		alive, sum, max := 0, 0.0, 0.0
-		for i, l := range loads {
-			if snap.Kill != nil && i < len(snap.Kill) && snap.Kill[i] {
-				continue
+			if len(r.Added) > 0 {
+				action += fmt.Sprintf("added node(s) %v; ", r.Added)
 			}
-			alive++
-			sum += l
-			if l > max {
-				max = l
+			if r.Outcome != nil && len(r.Outcome.Scale.MarkForRemoval) > 0 {
+				for _, id := range r.Outcome.Scale.MarkForRemoval {
+					draining[id] = true
+				}
+				action += fmt.Sprintf("marked %v for removal; ", r.Outcome.Scale.MarkForRemoval)
 			}
-		}
-		fmt.Printf("%6d  %5d  %8.1f  %8.1f  %s\n", period, alive, sum/float64(alive), max, action)
+			loads := e.NodeLoadPercents() // one entry per node slot
+			alive, sum, max := 0, 0.0, 0.0
+			for id := range loads {
+				if draining[id] {
+					continue
+				}
+				alive++
+				sum += loads[id]
+				if loads[id] > max {
+					max = loads[id]
+				}
+			}
+			if alive == 0 {
+				alive = 1
+			}
+			fmt.Printf("%6d  %5d  %8.1f  %8.1f  %s\n", r.Period, alive, sum/float64(alive), max, action)
+		},
+	})
+	if _, err := ctrl.Run(context.Background(), 26); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nThe framework sizes the cluster from the tentative plan: the surge")
+	fmt.Println("\nThe controller sizes the cluster from the tentative plan: the surge")
 	fmt.Println("triggers scale-out only when rebalancing alone cannot fix the")
 	fmt.Println("overload, and the lull drains marked nodes before terminating them.")
 }

@@ -1,0 +1,386 @@
+// Package controller implements the paper's integrative adaptation loop
+// (Algorithm 1 driven over a live engine) as a reusable control plane: it
+// owns statistics-snapshot building, EWMA smoothing of planner inputs,
+// capacity calibration, the migration budget, balancer invocation through
+// core.Framework, and horizontal scaling (AddNodes / drain / terminate).
+//
+// The controller runs in one of two modes. In lockstep mode the loop is the
+// paper's: run a period, snapshot, plan, apply — the engine is quiescent
+// while the planner (5-60 ms MILP budgets, longer at paper scale) runs. In
+// pipelined mode planning is overlapped with data flow: while period N+1's
+// sources and operators run, a dedicated planner goroutine works on period
+// N's snapshot, and the resulting moves are staged at the following period
+// boundary (the engine's staged-migration diff defers their execution to
+// period N+2). A slow planner therefore adds no latency to the data path;
+// if planning takes longer than a period, intermediate snapshots are
+// dropped — with smoothing enabled (SmoothAlpha < 1) their loads are still
+// folded into the EWMA the next planner input carries, while at
+// SmoothAlpha 1 the planner simply plans on the latest raw snapshot.
+//
+// cmd/albic-run, the examples and internal/experiments all drive their
+// engines through this package; it is the only implementation of the
+// adaptation loop in the repository.
+package controller
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Engine is the data-plane surface the controller drives. *engine.Engine
+// implements it; tests may substitute fakes.
+type Engine interface {
+	// Run executes periods continuously, invoking observe between periods
+	// (see engine.Engine.Run).
+	Run(ctx context.Context, periods int, observe func(*engine.PeriodStats) error) error
+	// Snapshot converts the last period's statistics into a core.Snapshot.
+	Snapshot() (*core.Snapshot, error)
+	// ApplyPlan stages a target allocation for the next period boundary.
+	ApplyPlan(groupNode []int) error
+	// CalibrateCapacity rescales the load-percentage unit conversion.
+	CalibrateCapacity(targetAvgPercent float64)
+	// AddNodes provisions new worker nodes (scale-out).
+	AddNodes(count int) []int
+	// MarkForRemoval flags nodes for draining (scale-in).
+	MarkForRemoval(ids []int)
+	// TerminateNode shuts down a drained node; errors while it still
+	// holds key groups.
+	TerminateNode(id int) error
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Balancer plans key-group allocations each period. nil disables
+	// planning (the controller only collects statistics).
+	Balancer core.Balancer
+	// Scaler makes horizontal-scaling decisions (optional). Scaling is
+	// integrative: the framework re-plans over the adjusted cluster.
+	Scaler core.Scaler
+	// Warmup is the number of initialization periods whose metrics are not
+	// recorded (the paper drops them).
+	Warmup int
+	// TargetAvgLoad calibrates capacity after the first period so reported
+	// load percentages sit in a realistic band. 0 means the default 60;
+	// negative disables calibration.
+	TargetAvgLoad float64
+	// MaxMigrations / MaxMigrCost bound migrations per adaptation
+	// (<= 0: unrestricted); Alpha converts state size to migration cost.
+	MaxMigrations int
+	MaxMigrCost   float64
+	Alpha         float64
+	// SmoothAlpha is the EWMA factor applied to per-group loads before
+	// planning (the controller's SPL averaging): input = α·new + (1-α)·old.
+	// 0 means the default 0.5; 1 plans on raw loads.
+	SmoothAlpha float64
+	// Pipelined overlaps planning with the next period's data flow instead
+	// of stopping the data path while the balancer runs.
+	Pipelined bool
+	// OnPeriod, when non-nil, observes every period boundary (after any
+	// plan application) — for printing progress or driving external
+	// monitoring. It runs on the control goroutine; keep it cheap.
+	OnPeriod func(PeriodReport)
+}
+
+func (o *Options) defaults() {
+	if o.TargetAvgLoad == 0 {
+		o.TargetAvgLoad = 60
+	}
+	if o.SmoothAlpha == 0 {
+		o.SmoothAlpha = 0.5
+	}
+}
+
+// PeriodReport is the per-period view handed to Options.OnPeriod.
+type PeriodReport struct {
+	// Period is the engine's 1-based period number.
+	Period int
+	// Stats is the period's merged engine statistics.
+	Stats *engine.PeriodStats
+	// HasSnapshot reports whether the metric fields below are valid (the
+	// controller skips snapshot building during an unobserved warm-up).
+	HasSnapshot bool
+	// LoadDistance / Collocation / AverageLoad are the paper's metrics
+	// computed from this period's snapshot.
+	LoadDistance float64
+	Collocation  float64
+	AverageLoad  float64
+	// Outcome is the adaptation outcome applied at this boundary (nil if
+	// none: planner still busy, or planning disabled).
+	Outcome *core.Outcome
+	// PlanLatency is the balancer time spent producing Outcome.
+	PlanLatency time.Duration
+	// Added / Terminated list nodes provisioned / shut down at this
+	// boundary.
+	Added      []int
+	Terminated []int
+}
+
+// Metrics is the recorded per-period series of one controller run (the
+// series the paper's figures plot), indexed from the first post-warmup
+// period.
+type Metrics struct {
+	LoadDistance []float64
+	Collocation  []float64
+	LoadIndex    []float64 // avg load relative to the first recorded period
+	Migrations   []float64
+	CumLatencyM  []float64 // cumulative migration latency, minutes
+	// PlansApplied counts adaptation outcomes applied over the whole run
+	// (in pipelined mode this is less than the period count whenever the
+	// planner spans periods).
+	PlansApplied int
+}
+
+// Controller owns the adaptation loop over one engine.
+type Controller struct {
+	eng Engine
+	opt Options
+	fw  *core.Framework
+}
+
+// New builds a controller. The engine is normally freshly constructed; an
+// engine with completed periods (e.g. after a bootstrap phase) is fine as
+// long as calibration is disabled (TargetAvgLoad < 0) — otherwise the
+// controller would re-calibrate capacity after what it believes is the
+// first period.
+func New(eng Engine, opt Options) *Controller {
+	opt.defaults()
+	c := &Controller{eng: eng, opt: opt}
+	if opt.Balancer != nil {
+		c.fw = &core.Framework{Balancer: opt.Balancer, Scaler: opt.Scaler}
+	}
+	return c
+}
+
+// plannerResult is one asynchronous planning outcome.
+type plannerResult struct {
+	out     *core.Outcome
+	err     error
+	latency time.Duration
+}
+
+// run is the per-Run mutable state of the adaptation loop.
+type run struct {
+	c *Controller
+
+	p       int // 0-based period index within this run
+	baseAvg float64
+	cumLat  float64
+	smooth  []float64
+	m       *Metrics
+
+	// terminated remembers shut-down nodes: the framework keeps listing an
+	// empty kill-marked node every period, but it is only reported (and
+	// terminated) once.
+	terminated map[int]bool
+
+	// Pipelined-planning state: req carries at most one in-flight snapshot
+	// to the planner goroutine, res its outcome.
+	req      chan *core.Snapshot
+	res      chan plannerResult
+	planning bool
+}
+
+// Run executes the adaptation loop for the given number of periods
+// (periods <= 0: until ctx is cancelled) and returns the recorded metric
+// series.
+func (c *Controller) Run(ctx context.Context, periods int) (*Metrics, error) {
+	r := &run{c: c, m: &Metrics{}, terminated: map[int]bool{}}
+	if c.opt.Pipelined && c.fw != nil {
+		r.req = make(chan *core.Snapshot, 1)
+		r.res = make(chan plannerResult, 1)
+		go func() {
+			for s := range r.req {
+				t0 := time.Now()
+				out, err := c.fw.Step(s)
+				r.res <- plannerResult{out: out, err: err, latency: time.Since(t0)}
+			}
+		}()
+		defer func() {
+			close(r.req)
+			if r.planning {
+				<-r.res // drain the in-flight plan; the run is over
+			}
+		}()
+	}
+	if err := c.eng.Run(ctx, periods, r.observe); err != nil {
+		return r.m, err
+	}
+	return r.m, nil
+}
+
+// observe is the period-boundary hook: it applies any completed
+// asynchronous outcome, calibrates once after the first period, snapshots,
+// records metrics, smooths planner inputs and either plans synchronously
+// (lockstep) or hands the snapshot to the planner goroutine (pipelined).
+func (r *run) observe(ps *engine.PeriodStats) error {
+	c := r.c
+	p := r.p
+	r.p++
+	rep := PeriodReport{Period: ps.Period, Stats: ps}
+
+	if p == 0 && c.opt.TargetAvgLoad > 0 {
+		c.eng.CalibrateCapacity(c.opt.TargetAvgLoad)
+	}
+
+	recording := p >= c.opt.Warmup
+	if !recording && c.fw == nil && c.opt.OnPeriod == nil {
+		// Nobody consumes the snapshot during an unbalanced, unobserved
+		// warm-up period; skip building it.
+		return nil
+	}
+	snap, err := c.eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	dist, col, avg := snap.LoadDistance(), snap.CollocationFactor(), snap.AverageLoad()
+	rep.HasSnapshot = true
+	rep.LoadDistance, rep.Collocation, rep.AverageLoad = dist, col, avg
+	if recording {
+		if r.baseAvg == 0 && avg > 0 {
+			r.baseAvg = avg
+		}
+		r.m.LoadDistance = append(r.m.LoadDistance, dist)
+		r.m.Collocation = append(r.m.Collocation, col)
+		idx := 0.0
+		if r.baseAvg > 0 {
+			idx = 100 * avg / r.baseAvg
+		}
+		r.m.LoadIndex = append(r.m.LoadIndex, idx)
+		r.m.Migrations = append(r.m.Migrations, float64(ps.Migrations))
+		r.cumLat += ps.MigrationLatency
+		r.m.CumLatencyM = append(r.m.CumLatencyM, r.cumLat/60)
+	}
+
+	// Apply a completed asynchronous outcome only after the snapshot above,
+	// so the recorded metrics describe the allocation the period actually
+	// ran under; the snapshot handed to the planner is then patched to the
+	// staged target so the planner never re-proposes the same moves.
+	if r.planning {
+		select {
+		case pr := <-r.res:
+			r.planning = false
+			if pr.err != nil {
+				return fmt.Errorf("controller: period %d plan: %w", ps.Period, pr.err)
+			}
+			if err := r.applyOutcome(pr.out, &rep); err != nil {
+				return err
+			}
+			rep.PlanLatency = pr.latency
+			patchSnapshot(snap, pr.out)
+		default: // planner still busy; this period's snapshot may be dropped
+		}
+	}
+
+	if c.fw != nil {
+		snap.MaxMigrations = c.opt.MaxMigrations
+		snap.MaxMigrCost = c.opt.MaxMigrCost
+		snap.Alpha = c.opt.Alpha
+		r.smoothLoads(snap)
+		if c.opt.Pipelined {
+			if !r.planning {
+				// Hand the freshest snapshot to the planner; it plans while
+				// the next period's data flows.
+				r.req <- snap
+				r.planning = true
+			}
+		} else {
+			t0 := time.Now()
+			out, err := c.fw.Step(snap)
+			if err != nil {
+				return fmt.Errorf("controller: period %d plan: %w", ps.Period, err)
+			}
+			if err := r.applyOutcome(out, &rep); err != nil {
+				return err
+			}
+			rep.PlanLatency = time.Since(t0)
+		}
+	}
+	if c.opt.OnPeriod != nil {
+		c.opt.OnPeriod(rep)
+	}
+	return nil
+}
+
+// smoothLoads folds the snapshot's per-group loads into the EWMA the
+// planner sees. The recorded metrics stay raw per-period measurements.
+func (r *run) smoothLoads(snap *core.Snapshot) {
+	alpha := r.c.opt.SmoothAlpha
+	if alpha >= 1 {
+		return
+	}
+	if r.smooth == nil {
+		r.smooth = make([]float64, len(snap.Groups))
+		for k := range snap.Groups {
+			r.smooth[k] = snap.Groups[k].Load
+		}
+		return
+	}
+	for k := range snap.Groups {
+		r.smooth[k] = alpha*snap.Groups[k].Load + (1-alpha)*r.smooth[k]
+		snap.Groups[k].Load = r.smooth[k]
+	}
+}
+
+// patchSnapshot folds an outcome just applied at this boundary into the
+// snapshot about to be handed to the planner: the enlarged cluster, the
+// fresh kill marks and the staged allocation target. Group loads stay the
+// raw measurements.
+func patchSnapshot(snap *core.Snapshot, out *core.Outcome) {
+	for snap.NumNodes < out.NumNodes {
+		if snap.Capacity != nil {
+			snap.Capacity = append(snap.Capacity, 1)
+		}
+		if snap.Kill != nil {
+			snap.Kill = append(snap.Kill, false)
+		}
+		snap.NumNodes++
+	}
+	if len(out.Scale.MarkForRemoval) > 0 && snap.Kill == nil {
+		snap.Kill = make([]bool, snap.NumNodes)
+	}
+	for _, n := range out.Scale.MarkForRemoval {
+		snap.Kill[n] = true
+	}
+	if out.Plan != nil {
+		for k, n := range out.Plan.GroupNode {
+			snap.Groups[k].Node = n
+		}
+	}
+}
+
+// applyOutcome installs one adaptation outcome: terminate drained
+// kill-marked nodes (Algorithm 1 lines 1-3), provision requested nodes so
+// the plan's node indices resolve, mark nodes for draining, and stage the
+// allocation plan for the next period boundary.
+func (r *run) applyOutcome(out *core.Outcome, rep *PeriodReport) error {
+	for _, id := range out.Terminate {
+		if r.terminated[id] {
+			continue
+		}
+		// A node that re-acquired groups since the outcome's snapshot (or
+		// whose drain migration is still pending) is skipped; the framework
+		// re-lists it once it is truly empty.
+		if err := r.c.eng.TerminateNode(id); err == nil {
+			r.terminated[id] = true
+			rep.Terminated = append(rep.Terminated, id)
+		}
+	}
+	if out.Scale.AddNodes > 0 {
+		rep.Added = r.c.eng.AddNodes(out.Scale.AddNodes)
+	}
+	if len(out.Scale.MarkForRemoval) > 0 {
+		r.c.eng.MarkForRemoval(out.Scale.MarkForRemoval)
+	}
+	if out.Plan != nil {
+		if err := r.c.eng.ApplyPlan(out.Plan.GroupNode); err != nil {
+			return fmt.Errorf("controller: apply plan: %w", err)
+		}
+	}
+	r.m.PlansApplied++
+	rep.Outcome = out
+	return nil
+}

@@ -1,0 +1,418 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// counter tallies sink deliveries thread-safely (sinks run on node
+// goroutines).
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// testTopology: a deterministic word source with a hot head feeding a
+// stateful counter feeding a counting sink. perPeriod tuples per period.
+func testTopology(perPeriod, kgs int, col *counter) *engine.Topology {
+	t := engine.NewTopology()
+	t.AddSource("src", func(period int, emit engine.Emit) {
+		for i := 0; i < perPeriod; i++ {
+			w := fmt.Sprintf("w%03d", (i*31+period)%97)
+			if i%4 == 0 {
+				w = fmt.Sprintf("w%03d", i%7) // hot head
+			}
+			emit(&engine.Tuple{Key: w, TS: int64(period*perPeriod + i)})
+		}
+	})
+	t.AddOperator(&engine.Operator{
+		Name:      "count",
+		KeyGroups: kgs,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			st.Add(tu.Key, 1)
+			emit(tu)
+		},
+	})
+	t.AddOperator(&engine.Operator{
+		Name:      "sink",
+		KeyGroups: kgs / 2,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			if col != nil {
+				col.add()
+			}
+		},
+	})
+	t.Connect("src", "count")
+	t.Connect("count", "sink")
+	return t
+}
+
+// skewedInitial stacks every key group on node 0 so the balancer has real
+// work to do.
+func skewedInitial(t *engine.Topology) []int {
+	if err := t.Build(); err != nil {
+		panic(err)
+	}
+	return make([]int, t.NumGroups())
+}
+
+// TestLockstepMatchesManualLoop: the controller's lockstep mode must
+// reproduce, metric for metric, the hand-written adaptation loop it
+// replaced (snapshot -> record -> EWMA -> budgeted plan -> apply). Flux is
+// used because it is a deterministic function of the snapshot (no anytime
+// solver time limits); the comparison allows the engine's 1e-14-scale
+// accumulation-order jitter.
+func TestLockstepMatchesManualLoop(t *testing.T) {
+	const periods, warmup, budget = 8, 2, 3
+
+	run := func() *Metrics {
+		topo := testTopology(600, 12, nil)
+		e, err := engine.New(topo, engine.Config{Nodes: 3}, skewedInitial(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		ctrl := New(e, Options{
+			Balancer:      baseline.Flux{},
+			Warmup:        warmup,
+			MaxMigrations: budget,
+		})
+		m, err := ctrl.Run(context.Background(), warmup+periods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	manual := func() *Metrics {
+		topo := testTopology(600, 12, nil)
+		e, err := engine.New(topo, engine.Config{Nodes: 3}, skewedInitial(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		bal := baseline.Flux{}
+		m := &Metrics{}
+		baseAvg, cumLat := 0.0, 0.0
+		var smooth []float64
+		for p := 0; p < warmup+periods; p++ {
+			ps, err := e.RunPeriod()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p == 0 {
+				e.CalibrateCapacity(60)
+			}
+			snap, err := e.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p >= warmup {
+				if baseAvg == 0 {
+					if avg := snap.AverageLoad(); avg > 0 {
+						baseAvg = avg
+					}
+				}
+				m.LoadDistance = append(m.LoadDistance, snap.LoadDistance())
+				m.Collocation = append(m.Collocation, snap.CollocationFactor())
+				idx := 0.0
+				if baseAvg > 0 {
+					idx = 100 * snap.AverageLoad() / baseAvg
+				}
+				m.LoadIndex = append(m.LoadIndex, idx)
+				m.Migrations = append(m.Migrations, float64(ps.Migrations))
+				cumLat += ps.MigrationLatency
+				m.CumLatencyM = append(m.CumLatencyM, cumLat/60)
+			}
+			snap.MaxMigrations = budget
+			if smooth == nil {
+				smooth = make([]float64, len(snap.Groups))
+				for k := range snap.Groups {
+					smooth[k] = snap.Groups[k].Load
+				}
+			} else {
+				const alpha = 0.5
+				for k := range snap.Groups {
+					smooth[k] = alpha*snap.Groups[k].Load + (1-alpha)*smooth[k]
+					snap.Groups[k].Load = smooth[k]
+				}
+			}
+			plan, err := bal.Plan(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ApplyPlan(plan.GroupNode); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+
+	got, want := run(), manual()
+	for name, pair := range map[string][2][]float64{
+		"LoadDistance": {got.LoadDistance, want.LoadDistance},
+		"Collocation":  {got.Collocation, want.Collocation},
+		"LoadIndex":    {got.LoadIndex, want.LoadIndex},
+		"Migrations":   {got.Migrations, want.Migrations},
+		"CumLatencyM":  {got.CumLatencyM, want.CumLatencyM},
+	} {
+		g, w := pair[0], pair[1]
+		if len(g) != periods || len(w) != periods {
+			t.Fatalf("%s: lengths %d/%d, want %d", name, len(g), len(w), periods)
+		}
+		for i := range g {
+			if d := g[i] - w[i]; d > 1e-6 || d < -1e-6 {
+				t.Errorf("%s[%d] = %v, manual loop got %v", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// slowBalancer wraps a balancer with an artificial planning delay, modeling
+// the paper-scale MILP budgets (5-60 s of CPLEX time).
+type slowBalancer struct {
+	inner core.Balancer
+	delay time.Duration
+	mu    sync.Mutex
+	plans int
+}
+
+func (s *slowBalancer) Name() string { return "slow-" + s.inner.Name() }
+
+func (s *slowBalancer) Plan(snap *core.Snapshot) (*core.Plan, error) {
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	s.plans++
+	s.mu.Unlock()
+	return s.inner.Plan(snap)
+}
+
+func (s *slowBalancer) planned() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plans
+}
+
+// TestPipelinedPlanningOverlapsDataPath is the tentpole regression test: a
+// balancer with an artificial 60 ms Plan must not add its latency to every
+// period. In lockstep mode the run takes at least periods×delay; pipelined,
+// planning overlaps the data flow and total wall-clock stays far below
+// that.
+func TestPipelinedPlanningOverlapsDataPath(t *testing.T) {
+	const (
+		periods = 60
+		delay   = 25 * time.Millisecond
+	)
+
+	elapsed := func(pipelined bool) (time.Duration, *Metrics, *slowBalancer) {
+		topo := testTopology(2000, 8, nil)
+		e, err := engine.New(topo, engine.Config{Nodes: 2}, skewedInitial(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		bal := &slowBalancer{
+			inner: &core.MILPBalancer{TimeLimit: time.Millisecond, Seed: 1},
+			delay: delay,
+		}
+		ctrl := New(e, Options{Balancer: bal, MaxMigrations: 2, Pipelined: pipelined})
+		t0 := time.Now()
+		m, err := ctrl.Run(context.Background(), periods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0), m, bal
+	}
+
+	lockstep, _, _ := elapsed(false)
+	pipelined, m, bal := elapsed(true)
+
+	floor := periods * delay // what lockstep necessarily costs
+	if lockstep < floor {
+		t.Fatalf("lockstep run took %v, expected at least %v (the balancer plans every period)", lockstep, floor)
+	}
+	// The pipelined run pays for the data, not the planner: it must beat
+	// both the planner-serial floor and the measured lockstep run by a wide
+	// margin (the relative bound keeps the test meaningful when -race or a
+	// loaded CI runner slows the data path itself).
+	if pipelined >= floor {
+		t.Fatalf("pipelined run took %v, want under the %v planner-serial floor", pipelined, floor)
+	}
+	if 2*pipelined >= lockstep {
+		t.Fatalf("pipelined run took %v, want less than half the lockstep %v", pipelined, lockstep)
+	}
+	if m.PlansApplied < 1 {
+		t.Fatal("pipelined run applied no plans")
+	}
+	if m.PlansApplied >= periods {
+		t.Fatalf("pipelined run applied %d plans over %d periods; expected the busy planner to drop snapshots", m.PlansApplied, periods)
+	}
+	t.Logf("lockstep %v, pipelined %v (%d plans computed, %d applied over %d periods)",
+		lockstep, pipelined, bal.planned(), m.PlansApplied, periods)
+}
+
+// TestElasticityThroughController exercises scale-out and scale-in
+// mid-run: nodes are added under the controller, later marked for removal,
+// drained by the balancer and terminated — without tuple loss, and without
+// draining nodes ever receiving new key groups.
+func TestElasticityThroughController(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+		periods   int
+	}{
+		{"lockstep", false, 16},
+		{"pipelined", true, 24},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			const perPeriod = 400
+			col := &counter{}
+			topo := testTopology(perPeriod, 12, col)
+			if err := topo.Build(); err != nil {
+				t.Fatal(err)
+			}
+			e, err := engine.New(topo, engine.Config{Nodes: 3}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+
+			// Scripted elasticity: grow by two nodes at the third adaptation,
+			// mark them for removal at the sixth.
+			script := make([]core.ScaleDecision, mode.periods)
+			script[2] = core.ScaleDecision{AddNodes: 2}
+			script[5] = core.ScaleDecision{MarkForRemoval: []int{3, 4}}
+
+			var added []int
+			terminated := map[int]bool{}
+			var marked bool
+			prevOnKilled := map[int]bool{}
+			ctrl := New(e, Options{
+				Balancer:      &core.MILPBalancer{TimeLimit: 5 * time.Millisecond, Seed: 2},
+				Scaler:        &core.ManualScaler{Script: script},
+				MaxMigrations: 6,
+				Pipelined:     mode.pipelined,
+				OnPeriod: func(r PeriodReport) {
+					added = append(added, r.Added...)
+					for _, id := range r.Terminated {
+						terminated[id] = true
+					}
+					if r.Outcome != nil && len(r.Outcome.Scale.MarkForRemoval) > 0 {
+						marked = true
+						// Seed the draining set with the groups currently on
+						// the marked nodes.
+						prevOnKilled = groupsOn(e, 3, 4)
+						return
+					}
+					if !marked {
+						return
+					}
+					// Draining nodes must never gain key groups: the set of
+					// groups they host only shrinks.
+					now := groupsOn(e, 3, 4)
+					for gid := range now {
+						if !prevOnKilled[gid] {
+							t.Errorf("%s: draining node gained group %d", mode.name, gid)
+						}
+					}
+					prevOnKilled = now
+				},
+			})
+			if _, err := ctrl.Run(context.Background(), mode.periods); err != nil {
+				t.Fatal(err)
+			}
+
+			if want := []int{3, 4}; len(added) != 2 || added[0] != want[0] || added[1] != want[1] {
+				t.Fatalf("added nodes %v, want %v", added, want)
+			}
+			if !terminated[3] || !terminated[4] {
+				t.Fatalf("marked nodes not terminated by run end: %v", terminated)
+			}
+			if got, want := col.get(), int64(mode.periods*perPeriod); got != want {
+				t.Fatalf("sink received %d tuples, want %d (tuple loss across scaling)", got, want)
+			}
+		})
+	}
+}
+
+// groupsOn returns the key groups currently targeted at any of the ids.
+func groupsOn(e *engine.Engine, ids ...int) map[int]bool {
+	on := map[int]bool{}
+	alloc := e.Allocation()
+	for gid, n := range alloc {
+		for _, id := range ids {
+			if n == id {
+				on[gid] = true
+			}
+		}
+	}
+	return on
+}
+
+// TestControllerNilBalancerCollectsMetrics: with no balancer the controller
+// still records the metric series (e.g. the PoTC runs plan nothing).
+func TestControllerNilBalancerCollectsMetrics(t *testing.T) {
+	topo := testTopology(300, 8, nil)
+	e, err := engine.New(topo, engine.Config{Nodes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctrl := New(e, Options{Warmup: 1})
+	m, err := ctrl.Run(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.LoadDistance) != 3 || len(m.Migrations) != 3 {
+		t.Fatalf("recorded %d/%d metric periods, want 3", len(m.LoadDistance), len(m.Migrations))
+	}
+	if m.PlansApplied != 0 {
+		t.Fatalf("plans applied without a balancer: %d", m.PlansApplied)
+	}
+}
+
+// TestControllerContextCancel: cancelling the context stops a continuous
+// (periods <= 0) run.
+func TestControllerContextCancel(t *testing.T) {
+	topo := testTopology(100, 8, nil)
+	e, err := engine.New(topo, engine.Config{Nodes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	ctrl := New(e, Options{
+		OnPeriod: func(r PeriodReport) {
+			n++
+			if n == 3 {
+				cancel()
+			}
+		},
+	})
+	if _, err := ctrl.Run(ctx, 0); err != context.Canceled {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if n < 3 {
+		t.Fatalf("observed %d periods before cancel, want >= 3", n)
+	}
+}

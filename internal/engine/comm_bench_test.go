@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchCommAccumulate hammers the per-tuple communication-matrix
+// accumulation path in isolation: one add per emitted tuple, over a
+// realistic edge distribution (each upstream group talks to a handful of
+// downstream groups).
+func benchCommAccumulate(b *testing.B, numGroups int, dense bool) {
+	old := denseCommGroupLimit
+	if dense {
+		denseCommGroupLimit = numGroups
+	} else {
+		denseCommGroupLimit = 0
+	}
+	defer func() { denseCommGroupLimit = old }()
+	s := newNodeStats(numGroups)
+	half := numGroups / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := i % half
+		to := half + (i*7+from)%half
+		s.addComm(from, to)
+	}
+	b.StopTimer()
+	// The merge cost is part of the trade: dense pays a full-matrix sweep
+	// once per period instead of a map iteration.
+	total := 0.0
+	s.forEachComm(func(_ core.Pair, v float64) { total += v })
+	if total != float64(b.N) {
+		b.Fatalf("accumulated %v edges, want %d", total, b.N)
+	}
+}
+
+// BenchmarkCommAccumulateDense measures the flat gid×gid matrix small
+// topologies use (one slice index + add per tuple).
+func BenchmarkCommAccumulateDense(b *testing.B) { benchCommAccumulate(b, 128, true) }
+
+// BenchmarkCommAccumulateSparse measures the map fallback large topologies
+// use (one map lookup + store per tuple).
+func BenchmarkCommAccumulateSparse(b *testing.B) { benchCommAccumulate(b, 128, false) }

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -52,7 +54,9 @@ func (c *Config) defaults() {
 }
 
 // Engine executes a topology over a set of worker-node goroutines, one
-// period (SPL) at a time, under the control of an adaptation loop.
+// period (SPL) at a time, under the control of an adaptation loop — either
+// the lockstep RunPeriod or the continuous Run driver that an
+// internal/controller instance feeds.
 type Engine struct {
 	topo *Topology
 	cfg  Config
@@ -61,7 +65,17 @@ type Engine struct {
 	removed []bool    // node terminated (scale-in completed)
 	killed  []bool    // node marked for removal (draining)
 	weights []float64 // per-node capacity weights (heterogeneity)
+	// invWeights caches 1/weights for the per-tuple PoTC routing hot path.
+	invWeights []float64
+	// hetero is true when any capacity weight differs from 1; the
+	// homogeneous PoTC fast path skips the normalization entirely.
+	hetero bool
 
+	// mu guards the allocation state (groupNode, baseAlloc) so that
+	// ApplyPlan may be invoked while a period is in flight: an asynchronous
+	// controller can stage a plan the moment its planner finishes, and the
+	// staged diff is picked up at the next period boundary.
+	mu        sync.Mutex
 	groupNode []int // authoritative target allocation (gid -> node)
 	baseAlloc []int // allocation physically in place (last period's end)
 
@@ -82,15 +96,17 @@ func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
 	}
 	cfg.defaults()
 	e := &Engine{
-		topo:    topo,
-		cfg:     cfg,
-		removed: make([]bool, cfg.Nodes),
-		killed:  make([]bool, cfg.Nodes),
-		weights: make([]float64, cfg.Nodes),
-		events:  make(chan engEvent, 4096),
+		topo:       topo,
+		cfg:        cfg,
+		removed:    make([]bool, cfg.Nodes),
+		killed:     make([]bool, cfg.Nodes),
+		weights:    make([]float64, cfg.Nodes),
+		invWeights: make([]float64, cfg.Nodes),
+		events:     make(chan engEvent, 4096),
 	}
 	for i := range e.weights {
 		e.weights[i] = 1
+		e.invWeights[i] = 1
 	}
 	if cfg.CapacityWeights != nil {
 		if len(cfg.CapacityWeights) != cfg.Nodes {
@@ -101,6 +117,10 @@ func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
 				return nil, fmt.Errorf("engine: node %d capacity weight %g", i, w)
 			}
 			e.weights[i] = w
+			e.invWeights[i] = 1 / w
+			if w != 1 {
+				e.hetero = true
+			}
 		}
 	}
 	if initial != nil {
@@ -131,28 +151,67 @@ func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
 // NumNodes returns the engine's node-slot count (including removed slots).
 func (e *Engine) NumNodes() int { return len(e.nodes) }
 
-// Allocation returns a copy of the current key-group allocation.
-func (e *Engine) Allocation() []int { return append([]int(nil), e.groupNode...) }
+// Allocation returns a copy of the current target key-group allocation.
+func (e *Engine) Allocation() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.groupNode...)
+}
 
 // Period returns the number of completed periods.
 func (e *Engine) Period() int { return e.period }
 
-// nodeLoadEstimate returns the node's running cost units this period (for
-// PoTC two-choice routing). Removed nodes report +inf.
+// nodeLoadEstimate returns the node's running load this period relative to
+// its capacity weight (for PoTC two-choice routing on heterogeneous
+// clusters: a node with twice the weight at the same raw cost units is only
+// half as loaded). Removed nodes report +inf.
 func (e *Engine) nodeLoadEstimate(id int) float64 {
 	if e.removed[id] {
 		return math.Inf(1)
 	}
-	return float64(e.nodes[id].stats.nodeUnits.Load()) / 1000
+	return float64(e.nodes[id].stats.nodeUnits.Load()) / 1000 * e.invWeights[id]
 }
 
-// RunPeriod executes one statistics period: staged migrations are applied
-// via direct state migration concurrently with the new period's data flow,
-// sources generate their batch, every operator processes and flushes, and
-// the merged statistics are returned.
-func (e *Engine) RunPeriod() (*PeriodStats, error) {
+// periodRun carries one period's coordination state across the
+// begin/generate/finish phases.
+type periodRun struct {
+	period int
+	rt     *routerTable
+	// alloc is the allocation this period physically installs (the router
+	// table's view) — the diff base for the next period's migrations, even
+	// if ApplyPlan re-targets groupNode while the period is in flight.
+	alloc               []int
+	staged              []core.Move
+	expectedCompletions int
+	synthetic           []bool
+	srcBatches          int64
+	errs                []error
+}
+
+// beginPeriod arms all nodes for one statistics period: it snapshots the
+// target allocation into a router table, diffs it against the physically
+// installed allocation to obtain this period's staged migrations, resets
+// per-period statistics and issues the migrations (direct state migration
+// runs concurrently with the period's data flow; destinations buffer).
+func (e *Engine) beginPeriod() *periodRun {
 	e.period++
-	rt := newRouterTable(e.topo, e.groupNode, len(e.nodes))
+
+	e.mu.Lock()
+	alloc := append([]int(nil), e.groupNode...)
+	var staged []core.Move
+	for gid, to := range alloc {
+		if from := e.baseAlloc[gid]; from != to {
+			staged = append(staged, core.Move{Group: gid, From: from, To: to})
+		}
+	}
+	e.mu.Unlock()
+
+	pr := &periodRun{
+		period: e.period,
+		rt:     newRouterTable(e.topo, alloc, len(e.nodes)),
+		alloc:  alloc,
+		staged: staged,
+	}
 
 	// Reset per-period stats (nodes are quiescent between periods).
 	for i, n := range e.nodes {
@@ -173,31 +232,23 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 	}
 	for op := range e.topo.ops {
 		for _, ed := range e.topo.opEdges[op] {
-			senders[ed.op] += len(rt.hosts[op])
+			senders[ed.op] += len(pr.rt.hosts[op])
 		}
 	}
-	synthetic := make([]bool, nops)
+	pr.synthetic = make([]bool, nops)
 	for op := range senders {
 		if senders[op] == 0 {
 			senders[op] = 1
-			synthetic[op] = true
+			pr.synthetic[op] = true
 		}
 	}
 
-	// Migrations to execute this period: the diff between the target and
-	// the physically-installed allocation.
-	var staged []core.Move
-	for gid, to := range e.groupNode {
-		if from := e.baseAlloc[gid]; from != to {
-			staged = append(staged, core.Move{Group: gid, From: from, To: to})
-		}
-	}
 	awaitIn := map[int][]int{}
-	for _, mv := range staged {
+	for _, mv := range pr.staged {
 		awaitIn[mv.To] = append(awaitIn[mv.To], mv.Group)
 	}
 
-	// Phase 1: arm all nodes, collect acks.
+	// Arm all nodes, collect acks.
 	active := 0
 	for i, n := range e.nodes {
 		if e.removed[i] {
@@ -205,17 +256,15 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 		}
 		active++
 		n.mb.put(periodStartMsg{
-			period:      e.period,
-			router:      rt,
+			period:      pr.period,
+			router:      pr.rt,
 			barrierNeed: senders,
 			awaitIn:     awaitIn[i],
 		})
 	}
-	expectedCompletions := 0
 	for op := range e.topo.ops {
-		expectedCompletions += len(rt.hosts[op])
+		pr.expectedCompletions += len(pr.rt.hosts[op])
 	}
-	var errs []error
 	acks := 0
 	for acks < active {
 		ev := <-e.events
@@ -223,24 +272,27 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 		case evAck:
 			acks++
 		case evError:
-			errs = append(errs, ev.err)
+			pr.errs = append(pr.errs, ev.err)
 		default:
-			return nil, fmt.Errorf("engine: unexpected event %d during arm phase", ev.kind)
+			pr.errs = append(pr.errs, fmt.Errorf("engine: unexpected event %d during arm phase", ev.kind))
 		}
 	}
 
-	// Phase 2: issue staged migrations (direct state migration runs
-	// concurrently with the period's data flow; destinations buffer).
-	for _, mv := range staged {
+	// Issue staged migrations.
+	for _, mv := range pr.staged {
 		op, kg := e.topo.OpOf(mv.Group)
 		e.nodes[mv.From].mb.put(migrateOutMsg{op: op, kg: kg, dest: mv.To})
 	}
-	migsExpected := len(staged)
+	return pr
+}
 
-	// Phase 3: run sources on the engine (input-node) goroutine. Source
-	// emissions go through the same per-(dest, op) batching as node-to-node
-	// traffic; the flush below precedes the source barriers, preserving the
-	// per-sender FIFO invariant for the engine as a sender.
+// generate runs the topology's sources for the period. It may run on the
+// control goroutine (lockstep RunPeriod) or on a dedicated goroutine (the
+// continuous Run driver); either way a single goroutine emits, so the
+// per-sender FIFO invariant holds for the engine as a sender. Source
+// emissions go through the same per-(dest, op) batching as node-to-node
+// traffic; the flush below precedes the source barriers.
+func (e *Engine) generate(pr *periodRun) error {
 	srcOuts := make([]*outbox, len(e.nodes))
 	var srcScratch []byte
 	srcBatches := int64(0)
@@ -248,7 +300,7 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 		if srcOuts[dest] == nil {
 			return
 		}
-		if m, ok := srcOuts[dest].take(e.period); ok {
+		if m, ok := srcOuts[dest].take(pr.period); ok {
 			srcBatches++
 			e.nodes[dest].mb.put(m)
 		}
@@ -257,8 +309,8 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 	for si, src := range e.topo.sources {
 		emit := func(t *Tuple) {
 			for _, op := range e.topo.srcEdges[si] {
-				kg := rt.keyGroup(op, t.Key)
-				dest := rt.nodeOf(op, kg)
+				kg := pr.rt.keyGroup(op, t.Key)
+				dest := pr.rt.nodeOf(op, kg)
 				ob := srcOuts[dest]
 				if ob == nil {
 					ob = &outbox{}
@@ -280,62 +332,75 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 					srcErr = fmt.Errorf("engine: source %q panicked: %v", src.Name, r)
 				}
 			}()
-			src.Gen(e.period, emit)
+			src.Gen(pr.period, emit)
 		}()
 		if srcErr != nil {
-			return nil, srcErr
+			return srcErr
 		}
 	}
 	for dest := range srcOuts {
 		flushSrc(dest)
 	}
+	pr.srcBatches = srcBatches
 	// Source barriers, then synthetic barriers for input-less ops.
 	for si := range e.topo.sources {
 		for _, op := range e.topo.srcEdges[si] {
-			for _, host := range rt.hosts[op] {
-				e.nodes[host].mb.put(barrierMsg{op: op, period: e.period})
+			for _, host := range pr.rt.hosts[op] {
+				e.nodes[host].mb.put(barrierMsg{op: op, period: pr.period})
 			}
 		}
 	}
-	for op, syn := range synthetic {
+	for op, syn := range pr.synthetic {
 		if syn {
-			for _, host := range rt.hosts[op] {
-				e.nodes[host].mb.put(barrierMsg{op: op, period: e.period})
+			for _, host := range pr.rt.hosts[op] {
+				e.nodes[host].mb.put(barrierMsg{op: op, period: pr.period})
 			}
 		}
 	}
+	return nil
+}
 
-	// Phase 4: wait for all operator instances to flush and all migrations
-	// to be reported.
+// finishPeriod waits for all operator instances to flush and all migrations
+// to be reported, then merges statistics (nodes quiescent again). gen, when
+// non-nil, delivers the concurrent source-generation result; a generation
+// failure aborts the wait exactly like the lockstep path does.
+func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, error) {
 	completions, migs := 0, 0
 	migratedBytes := 0
-	for completions < expectedCompletions || migs < migsExpected {
-		ev := <-e.events
-		switch ev.kind {
-		case evCompletion:
-			completions++
-		case evMigrated:
-			migs++
-			migratedBytes += ev.bytes
-		case evError:
-			errs = append(errs, ev.err)
+	errs := pr.errs
+	for completions < pr.expectedCompletions || migs < len(pr.staged) || gen != nil {
+		select {
+		case ev := <-e.events:
+			switch ev.kind {
+			case evCompletion:
+				completions++
+			case evMigrated:
+				migs++
+				migratedBytes += ev.bytes
+			case evError:
+				errs = append(errs, ev.err)
+			}
+		case err := <-gen:
+			if err != nil {
+				return nil, err
+			}
+			gen = nil
 		}
 	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
 
-	// Phase 5: merge statistics (nodes quiescent again).
 	ps := &PeriodStats{
-		Period:           e.period,
+		Period:           pr.period,
 		GroupUnits:       make([]float64, e.topo.NumGroups()),
-		GroupNode:        append([]int(nil), e.groupNode...),
+		GroupNode:        append([]int(nil), pr.alloc...),
 		StateBytes:       make([]int, e.topo.NumGroups()),
 		Comm:             map[core.Pair]float64{},
 		NodeUnits:        make([]float64, len(e.nodes)),
-		Migrations:       migsExpected,
+		Migrations:       len(pr.staged),
 		MigrationLatency: float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
-		BatchesCrossNode: srcBatches,
+		BatchesCrossNode: pr.srcBatches,
 	}
 	for i, n := range e.nodes {
 		if e.removed[i] {
@@ -346,34 +411,82 @@ func (e *Engine) RunPeriod() (*PeriodStats, error) {
 			ps.GroupUnits[gid] += u
 			ps.NodeUnits[i] += u
 		}
-		for gid, c := range n.stats.groupTuplesIn {
-			_ = gid
+		for _, c := range n.stats.groupTuplesIn {
 			ps.TuplesIn += c
 		}
 		for _, c := range n.stats.groupTuplesOut {
 			ps.TuplesOut += c
 		}
-		for p, v := range n.stats.comm {
+		n.stats.forEachComm(func(p core.Pair, v float64) {
 			ps.Comm[p] += v
-		}
+		})
 		ps.BytesCrossNode += n.stats.bytesOut
 		ps.BatchesCrossNode += n.stats.batchesOut
 		for gid, st := range n.states {
 			ps.StateBytes[gid] = st.Size()
 		}
 	}
-	e.baseAlloc = append(e.baseAlloc[:0], e.groupNode...)
+	// The period installed pr.alloc, not necessarily the current target:
+	// a plan staged mid-period diffs against what is physically in place.
+	e.mu.Lock()
+	e.baseAlloc = append(e.baseAlloc[:0], pr.alloc...)
 	e.last = ps
+	e.mu.Unlock()
 	return ps, nil
+}
+
+// RunPeriod executes one statistics period in lockstep: staged migrations
+// are applied via direct state migration concurrently with the new period's
+// data flow, sources generate their batch on the calling goroutine, every
+// operator processes and flushes, and the merged statistics are returned.
+func (e *Engine) RunPeriod() (*PeriodStats, error) {
+	pr := e.beginPeriod()
+	if err := e.generate(pr); err != nil {
+		return nil, err
+	}
+	return e.finishPeriod(pr, nil)
+}
+
+// Run drives the engine continuously until ctx is cancelled or periods
+// complete (periods <= 0 means until cancelled). Unlike the lockstep
+// RunPeriod, source generation runs on a dedicated goroutine, keeping the
+// control goroutine free for coordination, and the observe hook — invoked
+// between periods with each period's merged statistics — is where an
+// adaptation loop (see internal/controller) snapshots, plans and stages
+// reconfigurations. observe may be nil; a non-nil error return stops the
+// run and is returned.
+func (e *Engine) Run(ctx context.Context, periods int, observe func(*PeriodStats) error) error {
+	for p := 0; periods <= 0 || p < periods; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pr := e.beginPeriod()
+		gen := make(chan error, 1)
+		go func() { gen <- e.generate(pr) }()
+		ps, err := e.finishPeriod(pr, gen)
+		if err != nil {
+			return fmt.Errorf("period %d: %w", pr.period, err)
+		}
+		if observe != nil {
+			if err := observe(ps); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ApplyPlan sets the target allocation; the required migrations execute
 // (with direct state migration) at the start of the next period. Moves onto
-// removed nodes are rejected.
+// removed nodes are rejected. ApplyPlan is safe to call while a period is
+// in flight: the running period keeps its installed allocation and the
+// staged diff is computed at the next period boundary.
 func (e *Engine) ApplyPlan(groupNode []int) error {
 	if len(groupNode) != e.topo.NumGroups() {
 		return fmt.Errorf("engine: plan has %d groups, want %d", len(groupNode), e.topo.NumGroups())
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for gid, to := range groupNode {
 		if to < 0 || to >= len(e.nodes) {
 			return fmt.Errorf("engine: plan sends group %d to invalid node %d", gid, to)
@@ -386,8 +499,14 @@ func (e *Engine) ApplyPlan(groupNode []int) error {
 	return nil
 }
 
-// AddNodes provisions count new worker nodes and returns their ids.
+// AddNodes provisions count new worker nodes and returns their ids. Must be
+// called between periods (the controller applies scaling decisions at
+// period boundaries: worker goroutines index the node table unlocked while
+// a period is in flight). The mutex only orders it against concurrent
+// ApplyPlan / Allocation / Snapshot callers.
 func (e *Engine) AddNodes(count int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var ids []int
 	for i := 0; i < count; i++ {
 		id := len(e.nodes)
@@ -396,6 +515,7 @@ func (e *Engine) AddNodes(count int) []int {
 		e.removed = append(e.removed, false)
 		e.killed = append(e.killed, false)
 		e.weights = append(e.weights, 1)
+		e.invWeights = append(e.invWeights, 1)
 		go n.run()
 		ids = append(ids, id)
 	}
@@ -404,6 +524,8 @@ func (e *Engine) AddNodes(count int) []int {
 
 // MarkForRemoval flags nodes for scale-in; the balancer drains them.
 func (e *Engine) MarkForRemoval(ids []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, id := range ids {
 		if id >= 0 && id < len(e.nodes) {
 			e.killed[id] = true
@@ -413,6 +535,8 @@ func (e *Engine) MarkForRemoval(ids []int) {
 
 // TerminateNode shuts a drained node down. It must hold no key groups.
 func (e *Engine) TerminateNode(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if id < 0 || id >= len(e.nodes) {
 		return fmt.Errorf("engine: terminate invalid node %d", id)
 	}
@@ -447,6 +571,8 @@ func (e *Engine) Close() {
 // core.Snapshot. The caller sets migration budgets (MaxMigrCost /
 // MaxMigrations / Alpha) before planning.
 func (e *Engine) Snapshot() (*core.Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.last == nil {
 		return nil, fmt.Errorf("engine: no completed period")
 	}
@@ -491,6 +617,8 @@ func (e *Engine) Snapshot() (*core.Snapshot, error) {
 // call this once after a warm-up period so the reported percentages sit in
 // a realistic band; it only changes the unit conversion, never behaviour.
 func (e *Engine) CalibrateCapacity(targetAvgPercent float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.last == nil || targetAvgPercent <= 0 {
 		return
 	}
@@ -510,6 +638,8 @@ func (e *Engine) CalibrateCapacity(targetAvgPercent float64) {
 // NodeLoadPercents returns per-node load (% of capacity) from the last
 // period.
 func (e *Engine) NodeLoadPercents() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.last == nil {
 		return nil
 	}

@@ -349,15 +349,33 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 		alt := rt.altKeyGroup(e.op, key)
 		if alt != kg {
 			g1, g2 := n.eng.topo.GID(e.op, kg), n.eng.topo.GID(e.op, alt)
-			if n.potcSent[g2] < n.potcSent[g1] {
+			if n.eng.hetero {
+				// Heterogeneous cluster: each send is accounted below at
+				// 1/weight of the host that received it, so the counters
+				// already hold capacity-relative work (a group migrating
+				// between different-weight nodes keeps its history at the
+				// rates that applied when it was sent). Break ties with the
+				// live capacity-normalized node load.
+				n1, n2 := rt.nodeOf(e.op, kg), rt.nodeOf(e.op, alt)
+				if s1, s2 := n.potcSent[g1], n.potcSent[g2]; s2 < s1 ||
+					(s1 == s2 && n1 != n2 &&
+						n.eng.nodeLoadEstimate(n2) < n.eng.nodeLoadEstimate(n1)) {
+					kg = alt
+				}
+			} else if n.potcSent[g2] < n.potcSent[g1] {
 				kg = alt
 			}
 		}
-		n.potcSent[n.eng.topo.GID(e.op, kg)]++
+		chosen := n.eng.topo.GID(e.op, kg)
+		if n.eng.hetero {
+			n.potcSent[chosen] += n.eng.invWeights[rt.nodeOf(e.op, kg)]
+		} else {
+			n.potcSent[chosen]++
+		}
 	}
 	dest := rt.nodeOf(e.op, kg)
 	toGID := n.eng.topo.GID(e.op, kg)
-	n.stats.comm[pairOf(fromGID, toGID)]++
+	n.stats.addComm(fromGID, toGID)
 	if dest == n.id {
 		// Node-local edge: no serialization. Deliver synchronously.
 		localKG := kg

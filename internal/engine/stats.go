@@ -6,6 +6,14 @@ import (
 	"repro/internal/core"
 )
 
+// denseCommGroupLimit bounds the dense communication-matrix representation:
+// topologies with at most this many key groups accumulate out(gi, gj) in a
+// flat gid×gid []float64 (one add + one index per tuple on the hot path)
+// instead of a map. 362 groups ≈ 1 MB of matrix per node; larger topologies
+// fall back to sparse map accumulation. Variable so tests can force the
+// sparse path.
+var denseCommGroupLimit = 362
+
 // nodeStats is written only by its owning node goroutine during a period and
 // read by the engine between periods (the completion channel provides the
 // happens-before edge). nodeUnits is atomic because the PoTC router reads it
@@ -18,8 +26,13 @@ type nodeStats struct {
 	// groupTuplesIn / Out count tuples per key group.
 	groupTuplesIn  []int64
 	groupTuplesOut []int64
-	// comm[{from,to}] = tuples sent from key group `from` to key group `to`.
-	comm map[core.Pair]float64
+	// Communication matrix: tuples sent from key group `from` to key group
+	// `to`. Exactly one of the two representations is active — commDense
+	// (flat, indexed from*numGroups+to) for small topologies, comm (sparse)
+	// otherwise.
+	comm      map[core.Pair]float64
+	commDense []float64
+	numGroups int
 	// bytesOut / bytesIn count serialized bytes crossing node boundaries.
 	bytesOut, bytesIn int64
 	// batchesOut counts cross-node frames shipped (each amortizing one
@@ -38,11 +51,42 @@ type nodeStats struct {
 func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
 
 func newNodeStats(numGroups int) *nodeStats {
-	return &nodeStats{
+	s := &nodeStats{
 		groupUnits:     make([]float64, numGroups),
 		groupTuplesIn:  make([]int64, numGroups),
 		groupTuplesOut: make([]int64, numGroups),
-		comm:           map[core.Pair]float64{},
+		numGroups:      numGroups,
+	}
+	if numGroups <= denseCommGroupLimit {
+		s.commDense = make([]float64, numGroups*numGroups)
+	} else {
+		s.comm = map[core.Pair]float64{}
+	}
+	return s
+}
+
+// addComm records one tuple flowing from key group `from` to `to`.
+func (s *nodeStats) addComm(from, to int) {
+	if s.commDense != nil {
+		s.commDense[from*s.numGroups+to]++
+		return
+	}
+	s.comm[pairOf(from, to)]++
+}
+
+// forEachComm visits every non-zero communication edge recorded this period.
+func (s *nodeStats) forEachComm(fn func(core.Pair, float64)) {
+	if s.commDense != nil {
+		ng := s.numGroups
+		for i, v := range s.commDense {
+			if v != 0 {
+				fn(core.Pair{i / ng, i % ng}, v)
+			}
+		}
+		return
+	}
+	for p, v := range s.comm {
+		fn(p, v)
 	}
 }
 
@@ -60,7 +104,11 @@ func (s *nodeStats) reset() {
 	clear(s.groupUnits)
 	clear(s.groupTuplesIn)
 	clear(s.groupTuplesOut)
-	s.comm = map[core.Pair]float64{}
+	if s.commDense != nil {
+		clear(s.commDense)
+	} else {
+		clear(s.comm)
+	}
 	s.bytesOut, s.bytesIn = 0, 0
 	s.batchesOut = 0
 	s.migUnits = 0

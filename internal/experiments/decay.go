@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/workload"
@@ -56,28 +58,21 @@ func Decay(opt Opts) *Result {
 			panic(err)
 		}
 
-		// Maintenance under load jitter with the usual budget.
-		s := Series{Label: maint.Name()}
-		for p := 0; p < periods; p++ {
-			if _, err := e.RunPeriod(); err != nil {
-				panic(err)
-			}
-			snap, err := e.Snapshot()
-			if err != nil {
-				panic(err)
-			}
-			s.X = append(s.X, float64(p+1))
-			s.Y = append(s.Y, snap.CollocationFactor())
-			snap.MaxMigrations = 10
-			plan, err := maint.Plan(snap)
-			if err != nil {
-				panic(fmt.Sprintf("decay(%s): %v", maint.Name(), err))
-			}
-			if err := e.ApplyPlan(plan.GroupNode); err != nil {
-				panic(err)
-			}
+		// Maintenance under load jitter with the usual budget, through the
+		// shared control plane (SmoothAlpha 1: the maintenance policies are
+		// compared on raw per-period loads; TargetAvgLoad < 0: capacity was
+		// calibrated during the bootstrap above).
+		ctrl := controller.New(e, controller.Options{
+			Balancer:      maint,
+			MaxMigrations: 10,
+			SmoothAlpha:   1,
+			TargetAvgLoad: -1,
+		})
+		m, err := ctrl.Run(context.Background(), periods)
+		if err != nil {
+			panic(fmt.Sprintf("decay(%s): %v", maint.Name(), err))
 		}
-		return s
+		return series(maint.Name(), m.Collocation)
 	}
 
 	albic := runMaint(newALBIC(opt.Seed))

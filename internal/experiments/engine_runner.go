@@ -1,20 +1,17 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
 )
 
-// runMetrics holds the per-period series an engine experiment records.
-type runMetrics struct {
-	LoadDistance []float64
-	Collocation  []float64
-	LoadIndex    []float64 // avg load relative to the first recorded period
-	Migrations   []float64
-	CumLatencyM  []float64 // cumulative migration latency, minutes
-}
+// runMetrics is the per-period series an engine experiment records — the
+// controller's recorded metrics, re-exported under the historical name the
+// figure runners use.
+type runMetrics = controller.Metrics
 
 // runSpec describes one adaptive engine run.
 type runSpec struct {
@@ -29,85 +26,26 @@ type runSpec struct {
 	targetAvgLoad float64
 }
 
-// runAdaptive executes the run: each period the engine processes a batch,
-// the controller snapshots statistics, the balancer plans under the
-// migration budget, and the plan is applied (migrations execute at the next
-// period's start, concurrent with its data).
+// runAdaptive executes the run through the shared control plane
+// (internal/controller) in lockstep mode — the paper's evaluation is
+// defined in lockstep terms: each period the engine processes a batch, the
+// controller snapshots statistics, EWMA-smooths the planner inputs, the
+// balancer plans under the migration budget, and the plan is applied
+// (migrations execute at the next period's start, concurrent with its
+// data).
 func runAdaptive(spec runSpec) (*runMetrics, error) {
 	e, err := engine.New(spec.topo, engine.Config{Nodes: spec.nodes}, spec.initial)
 	if err != nil {
 		return nil, err
 	}
 	defer e.Close()
-	if spec.targetAvgLoad <= 0 {
-		spec.targetAvgLoad = 60
-	}
-
-	m := &runMetrics{}
-	baseAvg := 0.0
-	cumLat := 0.0
-	// Planner inputs are EWMA-smoothed across periods (the controller's
-	// SPL averaging); the reported metrics stay raw per-period measurements.
-	var smooth []float64
-	for p := 0; p < spec.warmup+spec.periods; p++ {
-		ps, err := e.RunPeriod()
-		if err != nil {
-			return nil, fmt.Errorf("period %d: %w", p, err)
-		}
-		if p == 0 {
-			e.CalibrateCapacity(spec.targetAvgLoad)
-		}
-		recording := p >= spec.warmup
-		if !recording && spec.balancer == nil {
-			// Nobody consumes the snapshot during an unbalanced warm-up
-			// period; skip building it.
-			continue
-		}
-		snap, err := e.Snapshot()
-		if err != nil {
-			return nil, err
-		}
-		if recording {
-			if baseAvg == 0 {
-				if avg := snap.AverageLoad(); avg > 0 {
-					baseAvg = avg
-				}
-			}
-			m.LoadDistance = append(m.LoadDistance, snap.LoadDistance())
-			m.Collocation = append(m.Collocation, snap.CollocationFactor())
-			idx := 0.0
-			if baseAvg > 0 {
-				idx = 100 * snap.AverageLoad() / baseAvg
-			}
-			m.LoadIndex = append(m.LoadIndex, idx)
-			m.Migrations = append(m.Migrations, float64(ps.Migrations))
-			cumLat += ps.MigrationLatency
-			m.CumLatencyM = append(m.CumLatencyM, cumLat/60)
-		}
-		if spec.balancer != nil {
-			snap.MaxMigrations = spec.maxMig
-			if smooth == nil {
-				smooth = make([]float64, len(snap.Groups))
-				for k := range snap.Groups {
-					smooth[k] = snap.Groups[k].Load
-				}
-			} else {
-				const alpha = 0.5
-				for k := range snap.Groups {
-					smooth[k] = alpha*snap.Groups[k].Load + (1-alpha)*smooth[k]
-					snap.Groups[k].Load = smooth[k]
-				}
-			}
-			plan, err := spec.balancer.Plan(snap)
-			if err != nil {
-				return nil, fmt.Errorf("period %d plan: %w", p, err)
-			}
-			if err := e.ApplyPlan(plan.GroupNode); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return m, nil
+	ctrl := controller.New(e, controller.Options{
+		Balancer:      spec.balancer,
+		Warmup:        spec.warmup,
+		TargetAvgLoad: spec.targetAvgLoad,
+		MaxMigrations: spec.maxMig,
+	})
+	return ctrl.Run(context.Background(), spec.warmup+spec.periods)
 }
 
 // series converts a recorded metric into a plotted Series.

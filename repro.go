@@ -32,6 +32,7 @@ package repro
 import (
 	"repro/internal/assign"
 	"repro/internal/baseline"
+	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/workload"
@@ -88,6 +89,31 @@ type (
 	// UtilizationScaler is the default utilization-band scaling policy.
 	UtilizationScaler = core.UtilizationScaler
 )
+
+// Asynchronous control plane (internal/controller): the documented entry
+// point for running a job under the integrative adaptation loop. The
+// controller owns snapshotting, EWMA smoothing, calibration, the migration
+// budget, planning and elasticity; in pipelined mode the planner overlaps
+// the next period's data flow instead of stopping the data path.
+type (
+	// Controller drives one engine through the adaptation loop.
+	Controller = controller.Controller
+	// ControllerOptions configures the loop (balancer, scaler, budgets,
+	// smoothing, pipelining, observation hook).
+	ControllerOptions = controller.Options
+	// ControllerMetrics is the recorded per-period metric series of a run.
+	ControllerMetrics = controller.Metrics
+	// PeriodReport is the per-period view handed to OnPeriod observers.
+	PeriodReport = controller.PeriodReport
+	// ControllerEngine is the data-plane surface the controller drives
+	// (implemented by *Engine).
+	ControllerEngine = controller.Engine
+)
+
+// NewController builds the adaptation loop around an engine.
+func NewController(e ControllerEngine, opt ControllerOptions) *Controller {
+	return controller.New(e, opt)
+}
 
 // Baselines (internal/baseline).
 type (
