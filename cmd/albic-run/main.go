@@ -7,12 +7,21 @@
 // moves are staged for period N+2, so a slow planner never stops the data
 // path. -pipelined=false restores the paper's lockstep loop.
 //
+// With -reactive the engine additionally splits every period into
+// -subperiods sub-intervals and reacts to transient skew mid-period: a
+// trigger (imbalance ratio + EWMA deviation, with cooldown) fires a greedy
+// hot mover whose restricted moves apply at sub-period boundaries without
+// waiting for the period barrier. -cancel-stale makes the pipelined planner
+// abort an in-flight solve when a fresher snapshot arrives (the stale plan
+// is never applied).
+//
 // Usage:
 //
 //	albic-run -job rj2 -balancer albic -nodes 10 -periods 40 -budget 10
 //	albic-run -job rj1 -balancer milp -pipelined=false
 //	albic-run -job rj1 -balancer potc       # two-choice routing, no migration
 //	albic-run -job rj3 -balancer cola
+//	albic-run -job rj2 -reactive -subperiods 4 -hot-budget 2
 package main
 
 import (
@@ -39,9 +48,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	pipelined := flag.Bool("pipelined", true, "overlap planning with the next period's data flow")
 	smooth := flag.Float64("smooth", 1, "EWMA factor for planner inputs, in (0,1]; 1 = plan on raw loads")
+	reactive := flag.Bool("reactive", false, "enable sub-period reactive reconfiguration (hot moves)")
+	subperiods := flag.Int("subperiods", 4, "sub-intervals per period for the reactive path")
+	triggerRatio := flag.Float64("trigger-ratio", 0, "reactive imbalance-ratio threshold (0 = default 1.25)")
+	triggerDev := flag.Float64("trigger-dev", 0, "reactive EWMA-deviation threshold (0 = default 0.15)")
+	cooldown := flag.Int("cooldown", 0, "sub-boundaries skipped after a reactive firing (0 = default 2)")
+	hotBudget := flag.Int("hot-budget", 2, "max key groups per reactive firing")
+	cancelStale := flag.Bool("cancel-stale", false, "cancel an in-flight pipelined solve when a fresher snapshot arrives")
 	flag.Parse()
 	if *smooth <= 0 || *smooth > 1 {
 		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
+		os.Exit(2)
+	}
+	if *reactive && *subperiods < 2 {
+		fmt.Fprintf(os.Stderr, "albic-run: -reactive requires -subperiods >= 2\n")
 		os.Exit(2)
 	}
 
@@ -77,9 +97,9 @@ func main() {
 	case "milp":
 		bal = &core.MILPBalancer{TimeLimit: 25 * time.Millisecond, Seed: *seed}
 	case "flux":
-		bal = baseline.Flux{}
+		bal = core.AdaptBalancer(baseline.Flux{})
 	case "cola":
-		bal = &baseline.COLA{Seed: *seed}
+		bal = core.AdaptBalancer(&baseline.COLA{Seed: *seed})
 	case "potc", "none":
 		bal = core.NoopBalancer{}
 	default:
@@ -87,34 +107,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	e, err := repro.NewEngine(topo, repro.EngineConfig{Nodes: *nodes}, nil)
+	ecfg := repro.EngineConfig{Nodes: *nodes}
+	if *reactive {
+		ecfg.SubPeriods = *subperiods
+	}
+	e, err := repro.NewEngine(topo, ecfg, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
 		os.Exit(1)
 	}
 	defer e.Close()
 
-	fmt.Printf("job=%s balancer=%s nodes=%d budget=%d rate=%d pipelined=%v\n",
-		*job, *balancerName, *nodes, *budget, cfg.Rate, *pipelined)
-	fmt.Printf("%7s %10s %12s %10s %11s %12s %10s\n",
-		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "migLatency_s", "plan_ms")
+	fmt.Printf("job=%s balancer=%s nodes=%d budget=%d rate=%d pipelined=%v reactive=%v\n",
+		*job, *balancerName, *nodes, *budget, cfg.Rate, *pipelined, *reactive)
+	fmt.Printf("%7s %10s %12s %10s %11s %9s %12s %10s\n",
+		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "hotMoves", "migLatency_s", "plan_ms")
 	ctrl := repro.NewController(e, repro.ControllerOptions{
-		Balancer:      bal,
-		MaxMigrations: *budget,
-		SmoothAlpha:   *smooth,
-		Pipelined:     *pipelined,
+		Balancer:         bal,
+		MaxMigrations:    *budget,
+		SmoothAlpha:      *smooth,
+		Pipelined:        *pipelined,
+		CancelStalePlans: *cancelStale,
+		Reactive:         *reactive,
+		TriggerRatio:     *triggerRatio,
+		TriggerDeviation: *triggerDev,
+		TriggerCooldown:  *cooldown,
+		HotMoveBudget:    *hotBudget,
 		OnPeriod: func(r repro.PeriodReport) {
 			planMS := "-"
 			if r.Outcome != nil {
 				planMS = fmt.Sprintf("%.1f", float64(r.PlanLatency.Microseconds())/1000)
 			}
-			fmt.Printf("%7d %10.2f %12.1f %10.1f %11d %12.2f %10s\n",
+			fmt.Printf("%7d %10.2f %12.1f %10.1f %11d %9d %12.2f %10s\n",
 				r.Period, r.LoadDistance, r.Collocation, r.AverageLoad,
-				r.Stats.Migrations, r.Stats.MigrationLatency, planMS)
+				r.Stats.Migrations, r.Stats.HotMoves, r.Stats.MigrationLatency, planMS)
 		},
 	})
-	if _, err := ctrl.Run(context.Background(), *periods); err != nil {
+	m, err := ctrl.Run(context.Background(), *periods)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
 		os.Exit(1)
+	}
+	if *reactive || *cancelStale {
+		fmt.Printf("plans applied=%d cancelled=%d, hot moves=%d\n",
+			m.PlansApplied, m.PlansCancelled, m.HotMoves)
 	}
 }

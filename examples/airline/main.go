@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,7 +61,7 @@ func main() {
 			100*snap.AverageLoad()/baseLoad, snap.LoadDistance(), stats.Migrations)
 
 		snap.MaxMigrations = 10 // the paper's ALBIC budget
-		plan, err := albic.Plan(snap)
+		plan, err := albic.Plan(context.Background(), snap)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -85,7 +86,7 @@ func main() {
 		fmt.Printf("%6d  %5d  %15d  %s\n", period, alive, lastCheckpoint.Bytes(), event)
 
 		snap.MaxMigrations = 6
-		plan, err := balancer.Plan(snap)
+		plan, err := balancer.Plan(context.Background(), snap)
 		if err != nil {
 			log.Fatal(err)
 		}

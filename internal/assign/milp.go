@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -176,8 +177,10 @@ func ones(n int) []float64 {
 }
 
 // solveExact solves the problem with the branch-and-bound MILP solver and
-// converts the result back to an assignment.
-func solveExact(p *Problem, opt Options) (*Solution, error) {
+// converts the result back to an assignment. ctx cancellation stops the
+// search like the time limit does: the best incumbent found so far is
+// returned if one exists.
+func solveExact(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	m, x, err := BuildMILP(p)
 	if err != nil {
 		return nil, err
@@ -186,7 +189,7 @@ func solveExact(p *Problem, opt Options) (*Solution, error) {
 	if tl <= 0 {
 		tl = 30 * time.Second
 	}
-	sol := lp.SolveMILP(m, lp.MILPOptions{TimeLimit: tl})
+	sol := lp.SolveMILP(m, lp.MILPOptions{TimeLimit: tl, Cancel: ctx.Done()})
 	switch sol.Status {
 	case lp.Optimal, lp.TimeLimit:
 		if sol.X == nil {

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -31,16 +32,29 @@ type Options struct {
 // returns a feasible plan (budget respected, pins honored, no load moved to
 // kill-marked nodes); quality improves with TimeLimit.
 func Solve(p *Problem, opt Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// SolveCtx is Solve with cancellation: the effective budget is the earlier
+// of TimeLimit and ctx's deadline, and cancelling ctx aborts the anytime
+// improvement loop at the next improvement-round boundary, returning the
+// best feasible solution found so far. SolveCtx never returns ctx.Err()
+// once a feasible starting assignment exists — a cancelled solve degrades
+// to a cheaper solve, it does not fail.
+func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if opt.Exact {
-		return solveExact(p, opt)
+		return solveExact(ctx, p, opt)
 	}
 	if opt.TimeLimit <= 0 {
 		opt.TimeLimit = 50 * time.Millisecond
 	}
 	deadline := time.Now().Add(opt.TimeLimit)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	s := newSearch(p, opt.Seed)
 	if err := s.init(); err != nil {
 		return nil, err
@@ -50,7 +64,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		s.swapPass()
 	}
 	if !opt.DisableBatch {
-		for s.batchPass() {
+		for ctx.Err() == nil && s.batchPass() {
 			s.greedyMoves()
 			if !opt.DisableSwaps {
 				s.swapPass()
@@ -58,7 +72,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		}
 	}
 	if !opt.DisableLNS {
-		s.lns(deadline)
+		s.lns(ctx, deadline)
 	}
 	e := p.Evaluate(s.assign)
 	if !p.WithinBudget(e) {
@@ -504,16 +518,16 @@ func (s *search) batchPass() bool {
 	return false
 }
 
-// lns runs large-neighbourhood repacking until the deadline: take the worst
-// node plus a few random nodes, strip their movable items, repack with LPT,
-// keep the result if the objective improves.
-func (s *search) lns(deadline time.Time) {
+// lns runs large-neighbourhood repacking until the deadline or ctx
+// cancellation: take the worst node plus a few random nodes, strip their
+// movable items, repack with LPT, keep the result if the objective improves.
+func (s *search) lns(ctx context.Context, deadline time.Time) {
 	p := s.p
 	if len(s.alive) < 2 {
 		return
 	}
 	for round := 0; ; round++ {
-		if time.Now().After(deadline) {
+		if ctx.Err() != nil || time.Now().After(deadline) {
 			return
 		}
 		// Neighbourhood: worst alive node by |dev|, one loaded kill node if

@@ -1,0 +1,72 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchCodec feeds arbitrary bytes through the batch frame decoder and
+// checks the round-trip law on whatever survives: decoding must never
+// panic, and for any frame that decodes cleanly, re-encoding the decoded
+// items and decoding again must reproduce them exactly. The seed corpus
+// pins the tricky length-prefix shapes batch_test.go exercises by hand:
+// empty frames, empty items, boundary and mid-item truncations, overlong
+// prefixes, non-minimal uvarints and maximum-width varints.
+func FuzzBatchCodec(f *testing.F) {
+	// Well-formed frames.
+	f.Add([]byte{})
+	f.Add(EncodeBatch(nil, []byte{}))                                   // one empty item
+	f.Add(EncodeBatch(nil, []byte("hello"), []byte("world")))           // two items
+	f.Add(EncodeBatch(nil, []byte{}, []byte{}, []byte{}))               // empty items only
+	f.Add(EncodeBatch(nil, bytes.Repeat([]byte{0xab}, 300)))            // 2-byte length prefix
+	f.Add(EncodeBatch(nil, bytes.Repeat([]byte{0x00}, 127)))            // max 1-byte prefix
+	f.Add(EncodeBatch(nil, bytes.Repeat([]byte{0x7f}, 128)))            // min 2-byte prefix
+	f.Add(AppendBatchItem(AppendBatchItem(nil, []byte("a")), []byte{})) // trailing empty item
+	// Malformed frames (decoder must error, not panic).
+	half := EncodeBatch(nil, []byte("hello"), []byte("world"))
+	f.Add(half[:len(half)/2])                                                 // boundary truncation
+	f.Add(half[:len(half)/2+2])                                               // mid-item truncation
+	f.Add(append(AppendUvarint(nil, 1000), 'x'))                              // overlong length prefix
+	f.Add([]byte{0x80})                                                       // dangling uvarint continuation
+	f.Add([]byte{0x80, 0x00, 'a'})                                            // non-minimal zero length + junk
+	f.Add([]byte{0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // 10-byte uvarint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // ~max uint64 length
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var items [][]byte
+		err := DecodeBatch(frame, func(item []byte) error {
+			items = append(items, append([]byte(nil), item...))
+			return nil
+		})
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		// Round trip 1: re-encode the decoded items and decode again.
+		re := GetBuf()
+		for _, it := range items {
+			re = AppendBatchItem(re, it)
+		}
+		var again [][]byte
+		if err := DecodeBatch(re, func(item []byte) error {
+			again = append(again, append([]byte(nil), item...))
+			return nil
+		}); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip changed item count: %d -> %d", len(items), len(again))
+		}
+		for i := range items {
+			if !bytes.Equal(items[i], again[i]) {
+				t.Fatalf("item %d changed across round trip: %q -> %q", i, items[i], again[i])
+			}
+		}
+		// Canonically encoded frames are a fixpoint: decode(re) == items and
+		// encode(decode(re)) == re.
+		re2 := EncodeBatch(nil, again...)
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical re-encode not a fixpoint (%d vs %d bytes)", len(re), len(re2))
+		}
+		PutBuf(re)
+	})
+}

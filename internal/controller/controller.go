@@ -17,6 +17,16 @@
 // folded into the EWMA the next planner input carries, while at
 // SmoothAlpha 1 the planner simply plans on the latest raw snapshot.
 //
+// Two optional layers extend the loop beyond the paper. With
+// CancelStalePlans, a pipelined solve whose input snapshot goes stale (a
+// fresher one arrived at the next boundary) is cancelled through its
+// context and its outcome discarded — a stale plan is never applied. With
+// Reactive, the controller additionally reacts inside a period: the engine
+// reports mid-period statistics at sub-interval boundaries, a Trigger
+// (imbalance ratio + EWMA deviation, with cooldown) detects transient skew,
+// and a restricted hot-move plan (core.GreedyHotMover) applies immediately
+// without waiting for the period barrier.
+//
 // cmd/albic-run, the examples and internal/experiments all drive their
 // engines through this package; it is the only implementation of the
 // adaptation loop in the repository.
@@ -52,6 +62,16 @@ type Engine interface {
 	TerminateNode(id int) error
 }
 
+// SubPeriodEngine is the additional data-plane surface reactive
+// (sub-period) mode requires. *engine.Engine implements it; the engine must
+// also have been built with engine.Config.SubPeriods >= 2 or no boundary
+// ever fires.
+type SubPeriodEngine interface {
+	// SetSubObserver installs the sub-period boundary hook (see
+	// engine.SubObserver).
+	SetSubObserver(engine.SubObserver)
+}
+
 // Options configures a Controller.
 type Options struct {
 	// Balancer plans key-group allocations each period. nil disables
@@ -79,6 +99,35 @@ type Options struct {
 	// Pipelined overlaps planning with the next period's data flow instead
 	// of stopping the data path while the balancer runs.
 	Pipelined bool
+	// CancelStalePlans makes pipelined mode cancel an in-flight solve when
+	// a fresher snapshot arrives at a period boundary, instead of dropping
+	// the new snapshot: the stale solve's context is cancelled, its outcome
+	// is discarded unconditionally (a stale plan is never applied), and the
+	// fresh snapshot is handed to the planner. Requires a context-honoring
+	// Balancer to be useful; with a balancer slower than a period, no full
+	// plan ever completes — pair it with Reactive so hot moves cover the
+	// gap, or leave it off for paper-style planners.
+	CancelStalePlans bool
+
+	// Reactive enables sub-period reconfiguration: a Trigger watches
+	// mid-period sub-snapshots at every sub-interval boundary and, when
+	// transient skew appears, fires a cheap hot-move planner whose moves
+	// apply immediately — without waiting for the period barrier. The
+	// engine must implement SubPeriodEngine and have been built with
+	// engine.Config.SubPeriods >= 2.
+	Reactive bool
+	// TriggerRatio / TriggerDeviation / TriggerCooldown configure the
+	// reactive trigger policy (zero values take the Trigger defaults).
+	TriggerRatio     float64
+	TriggerDeviation float64
+	TriggerCooldown  int
+	// HotMoveBudget caps the key groups a single reactive firing may move
+	// (default 2).
+	HotMoveBudget int
+	// HotMover overrides the reactive planner (default
+	// core.GreedyHotMover).
+	HotMover core.Balancer
+
 	// OnPeriod, when non-nil, observes every period boundary (after any
 	// plan application) — for printing progress or driving external
 	// monitoring. It runs on the control goroutine; keep it cheap.
@@ -91,6 +140,9 @@ func (o *Options) defaults() {
 	}
 	if o.SmoothAlpha == 0 {
 		o.SmoothAlpha = 0.5
+	}
+	if o.HotMoveBudget <= 0 {
+		o.HotMoveBudget = 2
 	}
 }
 
@@ -132,6 +184,13 @@ type Metrics struct {
 	// (in pipelined mode this is less than the period count whenever the
 	// planner spans periods).
 	PlansApplied int
+	// PlansCancelled counts in-flight pipelined solves aborted because a
+	// fresher snapshot arrived (CancelStalePlans); their outcomes were
+	// discarded, never applied.
+	PlansCancelled int
+	// HotMoves counts the reactive sub-period migrations executed over the
+	// run (also folded into each period's Migrations series).
+	HotMoves int
 }
 
 // Controller owns the adaptation loop over one engine.
@@ -162,9 +221,17 @@ type plannerResult struct {
 	latency time.Duration
 }
 
+// planReq is one snapshot handed to the planner goroutine, paired with the
+// context that cancels its solve when the snapshot goes stale.
+type planReq struct {
+	ctx  context.Context
+	snap *core.Snapshot
+}
+
 // run is the per-Run mutable state of the adaptation loop.
 type run struct {
-	c *Controller
+	c   *Controller
+	ctx context.Context // the Run context (bounds every solve)
 
 	p       int // 0-based period index within this run
 	baseAvg float64
@@ -178,31 +245,61 @@ type run struct {
 	terminated map[int]bool
 
 	// Pipelined-planning state: req carries at most one in-flight snapshot
-	// to the planner goroutine, res its outcome.
-	req      chan *core.Snapshot
-	res      chan plannerResult
-	planning bool
+	// to the planner goroutine, res its outcome; cancelPlan aborts the
+	// in-flight solve.
+	req        chan planReq
+	res        chan plannerResult
+	planning   bool
+	cancelPlan context.CancelFunc
+
+	// Reactive state, touched only on the engine's generation goroutine
+	// (the sub-period observer); the engine guarantees the observer never
+	// overlaps the period-boundary observe hook. lastHot remembers the
+	// previous firing's moves so a firing the engine rejected wholesale
+	// (stale From, staged group, non-host destination) re-arms the trigger
+	// instead of wasting its cooldown.
+	trigger  *Trigger
+	hotMover core.Balancer
+	lastHot  []core.Move
 }
 
 // Run executes the adaptation loop for the given number of periods
 // (periods <= 0: until ctx is cancelled) and returns the recorded metric
 // series.
 func (c *Controller) Run(ctx context.Context, periods int) (*Metrics, error) {
-	r := &run{c: c, m: &Metrics{}, terminated: map[int]bool{}}
+	r := &run{c: c, ctx: ctx, m: &Metrics{}, terminated: map[int]bool{}}
+	if c.opt.Reactive {
+		se, ok := c.eng.(SubPeriodEngine)
+		if !ok {
+			return r.m, fmt.Errorf("controller: Reactive requires an engine with sub-period support")
+		}
+		r.trigger = &Trigger{
+			Ratio:     c.opt.TriggerRatio,
+			Deviation: c.opt.TriggerDeviation,
+			Cooldown:  c.opt.TriggerCooldown,
+		}
+		r.hotMover = c.opt.HotMover
+		if r.hotMover == nil {
+			r.hotMover = &core.GreedyHotMover{TopK: c.opt.HotMoveBudget}
+		}
+		se.SetSubObserver(r.onSubPeriod)
+		defer se.SetSubObserver(nil)
+	}
 	if c.opt.Pipelined && c.fw != nil {
-		r.req = make(chan *core.Snapshot, 1)
+		r.req = make(chan planReq, 1)
 		r.res = make(chan plannerResult, 1)
 		go func() {
-			for s := range r.req {
+			for pq := range r.req {
 				t0 := time.Now()
-				out, err := c.fw.Step(s)
+				out, err := c.fw.Step(pq.ctx, pq.snap)
 				r.res <- plannerResult{out: out, err: err, latency: time.Since(t0)}
 			}
 		}()
 		defer func() {
 			close(r.req)
 			if r.planning {
-				<-r.res // drain the in-flight plan; the run is over
+				r.cancelPlan() // the run is over; abort and drain
+				<-r.res
 			}
 		}()
 	}
@@ -210,6 +307,49 @@ func (c *Controller) Run(ctx context.Context, periods int) (*Metrics, error) {
 		return r.m, err
 	}
 	return r.m, nil
+}
+
+// onSubPeriod is the reactive path, invoked by the engine at every
+// sub-interval boundary on its generation goroutine: normalize the partial
+// loads, consult the trigger, and — when it fires — plan a restricted
+// hot-move batch on the mid-period snapshot. The returned moves are applied
+// by the engine immediately, without waiting for the period barrier.
+func (r *run) onSubPeriod(snap *core.Snapshot, period, sub int) []core.Move {
+	// If the previous firing's moves were all rejected by the engine (the
+	// snapshot they were planned on went stale between boundaries), none of
+	// them shows up in the current allocation: re-arm the trigger so the
+	// cooldown is not spent on a no-op.
+	if r.lastHot != nil {
+		applied := false
+		for _, mv := range r.lastHot {
+			if mv.Group < len(snap.Groups) && snap.Groups[mv.Group].Node == mv.To {
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			r.trigger.Rearm()
+		}
+		r.lastHot = nil
+	}
+	loads := snap.NodeLoads()
+	// SubSnapshot loads accumulate from the period start; divide by the
+	// boundary index so the trigger's EWMA sees comparable per-interval
+	// rates at every boundary.
+	for i := range loads {
+		loads[i] /= float64(sub)
+	}
+	if !r.trigger.Observe(loads, snap.Kill) {
+		return nil
+	}
+	snap.MaxMigrations = r.c.opt.HotMoveBudget
+	plan, err := r.hotMover.Plan(r.ctx, snap)
+	if err != nil || plan == nil || len(plan.Moves) == 0 {
+		r.trigger.Rearm()
+		return nil
+	}
+	r.lastHot = plan.Moves
+	return plan.Moves
 }
 
 // observe is the period-boundary hook: it applies any completed
@@ -225,6 +365,9 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 	if p == 0 && c.opt.TargetAvgLoad > 0 {
 		c.eng.CalibrateCapacity(c.opt.TargetAvgLoad)
 	}
+	// Counted before any early return: hot moves executed during an
+	// unobserved warm-up period still happened.
+	r.m.HotMoves += ps.HotMoves
 
 	recording := p >= c.opt.Warmup
 	if !recording && c.fw == nil && c.opt.OnPeriod == nil {
@@ -263,6 +406,7 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 		select {
 		case pr := <-r.res:
 			r.planning = false
+			r.cancelPlan()
 			if pr.err != nil {
 				return fmt.Errorf("controller: period %d plan: %w", ps.Period, pr.err)
 			}
@@ -271,7 +415,20 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 			}
 			rep.PlanLatency = pr.latency
 			patchSnapshot(snap, pr.out)
-		default: // planner still busy; this period's snapshot may be dropped
+		default:
+			// Planner still busy on an older snapshot. Either drop this
+			// period's snapshot (its loads survive in the EWMA), or — with
+			// CancelStalePlans — abort the stale solve and hand over the
+			// fresh snapshot below. The aborted solve's outcome is
+			// discarded unconditionally: even if it completed between the
+			// check above and the cancellation, its input is stale and its
+			// plan must never be applied.
+			if c.opt.CancelStalePlans {
+				r.cancelPlan()
+				<-r.res
+				r.planning = false
+				r.m.PlansCancelled++
+			}
 		}
 	}
 
@@ -284,12 +441,14 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 			if !r.planning {
 				// Hand the freshest snapshot to the planner; it plans while
 				// the next period's data flows.
-				r.req <- snap
+				pctx, cancel := context.WithCancel(r.ctx)
+				r.cancelPlan = cancel
+				r.req <- planReq{ctx: pctx, snap: snap}
 				r.planning = true
 			}
 		} else {
 			t0 := time.Now()
-			out, err := c.fw.Step(snap)
+			out, err := c.fw.Step(r.ctx, snap)
 			if err != nil {
 				return fmt.Errorf("controller: period %d plan: %w", ps.Period, err)
 			}

@@ -92,7 +92,7 @@ func TestLockstepMatchesManualLoop(t *testing.T) {
 		}
 		defer e.Close()
 		ctrl := New(e, Options{
-			Balancer:      baseline.Flux{},
+			Balancer:      core.AdaptBalancer(baseline.Flux{}),
 			Warmup:        warmup,
 			MaxMigrations: budget,
 		})
@@ -198,12 +198,12 @@ type slowBalancer struct {
 
 func (s *slowBalancer) Name() string { return "slow-" + s.inner.Name() }
 
-func (s *slowBalancer) Plan(snap *core.Snapshot) (*core.Plan, error) {
+func (s *slowBalancer) Plan(ctx context.Context, snap *core.Snapshot) (*core.Plan, error) {
 	time.Sleep(s.delay)
 	s.mu.Lock()
 	s.plans++
 	s.mu.Unlock()
-	return s.inner.Plan(snap)
+	return s.inner.Plan(ctx, snap)
 }
 
 func (s *slowBalancer) planned() int {

@@ -1,0 +1,295 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// skewTopology builds a single-operator counting job whose key distribution
+// is uniform until hotPeriod and then abruptly concentrates ~45% of the
+// stream on a handful of keys that all hash to groups hosted by node 0 —
+// a sudden transient hotspot on one node.
+func skewTopology(perPeriod, kgs, nodes, hotPeriod int) *engine.Topology {
+	// Find hot keys: distinct key groups that the round-robin initial
+	// allocation places on node 0.
+	var hotKeys []string
+	seen := map[int]bool{}
+	for i := 0; len(hotKeys) < 3 && i < 100000; i++ {
+		k := fmt.Sprintf("viral-%05d", i)
+		kg := int(codec.Hash(k) % uint64(kgs))
+		if kg%nodes == 0 && !seen[kg] {
+			seen[kg] = true
+			hotKeys = append(hotKeys, k)
+		}
+	}
+	t := engine.NewTopology()
+	t.AddSource("src", func(period int, emit engine.Emit) {
+		for i := 0; i < perPeriod; i++ {
+			k := fmt.Sprintf("key-%04d", (i*7919+period)%997)
+			if period >= hotPeriod && i%9 < 4 {
+				k = hotKeys[i%len(hotKeys)]
+			}
+			emit(&engine.Tuple{Key: k, TS: int64(period*perPeriod + i)})
+		}
+	})
+	t.AddOperator(&engine.Operator{
+		Name:      "count",
+		KeyGroups: kgs,
+		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			st.Add(tu.Key, 1)
+		},
+	})
+	t.Connect("src", "count")
+	return t
+}
+
+// TestReactiveMovesHotGroupWithinSubPeriod is the load-skew regression test
+// of the reactive tentpole: when transient skew appears inside period P,
+// the reactive path must migrate load off the hot node within that same
+// period (hot moves recorded in period P's stats), while the lockstep loop
+// cannot react before the period P boundary — its first responding
+// migrations execute a full period later, inside period P+1.
+func TestReactiveMovesHotGroupWithinSubPeriod(t *testing.T) {
+	const (
+		perPeriod = 6000
+		kgs       = 12
+		nodes     = 3
+		hotPeriod = 4 // 1-based engine period at which the skew appears
+		periods   = 6
+	)
+
+	type result struct {
+		hotMoves   map[int]int // period -> hot moves
+		migrations map[int]int // period -> total migrations executed
+		dist       map[int]float64
+		m          *Metrics
+	}
+	run := func(reactive bool) result {
+		topo := skewTopology(perPeriod, kgs, nodes, hotPeriod)
+		cfg := engine.Config{Nodes: nodes}
+		if reactive {
+			cfg.SubPeriods = 4
+		}
+		e, err := engine.New(topo, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		res := result{hotMoves: map[int]int{}, migrations: map[int]int{}, dist: map[int]float64{}}
+		ctrl := New(e, Options{
+			Balancer:      &core.MILPBalancer{TimeLimit: 5 * time.Millisecond, Seed: 7},
+			MaxMigrations: 4,
+			Reactive:      reactive,
+			HotMoveBudget: 2,
+			SmoothAlpha:   1, // plan on raw loads: reactions are immediate
+			OnPeriod: func(r PeriodReport) {
+				res.hotMoves[r.Period] = r.Stats.HotMoves
+				res.migrations[r.Period] = r.Stats.Migrations
+				res.dist[r.Period] = r.LoadDistance
+			},
+		})
+		m, err := ctrl.Run(context.Background(), periods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.m = m
+		return res
+	}
+
+	lockstep := run(false)
+	reactive := run(true)
+
+	if lockstep.m.HotMoves != 0 {
+		t.Fatalf("lockstep run recorded %d hot moves", lockstep.m.HotMoves)
+	}
+	// The lockstep loop cannot react inside the skew period: the plan that
+	// addresses the skew is computed at the hotPeriod boundary and its
+	// migrations execute inside hotPeriod+1, where the measured imbalance
+	// finally drops.
+	if lockstep.dist[hotPeriod] < 10 {
+		t.Fatalf("lockstep skew-period load distance %.2f too low — the scenario's hotspot did not materialize", lockstep.dist[hotPeriod])
+	}
+	if lockstep.dist[hotPeriod+1] >= lockstep.dist[hotPeriod] {
+		t.Fatalf("lockstep never reacted: distance %.2f at period %d vs %.2f at %d",
+			lockstep.dist[hotPeriod+1], hotPeriod+1, lockstep.dist[hotPeriod], hotPeriod)
+	}
+
+	// Reactive: hot moves executed inside the skew period itself...
+	if got := reactive.hotMoves[hotPeriod]; got < 1 {
+		t.Fatalf("reactive path executed %d hot moves inside the skew period, want >= 1 (it must react within a sub-period interval)", got)
+	}
+	if reactive.m.HotMoves < 1 {
+		t.Fatalf("run metrics recorded %d hot moves", reactive.m.HotMoves)
+	}
+	// ...so load migrated off the hot node a full period earlier than
+	// lockstep could: the skew period's measured imbalance comes out
+	// clearly below the lockstep run's (same workload, same seeds).
+	if reactive.dist[hotPeriod] >= 0.9*lockstep.dist[hotPeriod] {
+		t.Fatalf("reactive skew-period load distance %.2f not clearly below lockstep %.2f",
+			reactive.dist[hotPeriod], lockstep.dist[hotPeriod])
+	}
+	t.Logf("skew period %d: lockstep dist %.2f -> %.2f one period later (%d migrations); reactive dist %.2f within the period (%d hot moves)",
+		hotPeriod, lockstep.dist[hotPeriod], lockstep.dist[hotPeriod+1],
+		lockstep.migrations[hotPeriod+1], reactive.dist[hotPeriod], reactive.hotMoves[hotPeriod])
+}
+
+// stubbornBalancer models a paper-scale solver (tens of seconds of CPLEX
+// time): Plan blocks until its context is cancelled, or — if left alone for
+// `delay` — returns a poison plan that stacks every group on node 0. The
+// cancellation machinery must abort it promptly and never apply the poison.
+type stubbornBalancer struct {
+	delay time.Duration
+
+	mu        sync.Mutex
+	cancelled int
+	completed int
+}
+
+func (b *stubbornBalancer) Name() string { return "stubborn" }
+
+func (b *stubbornBalancer) Plan(ctx context.Context, s *core.Snapshot) (*core.Plan, error) {
+	timer := time.NewTimer(b.delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		b.mu.Lock()
+		b.cancelled++
+		b.mu.Unlock()
+		return nil, ctx.Err()
+	case <-timer.C:
+		b.mu.Lock()
+		b.completed++
+		b.mu.Unlock()
+		return core.PlanFromAssignment(s, make([]int, len(s.Groups)), nil), nil
+	}
+}
+
+func (b *stubbornBalancer) counts() (cancelled, completed int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cancelled, b.completed
+}
+
+// TestCancelStaleSolveNeverApplied is the cancellation regression test: in
+// pipelined mode with CancelStalePlans, a deliberately slow context-aware
+// balancer must be aborted promptly when a fresher snapshot arrives at the
+// next period boundary, and its stale plan must never be applied. The whole
+// run is wall-clock bounded far below the balancer's nominal solve time
+// (modeled on the PR 2 pipelined regression test).
+func TestCancelStaleSolveNeverApplied(t *testing.T) {
+	const (
+		periods = 8
+		delay   = 30 * time.Second // nominal solve time; the test must not wait for it
+	)
+	topo := testTopology(800, 8, nil)
+	e, err := engine.New(topo, engine.Config{Nodes: 2}, skewedInitial(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	bal := &stubbornBalancer{delay: delay}
+	sawPoison := false
+	ctrl := New(e, Options{
+		Balancer:         bal,
+		Pipelined:        true,
+		CancelStalePlans: true,
+		OnPeriod: func(r PeriodReport) {
+			if r.Outcome != nil {
+				sawPoison = true
+			}
+		},
+	})
+	t0 := time.Now()
+	m, err := ctrl.Run(context.Background(), periods)
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed >= delay/2 {
+		t.Fatalf("run took %v; stale solves were not aborted promptly (balancer nominally needs %v each)", elapsed, delay)
+	}
+	cancelled, completed := bal.counts()
+	if cancelled < periods/2 {
+		t.Fatalf("only %d of ~%d solves were cancelled", cancelled, periods-1)
+	}
+	if completed != 0 {
+		t.Fatalf("%d solves ran to completion despite cancellation", completed)
+	}
+	if m.PlansCancelled < periods/2 {
+		t.Fatalf("metrics recorded %d cancelled plans, want >= %d", m.PlansCancelled, periods/2)
+	}
+	if m.PlansApplied != 0 || sawPoison {
+		t.Fatalf("a stale plan was applied (applied=%d, sawPoison=%v)", m.PlansApplied, sawPoison)
+	}
+	// The poison allocation (everything on node 0) must never have been
+	// installed: the engine still spreads groups over both nodes... unless
+	// it started skewed — assert directly on the final target allocation
+	// not matching a *freshly applied* poison plan is covered by
+	// PlansApplied == 0 above; also sanity-check the engine survived.
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatalf("engine unusable after run: %v", err)
+	}
+	t.Logf("%d periods in %v: %d solves cancelled, 0 applied", periods, elapsed, cancelled)
+}
+
+// TestTriggerFiresOnTransientSkewOnly: unit test of the trigger policy —
+// balanced loads never fire; a sudden spike fires once and then respects
+// the cooldown; a persistent plateau stops firing once the EWMA absorbs it.
+func TestTriggerFiresOnTransientSkewOnly(t *testing.T) {
+	tr := &Trigger{Ratio: 1.25, Deviation: 0.15, Alpha: 0.5, Cooldown: 2}
+	balanced := []float64{10, 10.5, 9.5, 10}
+	for i := 0; i < 5; i++ {
+		if tr.Observe(balanced, nil) {
+			t.Fatalf("trigger fired on balanced loads (round %d)", i)
+		}
+	}
+	spike := []float64{30, 10.5, 9.5, 10}
+	if !tr.Observe(spike, nil) {
+		t.Fatal("trigger did not fire on a 3x spike")
+	}
+	// Cooldown: the next two boundaries stay quiet even though the skew
+	// persists.
+	if tr.Observe(spike, nil) || tr.Observe(spike, nil) {
+		t.Fatal("trigger ignored its cooldown")
+	}
+	// After the cooldown the EWMA has absorbed most of the plateau; keep
+	// observing until the deviation condition puts it to rest.
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if tr.Observe(spike, nil) {
+			fired++
+		}
+	}
+	if fired > 2 {
+		t.Fatalf("trigger fired %d more times on a persistent plateau; the EWMA should absorb it", fired)
+	}
+	// Kill-marked nodes are ignored entirely.
+	tr2 := &Trigger{}
+	hotKilled := []float64{100, 10, 10, 10}
+	kill := []bool{true, false, false, false}
+	if tr2.Observe(hotKilled, kill) {
+		t.Fatal("trigger fired on a draining node's load")
+	}
+}
+
+// BenchmarkTrigger measures the per-boundary cost of the trigger policy
+// (it runs on the data path's generation goroutine).
+func BenchmarkTrigger(b *testing.B) {
+	tr := &Trigger{}
+	loads := make([]float64, 64)
+	for i := range loads {
+		loads[i] = 10 + float64(i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loads[i%64] = 10 + float64(i%13)
+		tr.Observe(loads, nil)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,8 +67,10 @@ type scored struct {
 	rate   float64
 }
 
-// Plan implements Balancer.
-func (a *ALBIC) Plan(s *Snapshot) (*Plan, error) {
+// Plan implements Balancer. Cancellation aborts the partition-relaxation
+// loop between solves and the MILP improvement phase within a solve,
+// returning the best plan found so far (or ctx.Err() if none exists yet).
+func (a *ALBIC) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,7 +82,7 @@ func (a *ALBIC) Plan(s *Snapshot) (*Plan, error) {
 
 	var best *Plan
 	for {
-		plan, err := a.solveOnce(s, colPairs, toBeCol, maxPL, rng)
+		plan, err := a.solveOnce(ctx, s, colPairs, toBeCol, maxPL, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +90,9 @@ func (a *ALBIC) Plan(s *Snapshot) (*Plan, error) {
 			best = plan
 		}
 		if plan.Eval.LoadDistance <= maxLD || maxPL <= 0 {
+			return best, nil
+		}
+		if ctx.Err() != nil {
 			return best, nil
 		}
 		// Load distance too high: use smaller (more) partitions (step 4).
@@ -140,7 +146,7 @@ func (a *ALBIC) scorePairs(s *Snapshot, sf float64) (colPairs, toBeCol []scored)
 }
 
 // solveOnce implements steps 2-4 for a given maxPL.
-func (a *ALBIC) solveOnce(s *Snapshot, colPairs, toBeCol []scored, maxPL float64, rng *rand.Rand) (*Plan, error) {
+func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []scored, maxPL float64, rng *rand.Rand) (*Plan, error) {
 	partitions := a.buildPartitions(s, colPairs, maxPL, rng)
 
 	// Map group -> partition index (-1 if standalone).
@@ -189,7 +195,7 @@ func (a *ALBIC) solveOnce(s *Snapshot, colPairs, toBeCol []scored, maxPL float64
 		MaxMigrCost:   s.MaxMigrCost,
 		MaxMigrations: s.MaxMigrations,
 	}
-	sol, err := assign.Solve(problem, assign.Options{
+	sol, err := assign.SolveCtx(ctx, problem, assign.Options{
 		TimeLimit: a.TimeLimit, Exact: a.Exact, Seed: a.Seed + a.round,
 	})
 	if err != nil && pinned {
@@ -197,7 +203,7 @@ func (a *ALBIC) solveOnce(s *Snapshot, colPairs, toBeCol []scored, maxPL float64
 		for i := range items {
 			items[i].Pin = -1
 		}
-		sol, err = assign.Solve(problem, assign.Options{
+		sol, err = assign.SolveCtx(ctx, problem, assign.Options{
 			TimeLimit: a.TimeLimit, Exact: a.Exact, Seed: a.Seed + a.round,
 		})
 	}

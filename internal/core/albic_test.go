@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -138,7 +139,7 @@ func TestALBICPinTargetsLessLoadedNode(t *testing.T) {
 	loads := []float64{30, 30, 30, 30, 5, 5, 5, 5}
 	s := pairSnapshot(2, rates, []int{0, 0, 0, 0, 1, 1, 1, 1}, loads)
 	a := &ALBIC{Seed: 4}
-	plan, err := a.Plan(s)
+	plan, err := a.Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestALBICNeverPinsToKillNode(t *testing.T) {
 	s := pairSnapshot(3, rates, []int{0, 0, 0, 0, 1, 1, 1, 1}, nil)
 	s.Kill = []bool{false, true, false} // group 4's node is marked
 	a := &ALBIC{Seed: 5, TimeLimit: 10 * time.Millisecond}
-	plan, err := a.Plan(s)
+	plan, err := a.Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestALBICRetryLowersMaxPL(t *testing.T) {
 	// at 40 and two at 0 -> load distance 20 > maxLD 10. Splitting allows
 	// 20 per node -> load distance 0.
 	a := &ALBIC{Seed: 6, TimeLimit: 15 * time.Millisecond}
-	plan, err := a.Plan(s)
+	plan, err := a.Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

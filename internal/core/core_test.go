@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -116,7 +117,7 @@ func TestMILPBalancerBalances(t *testing.T) {
 	}
 	before := s.LoadDistance()
 	b := &MILPBalancer{TimeLimit: 30 * time.Millisecond}
-	plan, err := b.Plan(s)
+	plan, err := b.Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestMILPBalancerBalances(t *testing.T) {
 
 func TestNoopBalancer(t *testing.T) {
 	s := chainSnapshot(3, 6, true)
-	plan, err := (NoopBalancer{}).Plan(s)
+	plan, err := (NoopBalancer{}).Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestALBICImprovesCollocationGradually(t *testing.T) {
 	prev := s.CollocationFactor()
 	best := prev
 	for round := 0; round < 30; round++ {
-		plan, err := a.Plan(s)
+		plan, err := a.Plan(context.Background(), s)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -181,7 +182,7 @@ func TestALBICRespectsMigrationBudget(t *testing.T) {
 	s.MaxMigrations = 3
 	a := &ALBIC{TimeLimit: 15 * time.Millisecond, Seed: 1}
 	for round := 0; round < 10; round++ {
-		plan, err := a.Plan(s)
+		plan, err := a.Plan(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestALBICPartitionsSplitUnderMaxPL(t *testing.T) {
 		MaxMigrations: 4,
 	}
 	a := &ALBIC{TimeLimit: 15 * time.Millisecond, Seed: 3}
-	plan, err := a.Plan(s)
+	plan, err := a.Plan(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestFrameworkTerminatesEmptyKillNodes(t *testing.T) {
 		}
 	}
 	f := &Framework{Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond}}
-	out, err := f.Step(s)
+	out, err := f.Step(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFrameworkIntegratedScaleIn(t *testing.T) {
 		Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond},
 		Scaler:   &ManualScaler{Script: []ScaleDecision{{MarkForRemoval: []int{2}}}},
 	}
-	out, err := f.Step(s)
+	out, err := f.Step(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestFrameworkScaleOutReplans(t *testing.T) {
 		Balancer: &MILPBalancer{TimeLimit: 20 * time.Millisecond},
 		Scaler:   &UtilizationScaler{TargetUtil: 70, HighWater: 90, LowWater: 40},
 	}
-	out, err := f.Step(s)
+	out, err := f.Step(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestUtilizationScalerNoActionInBand(t *testing.T) {
 	for i := range s.Groups {
 		s.Groups[i].Load = 17.5 // 16 groups x 17.5 = 280 total = 70 per node
 	}
-	plan, _ := (NoopBalancer{}).Plan(s)
+	plan, _ := (NoopBalancer{}).Plan(context.Background(), s)
 	dec := (&UtilizationScaler{}).Decide(s, plan)
 	if !dec.IsZero() {
 		t.Fatalf("unexpected scaling: %+v", dec)
@@ -325,7 +326,7 @@ func TestUtilizationScalerScaleIn(t *testing.T) {
 	for i := range s.Groups {
 		s.Groups[i].Load = 10
 	}
-	plan, _ := (NoopBalancer{}).Plan(s)
+	plan, _ := (NoopBalancer{}).Plan(context.Background(), s)
 	dec := (&UtilizationScaler{TargetUtil: 85, HighWater: 90, LowWater: 45, MinNodes: 1}).Decide(s, plan)
 	if len(dec.MarkForRemoval) != 1 {
 		t.Fatalf("decision = %+v, want 1 node marked", dec)
@@ -350,7 +351,7 @@ func TestUtilizationScalerScaleInGuard(t *testing.T) {
 	// Utils: node0 = 23, node1 = 46; total 46; mean = 46/1.5 ≈ 30.7 < 50.
 	// needed = ceil(46/85) = 1 < 2 alive, so removal is attempted; removing
 	// node 0 leaves capacity 0.5 -> predicted 92 > 90: guard cancels.
-	plan, _ := (NoopBalancer{}).Plan(s)
+	plan, _ := (NoopBalancer{}).Plan(context.Background(), s)
 	dec := (&UtilizationScaler{TargetUtil: 85, HighWater: 90, LowWater: 50, MinNodes: 1}).Decide(s, plan)
 	if len(dec.MarkForRemoval) != 0 {
 		t.Fatalf("guard failed: %+v", dec)

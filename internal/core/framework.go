@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // ScaleDecision is the horizontal-scaling action for one adaptation period.
 type ScaleDecision struct {
@@ -47,8 +50,10 @@ type Outcome struct {
 
 // Step runs one adaptation period over the snapshot. The caller applies the
 // returned plan (migrations), terminates the listed nodes, and provisions
-// any requested ones before the next period.
-func (f *Framework) Step(s *Snapshot) (*Outcome, error) {
+// any requested ones before the next period. ctx bounds the balancer
+// invocations: a cancelled context makes them return early (best plan so
+// far, or an error the caller should treat as "no plan").
+func (f *Framework) Step(ctx context.Context, s *Snapshot) (*Outcome, error) {
 	if f.Balancer == nil {
 		return nil, fmt.Errorf("core: framework has no balancer")
 	}
@@ -69,7 +74,7 @@ func (f *Framework) Step(s *Snapshot) (*Outcome, error) {
 	}
 
 	// Line 4: tentative allocation plan.
-	plan, err := f.Balancer.Plan(s)
+	plan, err := f.Balancer.Plan(ctx, s)
 	if err != nil {
 		return nil, fmt.Errorf("core: tentative plan: %w", err)
 	}
@@ -110,7 +115,7 @@ func (f *Framework) Step(s *Snapshot) (*Outcome, error) {
 			s2.Kill[n] = true
 		}
 	}
-	plan2, err := f.Balancer.Plan(s2)
+	plan2, err := f.Balancer.Plan(ctx, s2)
 	if err != nil {
 		return nil, fmt.Errorf("core: integrative re-plan after scaling: %w", err)
 	}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// hotSnapshot: one operator, groups spread over nodes, node 0 carrying a
+// few heavy groups.
+func hotSnapshot(nodes, groups int, hotLoad float64) *Snapshot {
+	s := &Snapshot{NumNodes: nodes, Ops: []OpStat{{Name: "op"}}}
+	for k := 0; k < groups; k++ {
+		load := 10.0
+		if k < 3 {
+			load = hotLoad
+		}
+		s.Groups = append(s.Groups, GroupStat{Op: 0, Node: k % nodes, Load: load})
+		s.Ops[0].Groups = append(s.Ops[0].Groups, k)
+	}
+	return s
+}
+
+func spreadOf(s *Snapshot, groupNode []int) float64 {
+	loads := make([]float64, s.NumNodes)
+	for k, n := range groupNode {
+		loads[n] += s.Groups[k].Load
+	}
+	min, max := loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max - min
+}
+
+// TestGreedyHotMoverRelievesHotNode: the hot mover must shrink the
+// node-load spread, move at most the budgeted number of groups, and leave
+// everything else in place.
+func TestGreedyHotMoverRelievesHotNode(t *testing.T) {
+	s := hotSnapshot(4, 16, 60)
+	// Groups 0,1,2 are heavy; 0 sits on node 0 together with 4,8,12.
+	cur := make([]int, len(s.Groups))
+	for k, g := range s.Groups {
+		cur[k] = g.Node
+	}
+	before := spreadOf(s, cur)
+
+	s.MaxMigrations = 2
+	hm := &GreedyHotMover{TopK: 3}
+	plan, err := hm.Plan(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("hot mover proposed no moves on a skewed snapshot")
+	}
+	if len(plan.Moves) > 2 {
+		t.Fatalf("hot mover exceeded the migration budget: %d moves", len(plan.Moves))
+	}
+	after := spreadOf(s, plan.GroupNode)
+	if after >= before {
+		t.Fatalf("spread did not improve: %.1f -> %.1f", before, after)
+	}
+	moved := map[int]bool{}
+	for _, mv := range plan.Moves {
+		moved[mv.Group] = true
+		if mv.From != s.Groups[mv.Group].Node {
+			t.Fatalf("move %v has wrong From", mv)
+		}
+	}
+	for k, n := range plan.GroupNode {
+		if !moved[k] && n != s.Groups[k].Node {
+			t.Fatalf("group %d relocated without appearing in Moves", k)
+		}
+	}
+}
+
+// TestGreedyHotMoverNeverTargetsKilledNodes: draining nodes may donate but
+// never receive.
+func TestGreedyHotMoverNeverTargetsKilledNodes(t *testing.T) {
+	s := hotSnapshot(4, 16, 60)
+	s.Kill = []bool{false, true, true, false}
+	hm := &GreedyHotMover{TopK: 4}
+	plan, err := hm.Plan(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range plan.Moves {
+		if s.Kill[mv.To] {
+			t.Fatalf("move %v targets a kill-marked node", mv)
+		}
+	}
+}
+
+// TestGreedyHotMoverRespectsOperatorHosts: under collocation the globally
+// least-utilized node often hosts none of the hot operator's groups; a
+// move there would be silently rejected by the engine (host sets never
+// change mid-period). The planner must pick the least-utilized node among
+// the operator's CURRENT hosts instead, so its plans remain executable.
+func TestGreedyHotMoverRespectsOperatorHosts(t *testing.T) {
+	// Two operators, fully collocated apart: op 0 lives on nodes 0/1,
+	// op 1 on nodes 2/3. Node 0 is hot with op-0 load; nodes 2/3 are the
+	// globally least utilized but host no op-0 group.
+	s := &Snapshot{NumNodes: 4, Ops: []OpStat{{Name: "hot"}, {Name: "cold"}}}
+	add := func(op, node int, load float64) {
+		k := len(s.Groups)
+		s.Groups = append(s.Groups, GroupStat{Op: op, Node: node, Load: load})
+		s.Ops[op].Groups = append(s.Ops[op].Groups, k)
+	}
+	for i := 0; i < 4; i++ {
+		add(0, 0, 30) // hot node
+	}
+	for i := 0; i < 4; i++ {
+		add(0, 1, 10)
+	}
+	for i := 0; i < 2; i++ {
+		add(1, 2, 5) // near-idle, but never a legal op-0 destination
+		add(1, 3, 5)
+	}
+	plan, err := (&GreedyHotMover{TopK: 3}).Plan(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("no moves planned off the hot node")
+	}
+	for _, mv := range plan.Moves {
+		if s.Groups[mv.Group].Op != 0 {
+			t.Fatalf("move %v touches the cold operator", mv)
+		}
+		if mv.To != 1 {
+			t.Fatalf("move %v targets node %d, which hosts no op-0 group (only node 1 is legal)", mv, mv.To)
+		}
+	}
+}
+
+// TestGreedyHotMoverBalancedNoop: an already balanced snapshot yields no
+// moves.
+func TestGreedyHotMoverBalancedNoop(t *testing.T) {
+	s := hotSnapshot(4, 16, 10) // hotLoad == base load: perfectly uniform
+	plan, err := (&GreedyHotMover{}).Plan(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("hot mover proposed %d moves on a balanced snapshot", len(plan.Moves))
+	}
+}
+
+// TestMILPBalancerHonorsContext: a cancelled context must abort a solve
+// with a generous time budget almost immediately, still returning a
+// feasible plan (the anytime solver degrades, it does not fail).
+func TestMILPBalancerHonorsContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := &Snapshot{NumNodes: 12, Ops: []OpStat{{Name: "op"}}}
+	for k := 0; k < 600; k++ {
+		s.Groups = append(s.Groups, GroupStat{Op: 0, Node: rng.Intn(12), Load: rng.Float64() * 5})
+		s.Ops[0].Groups = append(s.Ops[0].Groups, k)
+	}
+	b := &MILPBalancer{TimeLimit: 30 * time.Second, Seed: 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	plan, err := b.Plan(ctx, s)
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("solve ran %v past a 30ms context deadline", elapsed)
+	}
+	if len(plan.GroupNode) != len(s.Groups) {
+		t.Fatal("truncated plan")
+	}
+	for k, n := range plan.GroupNode {
+		if n < 0 || n >= s.NumNodes {
+			t.Fatalf("group %d assigned to invalid node %d", k, n)
+		}
+	}
+}

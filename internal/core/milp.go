@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/assign"
@@ -23,13 +24,16 @@ type MILPBalancer struct {
 // Name implements Balancer.
 func (b *MILPBalancer) Name() string { return "milp" }
 
-// Plan implements Balancer.
-func (b *MILPBalancer) Plan(s *Snapshot) (*Plan, error) {
+// Plan implements Balancer. The solve respects both the configured
+// TimeLimit and ctx: whichever deadline is earlier wins, and cancellation
+// aborts the anytime improvement loop, returning the best feasible plan
+// found so far.
+func (b *MILPBalancer) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	p := s.Problem()
-	sol, err := assign.Solve(p, assign.Options{
+	sol, err := assign.SolveCtx(ctx, p, assign.Options{
 		TimeLimit: b.TimeLimit,
 		Exact:     b.Exact,
 		Seed:      b.Seed,
@@ -54,7 +58,7 @@ type NoopBalancer struct{}
 func (NoopBalancer) Name() string { return "noop" }
 
 // Plan implements Balancer.
-func (NoopBalancer) Plan(s *Snapshot) (*Plan, error) {
+func (NoopBalancer) Plan(_ context.Context, s *Snapshot) (*Plan, error) {
 	groupNode := make([]int, len(s.Groups))
 	for k, g := range s.Groups {
 		groupNode[k] = g.Node

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/assign"
@@ -213,8 +214,34 @@ func PlanFromAssignment(s *Snapshot, groupNode []int, eval *assign.Eval) *Plan {
 	return p
 }
 
-// Balancer computes a new key-group allocation from a snapshot.
+// Balancer computes a new key-group allocation from a snapshot. Plan must
+// honor ctx: when the context is cancelled or its deadline passes, the
+// balancer either returns promptly with its best feasible plan so far or
+// with ctx.Err(). The asynchronous controller relies on this to abort a
+// pipelined solve whose input snapshot has gone stale.
 type Balancer interface {
 	Name() string
+	Plan(ctx context.Context, s *Snapshot) (*Plan, error)
+}
+
+// SimpleBalancer is the pre-context balancer shape: a pure function of the
+// snapshot with no cancellation surface. Baseline policies (Flux, COLA) and
+// third-party balancers written against the old interface implement this.
+type SimpleBalancer interface {
+	Name() string
 	Plan(s *Snapshot) (*Plan, error)
+}
+
+// AdaptBalancer lifts a SimpleBalancer into the context-aware Balancer
+// interface. The context is ignored: adapted balancers are assumed cheap
+// enough that cancellation mid-plan is not worth plumbing (Flux and COLA
+// plan in microseconds at paper scale).
+func AdaptBalancer(b SimpleBalancer) Balancer { return simpleAdapter{b} }
+
+type simpleAdapter struct{ inner SimpleBalancer }
+
+func (a simpleAdapter) Name() string { return a.inner.Name() }
+
+func (a simpleAdapter) Plan(_ context.Context, s *Snapshot) (*Plan, error) {
+	return a.inner.Plan(s)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -33,6 +34,13 @@ type Config struct {
 	// latency (Figure 9's metric; default 0.002 s/byte ≈ 2.5 s for a
 	// ~1.2 kB state, matching the paper's observation).
 	MigrSecondsPerByte float64
+	// SubPeriods splits each statistics period into this many sub-intervals
+	// for reactive reconfiguration (see subperiod.go): the engine maintains
+	// mid-period load counters (SubSnapshot) and invokes the sub-period
+	// observer at every sub-interval boundary, where restricted hot moves
+	// may apply without waiting for the period barrier. Values < 2 disable
+	// the reactive layer (and its per-tuple atomic counter cost) entirely.
+	SubPeriods int
 }
 
 func (c *Config) defaults() {
@@ -74,10 +82,26 @@ type Engine struct {
 	// mu guards the allocation state (groupNode, baseAlloc) so that
 	// ApplyPlan may be invoked while a period is in flight: an asynchronous
 	// controller can stage a plan the moment its planner finishes, and the
-	// staged diff is picked up at the next period boundary.
+	// staged diff is picked up at the next period boundary. Hot moves
+	// (sub-period migrations) update groupNode under the same lock.
 	mu        sync.Mutex
 	groupNode []int // authoritative target allocation (gid -> node)
 	baseAlloc []int // allocation physically in place (last period's end)
+
+	// subMilli is the shared per-gid milli-unit load matrix behind
+	// SubSnapshot (nil unless Config.SubPeriods >= 2); nodes add to it on
+	// the hot path, any goroutine may read it atomically mid-period. It is
+	// reset between periods while nodes are quiescent.
+	subMilli []atomic.Int64
+	// subObserver is the sub-period boundary hook (guarded by mu; captured
+	// once per period into the periodRun).
+	subObserver SubObserver
+	// lastSrcTuples / lastTotalMilli are the previous period's source-tuple
+	// volume and total burned cost (milli-units); the current period's
+	// sub-interval boundaries and their processing-progress targets are
+	// calibrated from them.
+	lastSrcTuples  int64
+	lastTotalMilli int64
 
 	events chan engEvent
 	period int
@@ -140,6 +164,9 @@ func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
 		}
 	}
 	e.baseAlloc = append([]int(nil), e.groupNode...)
+	if cfg.SubPeriods >= 2 {
+		e.subMilli = make([]atomic.Int64, topo.NumGroups())
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(i, e)
 		e.nodes = append(e.nodes, n)
@@ -178,14 +205,28 @@ type periodRun struct {
 	period int
 	rt     *routerTable
 	// alloc is the allocation this period physically installs (the router
-	// table's view) — the diff base for the next period's migrations, even
-	// if ApplyPlan re-targets groupNode while the period is in flight.
+	// table's view, updated in place by hot moves) — the diff base for the
+	// next period's migrations, even if ApplyPlan re-targets groupNode
+	// while the period is in flight.
 	alloc               []int
 	staged              []core.Move
 	expectedCompletions int
 	synthetic           []bool
 	srcBatches          int64
 	errs                []error
+
+	// Reactive sub-period state (see subperiod.go). All fields are owned by
+	// the generation goroutine during the period; finishPeriod reads them
+	// only after synchronizing on the generation result.
+	subObserver SubObserver
+	subIdx      int   // sub-intervals completed (1-based once running)
+	subPerSub   int64 // source tuples per sub-interval (0: no boundaries)
+	subNext     int64 // emission count at which the next boundary fires
+	srcEmitted  int64
+	stagedGids  map[int]bool // gids in a staged period-boundary migration
+	hotDest     map[int]int  // engine-side routing overrides (gid -> node)
+	hotMoved    map[int]bool // gids already hot-moved this period
+	hotMoves    int
 }
 
 // beginPeriod arms all nodes for one statistics period: it snapshots the
@@ -204,13 +245,33 @@ func (e *Engine) beginPeriod() *periodRun {
 			staged = append(staged, core.Move{Group: gid, From: from, To: to})
 		}
 	}
+	subObserver := e.subObserver
 	e.mu.Unlock()
 
 	pr := &periodRun{
-		period: e.period,
-		rt:     newRouterTable(e.topo, alloc, len(e.nodes)),
-		alloc:  alloc,
-		staged: staged,
+		period:     e.period,
+		rt:         newRouterTable(e.topo, alloc, len(e.nodes)),
+		alloc:      alloc,
+		staged:     staged,
+		stagedGids: map[int]bool{},
+		hotMoved:   map[int]bool{},
+	}
+	for _, mv := range staged {
+		pr.stagedGids[mv.Group] = true
+	}
+	if k := int64(e.cfg.SubPeriods); k >= 2 && e.subMilli != nil {
+		pr.subObserver = subObserver
+		// Sub-interval boundaries are calibrated from the previous period's
+		// source volume; the first period (and any zero-volume period) runs
+		// without boundaries.
+		if per := e.lastSrcTuples / k; per > 0 {
+			pr.subPerSub = per
+			pr.subNext = per
+		}
+		// Reset the shared mid-period counters (nodes are quiescent).
+		for i := range e.subMilli {
+			e.subMilli[i].Store(0)
+		}
 	}
 
 	// Reset per-period stats (nodes are quiescent between periods).
@@ -305,12 +366,22 @@ func (e *Engine) generate(pr *periodRun) error {
 			e.nodes[dest].mb.put(m)
 		}
 	}
+	flushAllSrc := func() {
+		for dest := range srcOuts {
+			flushSrc(dest)
+		}
+	}
 	var srcErr error
 	for si, src := range e.topo.sources {
 		emit := func(t *Tuple) {
 			for _, op := range e.topo.srcEdges[si] {
 				kg := pr.rt.keyGroup(op, t.Key)
 				dest := pr.rt.nodeOf(op, kg)
+				if pr.hotDest != nil {
+					if d, ok := pr.hotDest[e.topo.GID(op, kg)]; ok {
+						dest = d
+					}
+				}
 				ob := srcOuts[dest]
 				if ob == nil {
 					ob = &outbox{}
@@ -325,6 +396,14 @@ func (e *Engine) generate(pr *periodRun) error {
 					flushSrc(dest)
 				}
 			}
+			pr.srcEmitted++
+			// Sub-period boundary: fires between tuples on this goroutine
+			// (a safe point — no frame is half-staged, no barrier sent yet).
+			if pr.subPerSub > 0 && pr.srcEmitted >= pr.subNext && pr.subIdx < e.cfg.SubPeriods-1 {
+				pr.subIdx++
+				pr.subNext += pr.subPerSub
+				e.subBoundary(pr, flushAllSrc)
+			}
 		}
 		func() {
 			defer func() {
@@ -338,8 +417,15 @@ func (e *Engine) generate(pr *periodRun) error {
 			return srcErr
 		}
 	}
-	for dest := range srcOuts {
-		flushSrc(dest)
+	flushAllSrc()
+	// Sub-period boundaries that emission did not reach (generation always
+	// outpaces processing; with low volume it finishes before the first
+	// emission threshold): fire them now, before any barrier is sent —
+	// each waits for the data path to catch up to its share of the period,
+	// so hot moves still happen at meaningful mid-period safe points.
+	for pr.subPerSub > 0 && pr.subIdx < e.cfg.SubPeriods-1 {
+		pr.subIdx++
+		e.subBoundary(pr, flushAllSrc)
 	}
 	pr.srcBatches = srcBatches
 	// Source barriers, then synthetic barriers for input-less ops.
@@ -398,10 +484,19 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 		StateBytes:       make([]int, e.topo.NumGroups()),
 		Comm:             map[core.Pair]float64{},
 		NodeUnits:        make([]float64, len(e.nodes)),
-		Migrations:       len(pr.staged),
+		Migrations:       len(pr.staged) + pr.hotMoves,
+		HotMoves:         pr.hotMoves,
 		MigrationLatency: float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
 		BatchesCrossNode: pr.srcBatches,
 	}
+	e.lastSrcTuples = pr.srcEmitted
+	totalMilli := int64(0)
+	for i, n := range e.nodes {
+		if !e.removed[i] {
+			totalMilli += n.stats.nodeUnits.Load()
+		}
+	}
+	e.lastTotalMilli = totalMilli
 	for i, n := range e.nodes {
 		if e.removed[i] {
 			continue
@@ -580,7 +675,7 @@ func (e *Engine) Snapshot() (*core.Snapshot, error) {
 		NumNodes: len(e.nodes),
 		Kill:     make([]bool, len(e.nodes)),
 		Groups:   make([]core.GroupStat, e.topo.NumGroups()),
-		Ops:      make([]core.OpStat, len(e.topo.ops)),
+		Ops:      e.opStats(),
 		Out:      e.last.Comm,
 	}
 	hetero := false
@@ -592,13 +687,6 @@ func (e *Engine) Snapshot() (*core.Snapshot, error) {
 	}
 	if hetero {
 		s.Capacity = append([]float64(nil), e.weights...)
-	}
-	for op := range e.topo.ops {
-		s.Ops[op].Name = e.topo.ops[op].Name
-		s.Ops[op].Downstream = e.topo.Downstream(op)
-		for kg := 0; kg < e.topo.ops[op].KeyGroups; kg++ {
-			s.Ops[op].Groups = append(s.Ops[op].Groups, e.topo.GID(op, kg))
-		}
 	}
 	for gid := range s.Groups {
 		op, _ := e.topo.OpOf(gid)

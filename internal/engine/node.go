@@ -60,6 +60,32 @@ type node struct {
 	flushed     []bool
 	awaitByOp   []int // per op: outstanding in-bound migrations
 
+	// Reactive sub-period state, all reset at period start and nil/empty on
+	// the common (no hot move) path:
+	// hotDest overrides routing for hot-moved groups (gid -> new host);
+	// every node receives the broadcast and applies it to its own sends.
+	hotDest map[int]int
+	// hotAway marks groups this node shipped away mid-period (gid -> new
+	// host); tuples that were already in flight toward this node when the
+	// move happened are forwarded there on arrival.
+	hotAway map[int]int
+	// hotGained lists key groups gained mid-period (op -> kgs); they are
+	// flushed here, not at their period-start host.
+	hotGained map[int][]int
+	// hotBarrier lists, per op, the destinations owed one extra barrier
+	// once every static upstream barrier for the op has reached this node
+	// (no more data can arrive, hence nothing more can be forwarded): a
+	// hot-move destination must not flush before every tuple this node may
+	// still forward has arrived.
+	hotBarrier map[int][]int
+	// extraNeed counts, per op, the extra (hot) barriers this node must
+	// collect before flushing; hotGot counts those received. They are
+	// tracked apart from barrierGot/barrierNeed because only static
+	// barriers signal "upstream data has ceased" — the trigger for sending
+	// this node's own owed hot barriers.
+	extraNeed map[int]int
+	hotGot    map[int]int
+
 	stats *nodeStats
 	// outs[dest] batches this node's cross-node deliveries (see batch.go);
 	// owned exclusively by the node goroutine, grown lazily as nodes appear.
@@ -78,7 +104,7 @@ func newNode(id int, eng *Engine) *node {
 		awaitIn:  map[int]bool{},
 		potcSent: make([]float64, numGroups),
 		emitters: make([]Emit, numGroups),
-		stats:    newNodeStats(numGroups),
+		stats:    newNodeStats(numGroups, eng.subMilli),
 	}
 }
 
@@ -107,6 +133,8 @@ func (n *node) run() {
 				n.onState(m)
 			case migrateOutMsg:
 				n.onMigrateOut(m)
+			case hotMoveMsg:
+				n.onHotMove(m)
 			}
 		}
 	}
@@ -152,6 +180,8 @@ func (n *node) startPeriod(m periodStartMsg) {
 	n.barrierGot = make([]int, nops)
 	n.flushed = make([]bool, nops)
 	n.awaitByOp = make([]int, nops)
+	n.hotDest, n.hotAway, n.hotGained, n.hotBarrier = nil, nil, nil, nil
+	n.extraNeed, n.hotGot = nil, nil
 	for _, gid := range m.awaitIn {
 		n.awaitIn[gid] = true
 		op, _ := n.eng.topo.OpOf(gid)
@@ -182,6 +212,59 @@ func (n *node) onMigrateOut(m migrateOutMsg) {
 	n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
 }
 
+// onHotMove executes one sub-period migration broadcast. Every node records
+// the routing override; the old host additionally ships the group's state
+// to the new host (and will forward tuples that were already in flight
+// toward it); the new host starts buffering the group's tuples until the
+// state arrives and raises its barrier requirement by one — the old host
+// owes it an extra barrier once it can no longer forward anything.
+func (n *node) onHotMove(m hotMoveMsg) {
+	if m.period != n.period {
+		n.eng.events <- engEvent{kind: evError, node: n.id,
+			err: fmt.Errorf("engine: node %d got hot move for period %d during %d", n.id, m.period, n.period)}
+		return
+	}
+	for _, mv := range m.moves {
+		if n.hotDest == nil {
+			n.hotDest = map[int]int{}
+		}
+		n.hotDest[mv.gid] = mv.to
+		switch n.id {
+		case mv.from:
+			var encoded []byte
+			if st := n.states[mv.gid]; st != nil {
+				encoded = st.Encode(nil)
+				delete(n.states, mv.gid)
+			}
+			n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
+			// Data staged toward the destination precedes the state message
+			// (uniform per-sender FIFO, as in onMigrateOut).
+			n.flushOut(mv.to)
+			n.eng.nodes[mv.to].mb.put(stateMsg{op: mv.op, kg: mv.kg, encoded: encoded})
+			n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
+			if n.hotAway == nil {
+				n.hotAway = map[int]int{}
+			}
+			n.hotAway[mv.gid] = mv.to
+			if n.hotBarrier == nil {
+				n.hotBarrier = map[int][]int{}
+			}
+			n.hotBarrier[mv.op] = append(n.hotBarrier[mv.op], mv.to)
+		case mv.to:
+			n.awaitIn[mv.gid] = true
+			n.awaitByOp[mv.op]++
+			if n.hotGained == nil {
+				n.hotGained = map[int][]int{}
+			}
+			n.hotGained[mv.op] = append(n.hotGained[mv.op], mv.kg)
+			if n.extraNeed == nil {
+				n.extraNeed = map[int]int{}
+			}
+			n.extraNeed[mv.op]++
+		}
+	}
+}
+
 // onDataBatch decodes one cross-node frame and processes its tuples in
 // order, paying deserialization per record. The frame buffer goes back to
 // the codec pool afterwards (DecodeTuple copies everything out of it).
@@ -190,6 +273,12 @@ func (n *node) onDataBatch(m dataBatchMsg) {
 		gid := n.eng.topo.GID(m.op, kg)
 		n.stats.bytesIn += int64(wire)
 		n.stats.addUnits(gid, float64(wire)*n.eng.cfg.DeserCostPerByte)
+		if to, ok := n.hotAway[gid]; ok {
+			// The group hot-moved away mid-period; this tuple was in flight
+			// from a sender that had not yet seen the move. Forward it.
+			n.forwardHot(m.op, kg, gid, to, t)
+			return
+		}
 		if n.awaitIn[gid] {
 			// Direct state migration: the group's state has not arrived
 			// yet; buffer and replay on arrival.
@@ -202,6 +291,22 @@ func (n *node) onDataBatch(m dataBatchMsg) {
 		n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
 	}
 	codec.PutBuf(m.encoded)
+}
+
+// forwardHot re-stages a tuple for a hot-moved group toward its new host,
+// paying serialization like any cross-node send.
+func (n *node) forwardHot(op, kg, gid, to int, t *Tuple) {
+	ob := n.outFor(to)
+	if ob.count > 0 && ob.op != op {
+		n.flushOut(to)
+	}
+	ob.op = op
+	wire := ob.stage(kg, t, &n.scratch)
+	n.stats.bytesOut += int64(wire)
+	n.stats.addUnits(gid, float64(wire)*n.eng.cfg.SerCostPerByte)
+	if ob.full() {
+		n.flushOut(to)
+	}
 }
 
 func (n *node) process(op, kg, gid int, t *Tuple) {
@@ -233,8 +338,41 @@ func (n *node) onBarrier(m barrierMsg) {
 			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", n.id, m.period, n.period)}
 		return
 	}
-	n.barrierGot[m.op]++
+	if m.hot {
+		if n.hotGot == nil {
+			n.hotGot = map[int]int{}
+		}
+		n.hotGot[m.op]++
+	} else {
+		n.barrierGot[m.op]++
+		if n.barrierGot[m.op] == n.barrierNeed[m.op] {
+			// All upstream data for op has arrived (and was processed or
+			// forwarded in order): settle the extra barriers owed to
+			// hot-move destinations. This must not wait for this node's own
+			// flush, which may itself depend on a peer's extra barrier.
+			n.sendHotBarriers(m.op)
+		}
+	}
 	n.maybeFlush(m.op)
+}
+
+// sendHotBarriers ships the forwarded backlog and the owed extra barrier to
+// every destination of this node's hot moves for op.
+func (n *node) sendHotBarriers(op int) {
+	dests := n.hotBarrier[op]
+	if len(dests) == 0 {
+		return
+	}
+	delete(n.hotBarrier, op)
+	for _, dest := range dests {
+		n.flushOut(dest)
+		msg := barrierMsg{op: op, period: n.period, hot: true}
+		if dest == n.id {
+			n.mb.put(msg)
+			continue
+		}
+		n.eng.nodes[dest].mb.put(msg)
+	}
 }
 
 func (n *node) onState(m stateMsg) {
@@ -263,22 +401,39 @@ func (n *node) onState(m stateMsg) {
 	n.maybeFlush(m.op)
 }
 
-// maybeFlush flushes operator op once all upstream barriers arrived and all
-// in-bound migrations for its local groups completed.
+// maybeFlush flushes operator op once all upstream barriers arrived, all
+// in-bound migrations for its local groups completed, and every hot-move
+// source settled its extra barrier (no forwarded tuple can still be in
+// flight toward this node).
 func (n *node) maybeFlush(op int) {
 	if n.barrierNeed == nil || n.flushed[op] {
 		return
 	}
 	kgs := n.router.localKGs[n.id][op]
 	if len(kgs) == 0 {
-		return // not a host of op this period
+		return // not a host of op this period (host sets never change mid-period)
 	}
 	if n.barrierGot[op] < n.barrierNeed[op] || n.awaitByOp[op] > 0 {
 		return
 	}
+	if n.hotGot[op] < n.extraNeed[op] {
+		return
+	}
 	o := n.eng.topo.ops[op]
 	if o.Flush != nil {
-		sorted := append([]int(nil), kgs...)
+		// Effective ownership this period: the period-start groups minus
+		// those hot-moved away, plus those hot-moved here.
+		eff := kgs
+		if n.hotAway != nil || len(n.hotGained[op]) > 0 {
+			eff = make([]int, 0, len(kgs)+len(n.hotGained[op]))
+			for _, kg := range kgs {
+				if _, gone := n.hotAway[n.eng.topo.GID(op, kg)]; !gone {
+					eff = append(eff, kg)
+				}
+			}
+			eff = append(eff, n.hotGained[op]...)
+		}
+		sorted := append([]int(nil), eff...)
 		sort.Ints(sorted)
 		for _, kg := range sorted {
 			gid := n.eng.topo.GID(op, kg)
@@ -375,6 +530,11 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 	}
 	dest := rt.nodeOf(e.op, kg)
 	toGID := n.eng.topo.GID(e.op, kg)
+	if n.hotDest != nil {
+		if d, ok := n.hotDest[toGID]; ok {
+			dest = d // group hot-moved mid-period; route to its new host
+		}
+	}
 	n.stats.addComm(fromGID, toGID)
 	if dest == n.id {
 		// Node-local edge: no serialization. Deliver synchronously.

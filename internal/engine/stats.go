@@ -46,16 +46,23 @@ type nodeStats struct {
 	// nodeUnits mirrors the sum of groupUnits in milli-units for concurrent
 	// readers (PoTC two-choice routing).
 	nodeUnits atomic.Int64
+	// subMilli, when non-nil, is the engine-level shared per-gid milli-unit
+	// matrix behind Engine.SubSnapshot: every addUnits also lands here so
+	// partial per-group loads are readable mid-period from any goroutine.
+	// nil unless the engine runs with Config.SubPeriods >= 2 — the extra
+	// atomic add per tuple is only paid when reactive reconfiguration is on.
+	subMilli []atomic.Int64
 }
 
 func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
 
-func newNodeStats(numGroups int) *nodeStats {
+func newNodeStats(numGroups int, subMilli []atomic.Int64) *nodeStats {
 	s := &nodeStats{
 		groupUnits:     make([]float64, numGroups),
 		groupTuplesIn:  make([]int64, numGroups),
 		groupTuplesOut: make([]int64, numGroups),
 		numGroups:      numGroups,
+		subMilli:       subMilli,
 	}
 	if numGroups <= denseCommGroupLimit {
 		s.commDense = make([]float64, numGroups*numGroups)
@@ -93,6 +100,9 @@ func (s *nodeStats) forEachComm(fn func(core.Pair, float64)) {
 func (s *nodeStats) addUnits(gid int, units float64) {
 	s.groupUnits[gid] += units
 	s.nodeUnits.Add(int64(units * 1000))
+	if s.subMilli != nil {
+		s.subMilli[gid].Add(int64(units * 1000))
+	}
 }
 
 func (s *nodeStats) addMigUnits(units float64) {
@@ -137,8 +147,12 @@ type PeriodStats struct {
 	BatchesCrossNode int64
 	// Migrations performed when entering this period, and their modeled
 	// latency (seconds of paused processing, Σ over migrated groups).
+	// Migrations includes HotMoves.
 	Migrations       int
 	MigrationLatency float64
+	// HotMoves counts the reactive sub-period migrations executed inside
+	// this period (they did not wait for the period barrier).
+	HotMoves int
 }
 
 // LoadPercent converts cost units to percentage points of node capacity.

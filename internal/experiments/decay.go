@@ -77,7 +77,7 @@ func Decay(opt Opts) *Result {
 
 	albic := runMaint(newALBIC(opt.Seed))
 	milp := runMaint(&core.MILPBalancer{TimeLimit: 25 * time.Millisecond, Seed: opt.Seed})
-	flux := runMaint(baseline.Flux{})
+	flux := runMaint(core.AdaptBalancer(baseline.Flux{}))
 	return &Result{
 		Name:  "decay",
 		Title: "Collocation decay after a COLA bootstrap (Real Job 2, Section 5.4 remark)",

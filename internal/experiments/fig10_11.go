@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -81,7 +82,7 @@ func colRun(spec clusterSpec, maxCol float64, bal core.Balancer, rounds int, see
 	var dists, cols []float64
 	for r := 0; r < rounds; r++ {
 		jitterLoads(s, rng)
-		plan, err := bal.Plan(s)
+		plan, err := bal.Plan(context.Background(), s)
 		if err != nil {
 			panic(fmt.Sprintf("fig10: %v", err))
 		}
@@ -128,7 +129,7 @@ func Fig10(opt Opts) *Result {
 		d, c := colRun(spec, maxCol, newALBIC(opt.Seed), rounds, opt.Seed+int64(maxCol))
 		albicDist.X, albicDist.Y = xs, append(albicDist.Y, d)
 		albicCol.X, albicCol.Y = xs, append(albicCol.Y, c)
-		d, c = colRun(spec, maxCol, &baseline.COLA{Seed: opt.Seed}, rounds, opt.Seed+int64(maxCol))
+		d, c = colRun(spec, maxCol, core.AdaptBalancer(&baseline.COLA{Seed: opt.Seed}), rounds, opt.Seed+int64(maxCol))
 		colaDist.X, colaDist.Y = xs, append(colaDist.Y, d)
 		colaCol.X, colaCol.Y = xs, append(colaCol.Y, c)
 	}
@@ -160,7 +161,7 @@ func Fig11(opt Opts) *Result {
 		d, c := colRun(spec, 50, newALBIC(opt.Seed), rounds, opt.Seed+int64(i))
 		albicDist.X, albicDist.Y = xs, append(albicDist.Y, d)
 		albicCol.X, albicCol.Y = xs, append(albicCol.Y, c)
-		d, c = colRun(spec, 50, &baseline.COLA{Seed: opt.Seed}, rounds, opt.Seed+int64(i))
+		d, c = colRun(spec, 50, core.AdaptBalancer(&baseline.COLA{Seed: opt.Seed}), rounds, opt.Seed+int64(i))
 		colaDist.X, colaDist.Y = xs, append(colaDist.Y, d)
 		colaCol.X, colaCol.Y = xs, append(colaCol.Y, c)
 	}

@@ -83,7 +83,7 @@ func fourPanels(name, title string, albic, cola *runMetrics) *Result {
 // index and migrations per period.
 func Fig12(opt Opts) *Result {
 	albic := airlineRun(opt, workload.RealJob2, newALBIC(opt.Seed), 10, 1, 0)
-	cola := airlineRun(opt, workload.RealJob2, &baseline.COLA{Seed: opt.Seed}, 0, 1, 0)
+	cola := airlineRun(opt, workload.RealJob2, core.AdaptBalancer(&baseline.COLA{Seed: opt.Seed}), 0, 1, 0)
 	return fourPanels("fig12", "Real Job 2: ALBIC vs COLA", albic, cola)
 }
 
@@ -93,7 +93,7 @@ func Fig12(opt Opts) *Result {
 // system.
 func Fig13(opt Opts) *Result {
 	albic := airlineRun(opt, workload.RealJob3, newALBIC(opt.Seed), 10, 1, 0)
-	cola := airlineRun(opt, workload.RealJob3, &baseline.COLA{Seed: opt.Seed}, 0, 0.5, 0)
+	cola := airlineRun(opt, workload.RealJob3, core.AdaptBalancer(&baseline.COLA{Seed: opt.Seed}), 0, 0.5, 0)
 	res := fourPanels("fig13", "Real Job 3: ALBIC vs COLA", albic, cola)
 	res.Notes = "COLA input rate halved (as in the paper)"
 	return res

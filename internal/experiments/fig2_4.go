@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -59,7 +60,7 @@ func solverQuality(name string, spec clusterSpec, opt Opts) *Result {
 
 			for i, budget := range budgets {
 				b := &core.MILPBalancer{TimeLimit: budget, Seed: opt.Seed + int64(i)}
-				plan, err := b.Plan(snap)
+				plan, err := b.Plan(context.Background(), snap)
 				if err != nil {
 					panic(err)
 				}

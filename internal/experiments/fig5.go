@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -84,7 +85,7 @@ func runScaleIn(spec clusterSpec, overloaded int, integrated bool, periods int, 
 		var plan *core.Plan
 		var err error
 		if integrated {
-			plan, err = milp.Plan(snap)
+			plan, err = milp.Plan(context.Background(), snap)
 		} else {
 			plan, err = nonIntegratedPlan(snap, milp)
 		}
@@ -123,7 +124,7 @@ func nonIntegratedPlan(s *core.Snapshot, balancer core.Balancer) (*core.Plan, er
 		}
 	}
 	if len(killGroups) == 0 {
-		return balancer.Plan(s)
+		return balancer.Plan(context.Background(), s)
 	}
 	var alive []int
 	for i := 0; i < s.NumNodes; i++ {

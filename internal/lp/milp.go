@@ -16,6 +16,10 @@ type MILPOptions struct {
 	// GapTol stops the search when the relative gap between the incumbent
 	// and the best bound is below this value. Default 1e-9.
 	GapTol float64
+	// Cancel, when non-nil, aborts the search as soon as the channel is
+	// closed (a context.Done() channel); the search stops exactly like a
+	// time-limit hit, returning the best incumbent found so far.
+	Cancel <-chan struct{}
 }
 
 type bbNode struct {
@@ -130,12 +134,27 @@ func SolveMILP(m *Model, opt MILPOptions) *Solution {
 	nodes := 0
 	timedOut := false
 
+	cancelled := func() bool {
+		if opt.Cancel == nil {
+			return false
+		}
+		select {
+		case <-opt.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
 	for queue.Len() > 0 {
 		if nodes >= opt.MaxNodes {
 			timedOut = true
 			break
 		}
 		if !deadline.IsZero() && nodes%16 == 0 && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		if cancelled() {
 			timedOut = true
 			break
 		}

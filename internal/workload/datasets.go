@@ -82,12 +82,14 @@ func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
 	if cfg.ZipfV <= 0 {
 		cfg.ZipfV = 10
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x11aa))
-	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Articles-1))
 	articles := newNameTable("article-%06d", cfg.Articles)
 	editors := newNameTable("editor-%04d", 5000)
 	geos := newNameTable("dk-%02d", 100)
 	return func(period int, emit engine.Emit) {
+		// Per-period RNG: each period's batch is bit-reproducible from
+		// (Seed, period) alone, independent of generation order.
+		rng := periodRNG(cfg.Seed, 0x11aa, period)
+		zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Articles-1))
 		drift := 1 + cfg.Fluctuation*math.Sin(float64(period)/7)
 		noise := 1 + cfg.Fluctuation*0.4*(rng.Float64()*2-1)
 		n := int(float64(cfg.BaseRate) * drift * noise)
@@ -133,10 +135,6 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 	if cfg.RateScale <= 0 {
 		cfg.RateScale = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x22bb))
-	// Plane popularity is mildly skewed (fleet workhorses fly more, but no
-	// tail number exceeds a fraction of a percent of all flights).
-	zipf := rand.NewZipf(rng, 1.1, 30, uint64(cfg.Planes-1))
 	planes := newNameTable("N%05d", cfg.Planes)
 	airports := newNameTable("A%02d", cfg.Airports)
 	routes := make([]string, cfg.Airports*cfg.Airports)
@@ -148,6 +146,10 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 		return routes[i]
 	}
 	return func(period int, emit engine.Emit) {
+		rng := periodRNG(cfg.Seed, 0x22bb, period)
+		// Plane popularity is mildly skewed (fleet workhorses fly more, but
+		// no tail number exceeds a fraction of a percent of all flights).
+		zipf := rand.NewZipf(rng, 1.1, 30, uint64(cfg.Planes-1))
 		n := int(float64(cfg.Rate) * cfg.RateScale)
 		for i := 0; i < n; i++ {
 			plane := planes.name(int(zipf.Uint64()))
@@ -197,10 +199,10 @@ func Weather(cfg WeatherConfig) engine.SourceFunc {
 	if cfg.Rate <= 0 {
 		cfg.Rate = 1000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x33cc))
 	stations := newNameTable("ST%04d", cfg.Stations)
 	airports := newNameTable("A%02d", cfg.Airports)
 	return func(period int, emit engine.Emit) {
+		rng := periodRNG(cfg.Seed, 0x33cc, period)
 		for i := 0; i < cfg.Rate; i++ {
 			st := rng.Intn(cfg.Stations)
 			t := &engine.Tuple{Key: stations.name(st), TS: int64(period*1_000_000 + i)}

@@ -1,0 +1,31 @@
+package workload
+
+import "math/rand"
+
+// The generators draw their randomness from per-period RNGs derived with a
+// splitmix64 hash of (seed, salt, period) instead of one sequential stream
+// per source. This makes every period's batch bit-reproducible in
+// isolation: the tuples of period p depend only on the seed and p — not on
+// how many periods were generated before, whether warm-up periods were
+// skipped, or how often a benchmark reran a period. Tests and benchmarks
+// pin a seed and get identical streams on every run and in any order.
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a full-avalanche
+// 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// periodSeed derives the RNG seed for one (source, period) pair.
+func periodSeed(seed int64, salt uint64, period int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)^salt) + uint64(period)))
+}
+
+// periodRNG returns a deterministic RNG for one (source, period) pair; salt
+// separates sources sharing a seed.
+func periodRNG(seed int64, salt uint64, period int) *rand.Rand {
+	return rand.New(rand.NewSource(periodSeed(seed, salt, period)))
+}

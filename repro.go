@@ -73,10 +73,17 @@ type (
 	Snapshot = core.Snapshot
 	// Plan is a target key-group allocation.
 	Plan = core.Plan
-	// Balancer computes plans from snapshots.
+	// Balancer computes plans from snapshots; Plan takes a context so the
+	// controller can abort a solve whose input snapshot went stale.
 	Balancer = core.Balancer
+	// SimpleBalancer is the pre-context balancer shape (Flux, COLA, and
+	// third-party balancers); lift it with AdaptBalancer.
+	SimpleBalancer = core.SimpleBalancer
 	// MILPBalancer solves the integrated load-balancing MILP each period.
 	MILPBalancer = core.MILPBalancer
+	// GreedyHotMover is the restricted planner behind reactive sub-period
+	// moves: shed the hottest groups of the hottest node, nothing more.
+	GreedyHotMover = core.GreedyHotMover
 	// ALBIC is Algorithm 2: autonomic load balancing with integrated
 	// collocation.
 	ALBIC = core.ALBIC
@@ -94,12 +101,16 @@ type (
 // point for running a job under the integrative adaptation loop. The
 // controller owns snapshotting, EWMA smoothing, calibration, the migration
 // budget, planning and elasticity; in pipelined mode the planner overlaps
-// the next period's data flow instead of stopping the data path.
+// the next period's data flow instead of stopping the data path. Reactive
+// mode adds sub-period reconfiguration: the engine (built with
+// EngineConfig.SubPeriods >= 2) reports mid-period statistics at
+// sub-interval boundaries, a Trigger detects transient skew, and restricted
+// hot moves apply without waiting for the period barrier.
 type (
 	// Controller drives one engine through the adaptation loop.
 	Controller = controller.Controller
 	// ControllerOptions configures the loop (balancer, scaler, budgets,
-	// smoothing, pipelining, observation hook).
+	// smoothing, pipelining, reactive triggers, observation hook).
 	ControllerOptions = controller.Options
 	// ControllerMetrics is the recorded per-period metric series of a run.
 	ControllerMetrics = controller.Metrics
@@ -108,12 +119,21 @@ type (
 	// ControllerEngine is the data-plane surface the controller drives
 	// (implemented by *Engine).
 	ControllerEngine = controller.Engine
+	// Trigger is the reactive firing policy (imbalance ratio + EWMA
+	// deviation thresholds, cooldown).
+	Trigger = controller.Trigger
+	// SubObserver is the engine's sub-period boundary hook.
+	SubObserver = engine.SubObserver
 )
 
 // NewController builds the adaptation loop around an engine.
 func NewController(e ControllerEngine, opt ControllerOptions) *Controller {
 	return controller.New(e, opt)
 }
+
+// AdaptBalancer lifts a pre-context SimpleBalancer into the Balancer
+// interface (the context is ignored).
+func AdaptBalancer(b SimpleBalancer) Balancer { return core.AdaptBalancer(b) }
 
 // Baselines (internal/baseline).
 type (

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -46,7 +47,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		snap.MaxMigrations = 4
-		plan, err := bal.Plan(snap)
+		plan, err := bal.Plan(context.Background(), snap)
 		if err != nil {
 			t.Fatal(err)
 		}
