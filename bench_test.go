@@ -258,9 +258,14 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkTupleBatchCodec measures the batched cross-node wire path in
+// BenchmarkTupleBatchCodec measures the legacy v1 record codec in
 // isolation: 256 tuples encoded into one pooled frame (codec.EncodeBatch
-// framing) and decoded back — the unit of work a dataBatchMsg represents.
+// framing, full field names per record) and materialized back with
+// DecodeTuple. The engine's live data path no longer does this — it ships
+// wire-format v2 and decodes into reusable TupleViews; see
+// BenchmarkReceivePathV2 / BenchmarkStageV2 in internal/engine for the
+// current unit of work (0 allocs/op steady state). This benchmark stays as
+// the baseline the v2 numbers are compared against.
 func BenchmarkTupleBatchCodec(b *testing.B) {
 	tuples := make([]*engine.Tuple, 256)
 	for i := range tuples {

@@ -1,0 +1,218 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON, and compares two such JSON files into a markdown delta table.
+//
+// Convert (CI writes BENCH_PR4.json with it, so the perf trajectory of the
+// hot paths — tuples/s, ns/op, allocs/op — is tracked across PRs):
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH_PR4.json
+//	go run ./cmd/benchjson bench.txt > BENCH_PR4.json
+//
+// Compare (CI posts this as the job summary on pull requests, so hot-path
+// regressions are visible at review time):
+//
+//	go run ./cmd/benchjson -compare base.json head.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in canonical form.
+type Result struct {
+	Name string `json:"name"`
+	// Iters is the b.N the run settled on.
+	Iters int64 `json:"iters"`
+	// NsOp / BytesOp / AllocsOp are the standard triple (-benchmem).
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (tuples/s, final_d, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -<GOMAXPROCS> suffix so names compare across machines.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsOp = v
+			case "B/op":
+				res.BytesOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func load(path string) (map[string]Result, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[string]Result{}
+	var order []string
+	for _, r := range rs {
+		if _, dup := m[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		m[r.Name] = r
+	}
+	return m, order, nil
+}
+
+// delta formats the relative change head vs base. The sign carries no
+// better/worse judgement by itself — direction depends on the unit (lower
+// is better for ns/op and allocs/op, higher for rate metrics like
+// tuples/s); the comparison table says so in its legend.
+func delta(base, head float64) string {
+	if base == 0 {
+		if head == 0 {
+			return "±0%"
+		}
+		return "n/a"
+	}
+	d := (head - base) / base * 100
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+func compare(basePath, headPath string, w io.Writer) error {
+	base, _, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	head, order, err := load(headPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "### Benchmark comparison (base → head)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "_Lower is better for ns/op and allocs/op; higher is better for rate metrics (tuples/s)._")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | ns/op (base → head) | Δ ns/op | allocs/op (base → head) | Δ allocs | custom metrics |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, name := range order {
+		h := head[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | new → %.0f | n/a | new → %.0f | n/a | %s |\n",
+				name, h.NsOp, h.AllocsOp, metricCells(nil, h.Metrics))
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.0f → %.0f | %s | %.0f → %.0f | %s | %s |\n",
+			name, b.NsOp, h.NsOp, delta(b.NsOp, h.NsOp),
+			b.AllocsOp, h.AllocsOp, delta(b.AllocsOp, h.AllocsOp),
+			metricCells(b.Metrics, h.Metrics))
+	}
+	var gone []string
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	if len(gone) > 0 {
+		sort.Strings(gone)
+		fmt.Fprintf(w, "\nRemoved benchmarks: %s\n", strings.Join(gone, ", "))
+	}
+	return nil
+}
+
+func metricCells(base, head map[string]float64) string {
+	if len(head) == 0 {
+		return ""
+	}
+	var keys []string
+	for k := range head {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		if b, ok := base[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s: %.0f → %.0f (%s)", k, b, head[k], delta(b, head[k])))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s: %.0f", k, head[k]))
+		}
+	}
+	return strings.Join(parts, "<br>")
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 3 && args[0] == "-compare" {
+		if err := compare(args[1], args[2], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var in io.Reader = os.Stdin
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt] | benchjson -compare base.json head.json")
+		os.Exit(2)
+	}
+	rs, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -160,32 +160,63 @@ func insertSorted(keys []string, k string) []string {
 	return keys
 }
 
-// Interner dedups decoded strings: repeated field names, keys and low-
-// cardinality values decode to the same string without allocating. It is a
-// single-goroutine cache (one per decoder); the table resets when it exceeds
-// maxInterned entries so adversarial key streams cannot pin memory.
+// Interner dedups decoded strings: repeated keys and low-cardinality values
+// decode to the same string without allocating. It is a single-goroutine
+// cache (one per decoder). The table is size-bounded on two axes — entry
+// count and total interned payload bytes — and resets when either bound is
+// exceeded, so high-cardinality key streams (or adversarial inputs with few
+// huge strings) keep memory flat across periods instead of growing the map
+// without bound.
 type Interner struct {
 	m map[string]string
+	// bytes is the total payload length of the strings currently interned
+	// (map bucket overhead excluded; it is proportional to len(m), which the
+	// entry cap bounds).
+	bytes int
 }
 
-const maxInterned = 4096
+const (
+	// maxInterned caps the entry count. Sized so the paper workloads' key
+	// universes (tens of thousands of Zipf-distributed keys) fit without
+	// reset thrash, while still bounding adversarial streams.
+	maxInterned = 1 << 15
+	// maxInternedBytes caps the total interned payload (4 MiB per decoder).
+	maxInternedBytes = 1 << 22
+	// maxInternedString is the largest single string worth caching: anything
+	// bigger is returned as a plain copy without touching the table, so one
+	// oversized value can neither evict the hot entries nor break the byte
+	// bound.
+	maxInternedString = 1 << 16
+)
 
 // Intern returns a string equal to b, reusing a previously-decoded instance
 // when possible. The returned string never aliases b.
 func (in *Interner) Intern(b []byte) string {
+	if len(b) > maxInternedString {
+		return string(b) // oversized: copy without caching
+	}
 	if in.m == nil {
 		in.m = make(map[string]string, 64)
 	}
 	if s, ok := in.m[string(b)]; ok { // no-alloc lookup
 		return s
 	}
-	if len(in.m) >= maxInterned {
+	if len(in.m) >= maxInterned || in.bytes+len(b) > maxInternedBytes {
 		clear(in.m)
+		in.bytes = 0
 	}
 	s := string(b)
 	in.m[s] = s
+	in.bytes += len(s)
 	return s
 }
+
+// Len returns the number of interned entries (regression tests assert the
+// table stays bounded over many periods).
+func (in *Interner) Len() int { return len(in.m) }
+
+// InternedBytes returns the total payload bytes currently interned.
+func (in *Interner) InternedBytes() int { return in.bytes }
 
 // ReadStringInterned reads a length-prefixed string through the interner.
 func ReadStringInterned(b []byte, in *Interner) (string, []byte, error) {

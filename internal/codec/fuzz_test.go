@@ -31,8 +31,48 @@ func FuzzBatchCodec(f *testing.F) {
 	f.Add([]byte{0x80, 0x00, 'a'})                                            // non-minimal zero length + junk
 	f.Add([]byte{0x81, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // 10-byte uvarint
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // ~max uint64 length
+	// Versioned (wire format v2) frames: version byte, then items whose
+	// bodies carry dictionary-encoded records. At this layer the records are
+	// opaque item bytes; the dictionary corpus below mirrors what the engine
+	// stages (a definition then a back-reference) plus the malformed shapes
+	// the DictTable decoder must reject: truncated definitions, out-of-range
+	// name ids, duplicate names.
+	var d Dict
+	dictItem := AppendUvarint(nil, 3)                    // kg
+	dictItem = append(dictItem, 0x01, 'k', 0x02, 0x01)   // key "k", ts 1, 1 str field
+	dictItem = d.AppendRef(dictItem, "geo")              // inline definition (id 0)
+	dictItem = append(dictItem, 0x02, 'd', 'k', 0x00)    // value "dk", 0 num fields
+	dictItem2 := AppendUvarint(nil, 3)                   // second record back-references
+	dictItem2 = append(dictItem2, 0x01, 'k', 0x02, 0x01) //
+	dictItem2 = d.AppendRef(dictItem2, "geo")            // back-ref (1 byte)
+	dictItem2 = append(dictItem2, 0x02, 'd', 'k', 0x00)  //
+	v2 := AppendFrameHeader(nil, FrameV2)
+	v2 = AppendBatchItem(v2, dictItem)
+	v2 = AppendBatchItem(v2, dictItem2)
+	f.Add(v2)                                    // well-formed v2 dictionary frame
+	f.Add(AppendFrameHeader(nil, FrameV1))       // empty v1 frame
+	f.Add(AppendFrameHeader(nil, FrameV2))       // empty v2 frame
+	f.Add(v2[:len(v2)-3])                        // truncated mid-record
+	truncDict := AppendFrameHeader(nil, FrameV2) // definition claims 100 name bytes, has 2
+	truncDict = AppendBatchItem(truncDict, append(AppendUvarint(nil, 100<<1|1), 'a', 'b'))
+	f.Add(truncDict)
+	oor := AppendFrameHeader(nil, FrameV2) // back-reference to id 40 in an empty dictionary
+	oor = AppendBatchItem(oor, AppendUvarint(nil, 40<<1))
+	f.Add(oor)
+	dup := AppendFrameHeader(nil, FrameV2) // the same name defined twice
+	dupItem := AppendUvarint(nil, uint64(len("geo"))<<1|1)
+	dupItem = append(dupItem, "geo"...)
+	dupItem = append(dupItem, dupItem...)
+	dup = AppendBatchItem(dup, dupItem)
+	f.Add(dup)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
+		// Strip a valid version header when present (the framing layer under
+		// it is identical for v1 and v2; record bodies are opaque items here
+		// — the engine's FuzzReceivePath fuzzes their interpretation).
+		if _, payload, err := FrameVersion(frame); err == nil {
+			frame = payload
+		}
 		var items [][]byte
 		err := DecodeBatch(frame, func(item []byte) error {
 			items = append(items, append([]byte(nil), item...))

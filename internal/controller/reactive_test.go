@@ -42,8 +42,8 @@ func skewTopology(perPeriod, kgs, nodes, hotPeriod int) *engine.Topology {
 	t.AddOperator(&engine.Operator{
 		Name:      "count",
 		KeyGroups: kgs,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			st.Add(tu.Key, 1)
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
+			st.Add(tu.Key(), 1)
 		},
 	})
 	t.Connect("src", "count")
@@ -287,6 +287,7 @@ func BenchmarkTrigger(b *testing.B) {
 	for i := range loads {
 		loads[i] = 10 + float64(i%7)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		loads[i%64] = 10 + float64(i%13)

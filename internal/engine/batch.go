@@ -15,6 +15,13 @@ import (
 // This amortizes the frame allocation and the mailbox lock over the batch
 // while keeping per-sender FIFO intact: a sender's flush always precedes its
 // barrier enqueue.
+//
+// Frames are wire-format v2 (see codec/frame.go): a leading version byte,
+// then length-prefixed records whose field names are dictionary-encoded. The
+// sender builds the per-frame name dictionary incrementally as it stages, so
+// a frame carries each field name once; record lengths — stage's return
+// value — are measured on the exact staged bytes, so sender-side wire-byte
+// accounting equals what the receiver measures per decoded record.
 const (
 	// flushBatchBytes / flushBatchTuples bound how much data a sender may
 	// buffer per destination before shipping, so batching adds bounded
@@ -26,25 +33,63 @@ const (
 // outbox accumulates encoded tuple records bound for one destination node.
 // All buffered records belong to a single operator (op); the frame buffer is
 // leased from codec.GetBuf and ownership passes to the receiver with the
-// dataBatchMsg.
+// dataBatchMsg. dict is the frame's incremental field-name dictionary; it
+// resets whenever a new frame starts.
 type outbox struct {
 	op    int
 	count int
 	buf   []byte
+	dict  codec.Dict
+}
+
+// begin lazily starts a new v2 frame.
+func (o *outbox) begin() {
+	if o.buf == nil {
+		o.buf = codec.AppendFrameHeader(codec.GetBuf(), codec.FrameV2)
+		o.dict.Reset()
+	}
 }
 
 // stage appends one (kg, tuple) record to the outbox frame and returns the
 // record's encoded length in bytes — the cost-model "wire bytes" of the
-// tuple, excluding the frame's per-item length prefix so sender-side
-// accounting matches what the receiver measures per decoded record.
-// scratch is a caller-owned reusable encode buffer.
+// tuple, excluding the frame's version byte and per-item length prefix, so
+// sender-side accounting matches what the receiver measures per decoded
+// record. scratch is a caller-owned reusable encode buffer.
 func (o *outbox) stage(kg int, t *Tuple, scratch *[]byte) int {
+	o.begin()
 	s := codec.AppendUvarint((*scratch)[:0], uint64(kg))
-	s = t.Encode(s)
+	s = t.EncodeV2(s, &o.dict)
 	*scratch = s
-	if o.buf == nil {
-		o.buf = codec.GetBuf()
+	o.buf = codec.AppendBatchItem(o.buf, s)
+	o.count++
+	return len(s)
+}
+
+// stageView stages one record straight from a receive-path view (the
+// hot-move forwarding path), without materializing a Tuple. Raw string
+// values are copied from the source frame into the outgoing frame as bytes;
+// nothing is interned.
+func (o *outbox) stageView(kg int, v *TupleView, scratch *[]byte) int {
+	if v.src != nil {
+		return o.stage(kg, v.src, scratch)
 	}
+	o.begin()
+	s := codec.AppendUvarint((*scratch)[:0], uint64(kg))
+	s = codec.AppendUvarint(s, uint64(len(v.keyRaw)))
+	s = append(s, v.keyRaw...)
+	s = codec.AppendInt64(s, v.ts)
+	s = codec.AppendUvarint(s, uint64(len(v.strs)))
+	for i := range v.strs {
+		s = o.dict.AppendRef(s, v.strs[i].name)
+		s = codec.AppendUvarint(s, uint64(len(v.strs[i].raw)))
+		s = append(s, v.strs[i].raw...)
+	}
+	s = codec.AppendUvarint(s, uint64(len(v.nums)))
+	for i := range v.nums {
+		s = o.dict.AppendRef(s, v.nums[i].name)
+		s = codec.AppendFloat64(s, v.nums[i].val)
+	}
+	*scratch = s
 	o.buf = codec.AppendBatchItem(o.buf, s)
 	o.count++
 	return len(s)
@@ -66,20 +111,52 @@ func (o *outbox) take(period int) (dataBatchMsg, bool) {
 	return m, true
 }
 
+// rxDecoder is one receiver's reusable decode state: the string interner
+// shared across frames, the per-frame dictionary table and a view recycled
+// across records. One per node; never shared across goroutines.
+type rxDecoder struct {
+	in   codec.Interner
+	dict codec.DictTable
+	view TupleView
+}
+
 // decodeBatch iterates the records of a dataBatchMsg frame: for each record
-// it yields the key group, the decoded tuple and the record's wire length.
-// Strings decode through the receiver's interner.
-func decodeBatch(encoded []byte, in *codec.Interner, fn func(kg int, t *Tuple, wire int)) error {
-	return codec.DecodeBatch(encoded, func(item []byte) error {
+// it yields the key group, a TupleView onto the record and the record's wire
+// length. The view (and, for raw views, the frame bytes behind it) is only
+// valid until fn returns — fn must Materialize anything it keeps. v2 frames
+// decode allocation-free into rx's reusable view; v1 frames (the
+// compatibility path, not used by live senders) materialize one Tuple per
+// record and wrap it.
+func decodeBatch(encoded []byte, rx *rxDecoder, fn func(kg int, v *TupleView, wire int)) error {
+	version, payload, err := codec.FrameVersion(encoded)
+	if err != nil {
+		return fmt.Errorf("engine: data frame: %w", err)
+	}
+	if version == codec.FrameV2 {
+		rx.dict.Reset()
+		return codec.DecodeBatch(payload, func(item []byte) error {
+			kg, rest, err := codec.ReadUvarint(item)
+			if err != nil {
+				return fmt.Errorf("engine: batch record kg: %w", err)
+			}
+			if err := rx.view.decodeV2(rest, &rx.dict, &rx.in); err != nil {
+				return err
+			}
+			fn(int(kg), &rx.view, len(item))
+			return nil
+		})
+	}
+	return codec.DecodeBatch(payload, func(item []byte) error {
 		kg, rest, err := codec.ReadUvarint(item)
 		if err != nil {
 			return fmt.Errorf("engine: batch record kg: %w", err)
 		}
-		t, err := decodeTupleInterned(rest, in)
+		t, err := decodeTuple(rest, &rx.in)
 		if err != nil {
 			return err
 		}
-		fn(int(kg), t, len(item))
+		rx.view.wrap(t)
+		fn(int(kg), &rx.view, len(item))
 		return nil
 	})
 }

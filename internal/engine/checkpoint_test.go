@@ -17,7 +17,7 @@ func tallyTopology(perPeriod, kgs int) *Topology {
 	tp.AddOperator(&Operator{
 		Name:      "tally",
 		KeyGroups: kgs,
-		Proc: func(tu *Tuple, st *State, emit Emit) {
+		Proc: func(tu *TupleView, st *State, emit Emit) {
 			st.Add("total", 1)
 		},
 	})

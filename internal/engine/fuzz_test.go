@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// FuzzReceivePath fuzzes the real cross-node receive path — versioned frame
+// → dictionary table → lazy TupleView — with the laws the engine relies on:
+//
+//  1. decodeBatch never panics, whatever the bytes;
+//  2. view accessors agree with Materialize (the lazy and the materialized
+//     reads of one record are the same tuple);
+//  3. any frame that decodes cleanly survives a re-encode through the v2
+//     sender (outbox staging) and decodes to the same tuples.
+//
+// The seed corpus covers both frame versions plus the corrupt shapes the
+// dictionary layer must reject: truncated dictionary definitions,
+// out-of-range name ids, duplicate names, truncated floats and oversized
+// field counts.
+func FuzzReceivePath(f *testing.F) {
+	// Well-formed v2 frames, straight from the sender.
+	var ob outbox
+	var scratch []byte
+	ob.stage(3, (&Tuple{Key: "k1", TS: 7}).WithStr("geo", "dk").WithNum("b", 2), &scratch)
+	ob.stage(3, (&Tuple{Key: "k2", TS: 8}).WithStr("geo", "se").WithNum("b", 3), &scratch)
+	if m, ok := ob.take(1); ok {
+		f.Add(append([]byte(nil), m.encoded...))
+	}
+	ob.stage(0, &Tuple{}, &scratch) // empty tuple
+	if m, ok := ob.take(1); ok {
+		f.Add(append([]byte(nil), m.encoded...))
+	}
+	// Well-formed v1 frame (compat path).
+	f.Add(buildV1Frame([]int{1, 2}, []*Tuple{
+		(&Tuple{Key: "a", TS: 1}).WithStr("s", "v"),
+		(&Tuple{Key: "b", TS: 2}).WithNum("n", 4),
+	}))
+	// Corrupt v2 shapes.
+	add := func(items ...[]byte) {
+		frame := codec.AppendFrameHeader(nil, codec.FrameV2)
+		for _, it := range items {
+			frame = codec.AppendBatchItem(frame, it)
+		}
+		f.Add(frame)
+	}
+	add([]byte{0x00, 0x00, 0x00})                                              // kg, empty key, ts — then truncated
+	add([]byte{0x00, 0x00, 0x00, 0x05})                                        // claims 5 str fields, has none
+	add([]byte{0x00, 0x00, 0x00, 0x01, 0xc9, 'a', 'b'})                        // truncated name definition (100<<1|1)
+	add([]byte{0x00, 0x00, 0x00, 0x01, 0x50, 0x00, 0x00})                      // out-of-range name id 40
+	add([]byte{0x00, 0x00, 0x00, 0x00, 0x01, 0x07, 'g', 'e', 'o', 0x01, 0x02}) // truncated float
+	dup := []byte{0x00, 0x00, 0x00, 0x02, 0x07, 'g', 'e', 'o', 0x00, 0x07, 'g', 'e', 'o', 0x00, 0x00}
+	add(dup)                  // duplicate name definitions in one record
+	f.Add([]byte{0xF2})       // header-only v2 frame
+	f.Add([]byte{0xF1})       // header-only v1 frame
+	f.Add([]byte{0x42, 0x42}) // unknown version byte
+	f.Add([]byte{})           // empty input
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var rx rxDecoder
+		type rec struct {
+			kg int
+			t  *Tuple
+		}
+		var recs []rec
+		err := decodeBatch(frame, &rx, func(kg int, v *TupleView, wire int) {
+			if wire <= 0 {
+				t.Fatalf("non-positive wire length %d", wire)
+			}
+			m := v.Materialize(nil)
+			// Law 2: lazy accessors and the materialized copy agree.
+			if m.Key != v.Key() || m.TS != v.TS() || m.NumFields() != v.NumFields() {
+				t.Fatalf("view/materialize disagree: %+v", m)
+			}
+			for _, fld := range m.strs {
+				if !v.HasStr(fld.K) || v.Str(fld.K) != m.Str(fld.K) {
+					t.Fatalf("str field %q disagrees", fld.K)
+				}
+			}
+			for _, fld := range m.nums {
+				// Bitwise comparison: NaN payloads must survive the wire too.
+				if !v.HasNum(fld.K) || math.Float64bits(v.Num(fld.K)) != math.Float64bits(m.Num(fld.K)) {
+					t.Fatalf("num field %q disagrees", fld.K)
+				}
+			}
+			recs = append(recs, rec{kg: kg, t: m})
+		})
+		if err != nil {
+			return // malformed input may fail, never panic
+		}
+		// Law 3: re-encode through the v2 sender and decode again.
+		var ob outbox
+		var scratch []byte
+		for _, r := range recs {
+			ob.stage(r.kg, r.t, &scratch)
+		}
+		m, ok := ob.take(1)
+		if !ok {
+			if len(recs) != 0 {
+				t.Fatalf("%d records staged, empty frame", len(recs))
+			}
+			return
+		}
+		var rx2 rxDecoder
+		i := 0
+		if err := decodeBatch(m.encoded, &rx2, func(kg int, v *TupleView, wire int) {
+			if i >= len(recs) {
+				t.Fatalf("re-encode grew the batch (%d records staged)", len(recs))
+			}
+			want := recs[i]
+			got := v.Materialize(nil)
+			if kg != want.kg || got.Key != want.t.Key || got.TS != want.t.TS ||
+				!strFieldsEqual(got.strs, want.t.strs) || !numFieldsEqual(got.nums, want.t.nums) {
+				t.Fatalf("record %d changed across re-encode:\n got %+v\nwant %+v", i, got, want.t)
+			}
+			i++
+		}); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if i != len(recs) {
+			t.Fatalf("re-encode shrank the batch: %d of %d", i, len(recs))
+		}
+	})
+}
+
+func strFieldsEqual(a, b []strField) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func numFieldsEqual(a, b []numField) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].K != b[i].K || math.Float64bits(a[i].V) != math.Float64bits(b[i].V) {
+			return false
+		}
+	}
+	return true
+}

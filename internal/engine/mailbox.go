@@ -5,11 +5,14 @@ import "sync"
 // message is anything deliverable to a node's mailbox.
 type message interface{ isMessage() }
 
-// dataBatchMsg carries count tuples for operator op in one frame: a codec
-// batch of records, each record being uvarint(kg) followed by the encoded
-// tuple. Cross-node deliveries pay serialization once per record but amortize
-// the frame, the allocation (encoded comes from codec.GetBuf and is returned
-// to the pool by the receiver) and the mailbox lock over the whole batch.
+// dataBatchMsg carries count tuples for operator op in one frame: a
+// versioned codec batch (wire format v2 — leading version byte, per-frame
+// field-name dictionary) of records, each record being uvarint(kg) followed
+// by the encoded tuple. Cross-node deliveries pay serialization once per
+// record but amortize the frame, the allocation (encoded comes from
+// codec.GetBuf and is returned to the pool by the receiver once the whole
+// batch — including the TupleViews aliasing it — has been processed) and
+// the mailbox lock over the whole batch.
 type dataBatchMsg struct {
 	op      int
 	period  int

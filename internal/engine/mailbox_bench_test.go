@@ -14,6 +14,7 @@ func benchmarkMailbox(b *testing.B, batchSize int) {
 	mb := newMailbox()
 	var wg sync.WaitGroup
 	per := b.N/senders + 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for s := 0; s < senders; s++ {
 		wg.Add(1)

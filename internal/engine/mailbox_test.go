@@ -238,8 +238,8 @@ func TestBarrierOrderingUnderMigration(t *testing.T) {
 	tp.AddOperator(&Operator{
 		Name:      "count",
 		KeyGroups: keyGroups,
-		Proc: func(tu *Tuple, st *State, emit Emit) {
-			st.Table("c")[tu.Key]++
+		Proc: func(tu *TupleView, st *State, emit Emit) {
+			st.Table("c")[tu.Key()]++
 		},
 		Flush: func(kg int, st *State, emit Emit) {
 			for k, v := range st.Table("c") {
@@ -251,9 +251,9 @@ func TestBarrierOrderingUnderMigration(t *testing.T) {
 	tp.AddOperator(&Operator{
 		Name:      "sink",
 		KeyGroups: keyGroups,
-		Proc: func(tu *Tuple, st *State, emit Emit) {
+		Proc: func(tu *TupleView, st *State, emit Emit) {
 			mu.Lock()
-			counted[tu.Key] += tu.Num("n")
+			counted[tu.Key()] += tu.Num("n")
 			mu.Unlock()
 		},
 	})

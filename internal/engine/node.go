@@ -7,6 +7,15 @@ import (
 	"repro/internal/codec"
 )
 
+// pendingTuple is one tuple buffered while its key group's state is still in
+// flight. owned marks tuples the node materialized itself from a receive-path
+// view (returned to the tuple pool after replay); unowned entries were
+// emitted by an operator and stay operator-owned.
+type pendingTuple struct {
+	t     *Tuple
+	owned bool
+}
+
 // periodStartMsg arms a node for one period: routing snapshot, expected
 // barrier counts and the key groups awaiting in-bound migration.
 type periodStartMsg struct {
@@ -40,9 +49,9 @@ type node struct {
 	eng *Engine
 	mb  *mailbox
 
-	states  map[int]*State   // gid -> state
-	pending map[int][]*Tuple // gid -> tuples buffered awaiting migration
-	awaitIn map[int]bool     // gid awaiting a stateMsg
+	states  map[int]*State         // gid -> state
+	pending map[int][]pendingTuple // gid -> tuples buffered awaiting migration
+	awaitIn map[int]bool           // gid awaiting a stateMsg
 	// potcSent tracks, per candidate key group, how much work this sender
 	// instance has routed there (PoTC balances the work each sender emits
 	// downstream using local knowledge).
@@ -50,8 +59,14 @@ type node struct {
 	// emitters caches the Emit closure per emitting gid (one closure per
 	// group instead of one per processed tuple).
 	emitters []Emit
-	// intern dedups strings decoded from cross-node frames.
-	intern codec.Interner
+	// rx is the reusable receive-path decode state (interner, per-frame
+	// dictionary table, recycled TupleView).
+	rx rxDecoder
+	// views is a small stack of wrap-views for node-local deliveries: a
+	// local emit chain (process → emit → process ...) recurses, so each
+	// depth level needs its own view. Grown once per depth ever reached.
+	views     []*TupleView
+	viewDepth int
 
 	period      int
 	router      *routerTable
@@ -100,7 +115,7 @@ func newNode(id int, eng *Engine) *node {
 		eng:      eng,
 		mb:       newMailbox(),
 		states:   map[int]*State{},
-		pending:  map[int][]*Tuple{},
+		pending:  map[int][]pendingTuple{},
 		awaitIn:  map[int]bool{},
 		potcSent: make([]float64, numGroups),
 		emitters: make([]Emit, numGroups),
@@ -266,26 +281,30 @@ func (n *node) onHotMove(m hotMoveMsg) {
 }
 
 // onDataBatch decodes one cross-node frame and processes its tuples in
-// order, paying deserialization per record. The frame buffer goes back to
-// the codec pool afterwards (DecodeTuple copies everything out of it).
+// order, paying deserialization per record. Records decode into a reusable
+// TupleView over the frame bytes — nothing is materialized unless a key
+// group's state is still in flight (then the view is deep-copied into a
+// pooled Tuple and buffered). The frame buffer goes back to the codec pool
+// only after the whole batch is processed: raw views alias it until then.
 func (n *node) onDataBatch(m dataBatchMsg) {
-	err := decodeBatch(m.encoded, &n.intern, func(kg int, t *Tuple, wire int) {
+	err := decodeBatch(m.encoded, &n.rx, func(kg int, v *TupleView, wire int) {
 		gid := n.eng.topo.GID(m.op, kg)
 		n.stats.bytesIn += int64(wire)
 		n.stats.addUnits(gid, float64(wire)*n.eng.cfg.DeserCostPerByte)
 		if to, ok := n.hotAway[gid]; ok {
 			// The group hot-moved away mid-period; this tuple was in flight
 			// from a sender that had not yet seen the move. Forward it.
-			n.forwardHot(m.op, kg, gid, to, t)
+			n.forwardHot(m.op, kg, gid, to, v)
 			return
 		}
 		if n.awaitIn[gid] {
 			// Direct state migration: the group's state has not arrived
-			// yet; buffer and replay on arrival.
-			n.pending[gid] = append(n.pending[gid], t)
+			// yet; materialize (the view dies with this callback) and
+			// replay on arrival.
+			n.pending[gid] = append(n.pending[gid], pendingTuple{t: v.Materialize(nil), owned: true})
 			return
 		}
-		n.process(m.op, kg, gid, t)
+		n.process(m.op, kg, gid, v)
 	})
 	if err != nil {
 		n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
@@ -294,14 +313,16 @@ func (n *node) onDataBatch(m dataBatchMsg) {
 }
 
 // forwardHot re-stages a tuple for a hot-moved group toward its new host,
-// paying serialization like any cross-node send.
-func (n *node) forwardHot(op, kg, gid, to int, t *Tuple) {
+// paying serialization like any cross-node send. It stages straight from
+// the view (raw value bytes are copied frame-to-frame, nothing interned or
+// materialized).
+func (n *node) forwardHot(op, kg, gid, to int, v *TupleView) {
 	ob := n.outFor(to)
 	if ob.count > 0 && ob.op != op {
 		n.flushOut(to)
 	}
 	ob.op = op
-	wire := ob.stage(kg, t, &n.scratch)
+	wire := ob.stageView(kg, v, &n.scratch)
 	n.stats.bytesOut += int64(wire)
 	n.stats.addUnits(gid, float64(wire)*n.eng.cfg.SerCostPerByte)
 	if ob.full() {
@@ -309,7 +330,21 @@ func (n *node) forwardHot(op, kg, gid, to int, t *Tuple) {
 	}
 }
 
-func (n *node) process(op, kg, gid int, t *Tuple) {
+// wrapView pushes a wrap-view onto the node's view stack for a node-local
+// delivery. Pair with releaseView once the synchronous process call returns.
+func (n *node) wrapView(t *Tuple) *TupleView {
+	if n.viewDepth == len(n.views) {
+		n.views = append(n.views, &TupleView{})
+	}
+	v := n.views[n.viewDepth]
+	n.viewDepth++
+	v.wrap(t)
+	return v
+}
+
+func (n *node) releaseView() { n.viewDepth-- }
+
+func (n *node) process(op, kg, gid int, v *TupleView) {
 	o := n.eng.topo.ops[op]
 	st := n.states[gid]
 	if st == nil {
@@ -319,7 +354,7 @@ func (n *node) process(op, kg, gid int, t *Tuple) {
 	n.stats.groupTuplesIn[gid]++
 	n.stats.addUnits(gid, o.Cost)
 	defer n.recoverOp(o.Name, "process")
-	o.Proc(t, st, n.emitFrom(op, gid))
+	o.Proc(v, st, n.emitFrom(op, gid))
 }
 
 // recoverOp contains a panicking user operator: the tuple (or flush) is
@@ -392,11 +427,18 @@ func (n *node) onState(m stateMsg) {
 		delete(n.awaitIn, gid)
 		n.awaitByOp[m.op]--
 	}
-	// Replay buffered tuples in arrival order.
+	// Replay buffered tuples in arrival order. Engine-materialized tuples
+	// go back to the pool once replayed; operator-emitted ones stay with
+	// their owner.
 	buf := n.pending[gid]
 	delete(n.pending, gid)
-	for _, t := range buf {
-		n.process(m.op, m.kg, gid, t)
+	for _, p := range buf {
+		v := n.wrapView(p.t)
+		n.process(m.op, m.kg, gid, v)
+		n.releaseView()
+		if p.owned {
+			putTuple(p.t)
+		}
 	}
 	n.maybeFlush(m.op)
 }
@@ -537,13 +579,16 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 	}
 	n.stats.addComm(fromGID, toGID)
 	if dest == n.id {
-		// Node-local edge: no serialization. Deliver synchronously.
+		// Node-local edge: no serialization. Deliver synchronously through
+		// a wrap-view (operators always see TupleViews).
 		localKG := kg
 		if n.awaitIn[toGID] {
-			n.pending[toGID] = append(n.pending[toGID], t)
+			n.pending[toGID] = append(n.pending[toGID], pendingTuple{t: t})
 			return
 		}
-		n.process(e.op, localKG, toGID, t)
+		v := n.wrapView(t)
+		n.process(e.op, localKG, toGID, v)
+		n.releaseView()
 		return
 	}
 	// Cross-node edge: pay serialization, stage into the per-destination

@@ -139,8 +139,18 @@ type PeriodStats struct {
 	NodeUnits []float64
 	// TuplesIn / TuplesOut totals.
 	TuplesIn, TuplesOut int64
-	// BytesCrossNode is the serialized volume between nodes.
+	// BytesCrossNode is the serialized volume worker nodes sent to other
+	// nodes (sum of per-record wire lengths measured at stage time).
 	BytesCrossNode int64
+	// SrcBytesCrossNode is the wire volume the sources staged toward worker
+	// nodes (measured identically, at stage time).
+	SrcBytesCrossNode int64
+	// BytesCrossNodeIn is the receiver-measured wire volume (sum of decoded
+	// record lengths). Under wire format v2 the per-record length is byte-
+	// identical on both sides, so BytesCrossNodeIn always equals
+	// BytesCrossNode + SrcBytesCrossNode — the invariant that keeps the
+	// out(gi,gj) serialization cost model exact; tests assert it.
+	BytesCrossNodeIn int64
 	// BatchesCrossNode is the number of cross-node frames those bytes rode
 	// in (sources included); BytesCrossNode/BatchesCrossNode is the realized
 	// amortization of the batched data path.

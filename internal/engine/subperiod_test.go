@@ -273,6 +273,7 @@ func BenchmarkSubSnapshot(b *testing.B) {
 	if _, err := e.RunPeriod(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.SubSnapshot(); err != nil {

@@ -7,8 +7,14 @@ import (
 // Emit sends a tuple downstream. Tuples must not be mutated after emission.
 type Emit func(t *Tuple)
 
-// ProcFunc processes one input tuple against its key group's state.
-type ProcFunc func(t *Tuple, st *State, emit Emit)
+// ProcFunc processes one input tuple against its key group's state. The
+// tuple arrives as a TupleView — on the cross-node receive path a reusable,
+// allocation-free window onto the pooled frame bytes. The view is only
+// valid until ProcFunc returns; strings obtained from it are safe to
+// retain, and TupleView.Materialize deep-copies the whole tuple for
+// operators that buffer tuples past the callback (see view.go for the
+// ownership rules).
+type ProcFunc func(t *TupleView, st *State, emit Emit)
 
 // FlushFunc runs once per key group at the end of each period (the engine's
 // watermark tick) — windowed operators emit their results here.

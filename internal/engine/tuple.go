@@ -7,10 +7,14 @@
 // accounted), while node-local edges are free — which is exactly the saving
 // that collocation (ALBIC) exploits. Cross-node deliveries are batched per
 // (destination node, operator): senders stage encoded tuples in per-
-// destination outboxes and ship one pooled frame per batch, so the frame
-// allocation and the mailbox lock amortize over many tuples (see batch.go
-// and mailbox.go; the per-sender FIFO invariant the barrier protocol needs
-// is documented there). The engine supports direct state migration [27],
+// destination outboxes and ship one pooled wire-format-v2 frame per batch
+// (field names dictionary-encoded per frame), so the frame allocation and
+// the mailbox lock amortize over many tuples (see batch.go and mailbox.go;
+// the per-sender FIFO invariant the barrier protocol needs is documented
+// there). The receive path materializes nothing in steady state: records
+// decode into reusable TupleViews that read straight from the pooled frame
+// bytes (see view.go for the ownership rules). The engine supports direct
+// state migration [27],
 // the statistics the controller needs (per-key-group loads, state sizes and
 // the out(gi,gj) communication matrix), horizontal scaling, and two-choice
 // (PoTC) routing for the baseline comparison.
@@ -18,6 +22,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/codec"
 )
@@ -44,12 +49,43 @@ type numField struct {
 type Tuple struct {
 	// Key partitions the downstream operator's input.
 	Key string
-	// strs and nums carry the payload fields, sorted by name.
+	// strs and nums carry the payload fields, sorted by name. They start
+	// out backed by the inline arrays below, so small tuples (the common
+	// case) cost one allocation, not three.
 	strs []strField
 	nums []numField
 	// TS is the event timestamp. The engine processes out of order within a
 	// period (Section 3, Processing Order).
 	TS int64
+	// Inline backing for the first two fields of each kind. Tuples are
+	// always handled by pointer, so the slices never outlive the struct.
+	strs0 [2]strField
+	nums0 [2]numField
+}
+
+// tuplePool recycles Tuple structs on the receive path: TupleView.Materialize
+// draws from it when the caller passes no destination, and the engine returns
+// its own materializations (tuples buffered for in-flight state migrations)
+// once they have been replayed — by the period barrier at the latest. Tuples
+// handed to operators via Materialize(nil) and retained past the period are
+// simply garbage collected; the pool is an optimization, not an ownership
+// registry.
+var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
+
+func getTuple() *Tuple { return tuplePool.Get().(*Tuple) }
+
+func putTuple(t *Tuple) {
+	t.Key = ""
+	t.TS = 0
+	t.strs0 = [2]strField{}
+	t.nums0 = [2]numField{}
+	// Drop string references held in grown (heap-backed) field slices so the
+	// pool does not pin them.
+	clear(t.strs[:cap(t.strs)])
+	clear(t.nums[:cap(t.nums)])
+	t.strs = t.strs[:0]
+	t.nums = t.nums[:0]
+	tuplePool.Put(t)
 }
 
 // Str returns a string field ("" if absent).
@@ -94,6 +130,9 @@ func (t *Tuple) HasNum(name string) bool {
 
 // WithStr sets a string field, keeping fields sorted by name.
 func (t *Tuple) WithStr(name, v string) *Tuple {
+	if t.strs == nil {
+		t.strs = t.strs0[:0]
+	}
 	i := 0
 	for i < len(t.strs) && t.strs[i].K < name {
 		i++
@@ -110,6 +149,9 @@ func (t *Tuple) WithStr(name, v string) *Tuple {
 
 // WithNum sets a numeric field, keeping fields sorted by name.
 func (t *Tuple) WithNum(name string, v float64) *Tuple {
+	if t.nums == nil {
+		t.nums = t.nums0[:0]
+	}
 	i := 0
 	for i < len(t.nums) && t.nums[i].K < name {
 		i++
@@ -127,9 +169,11 @@ func (t *Tuple) WithNum(name string, v float64) *Tuple {
 // NumFields returns the number of payload fields (both kinds).
 func (t *Tuple) NumFields() int { return len(t.strs) + len(t.nums) }
 
-// Encode serializes the tuple (appended to buf). The wire format is
-// identical to the historical map-based encoding: counts followed by
-// name-sorted pairs.
+// Encode serializes the tuple as a v1 record (appended to buf). The wire
+// format is identical to the historical map-based encoding: counts followed
+// by name-sorted pairs, every field name spelled out in full. The engine's
+// data path ships v2 records (EncodeV2); v1 stays for persisted data and
+// cross-version compatibility.
 func (t *Tuple) Encode(buf []byte) []byte {
 	buf = codec.AppendString(buf, t.Key)
 	buf = codec.AppendInt64(buf, t.TS)
@@ -146,19 +190,36 @@ func (t *Tuple) Encode(buf []byte) []byte {
 	return buf
 }
 
-// DecodeTuple reads one tuple from b.
+// EncodeV2 serializes the tuple as a v2 record (appended to buf): the same
+// shape as v1 but with every field name replaced by a dictionary reference
+// into d, the frame's incremental name dictionary (see codec.Dict). The
+// first record of a frame that carries a name embeds it; subsequent records
+// reference it by a 1-byte id — op-local field names are highly repetitive,
+// so a frame pays for each name once instead of once per record.
+func (t *Tuple) EncodeV2(buf []byte, d *codec.Dict) []byte {
+	buf = codec.AppendString(buf, t.Key)
+	buf = codec.AppendInt64(buf, t.TS)
+	buf = codec.AppendUvarint(buf, uint64(len(t.strs)))
+	for _, f := range t.strs {
+		buf = d.AppendRef(buf, f.K)
+		buf = codec.AppendString(buf, f.V)
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(t.nums)))
+	for _, f := range t.nums {
+		buf = d.AppendRef(buf, f.K)
+		buf = codec.AppendFloat64(buf, f.V)
+	}
+	return buf
+}
+
+// DecodeTuple reads one v1 tuple record from b.
 func DecodeTuple(b []byte) (*Tuple, error) {
 	return decodeTuple(b, nil)
 }
 
-// decodeTupleInterned is DecodeTuple for the receive hot path: the tuple's
-// key, field names and string values go through the decoder's interner, so
-// the repeated strings of a stream decode without allocating. The decoded
-// tuple never aliases b.
-func decodeTupleInterned(b []byte, in *codec.Interner) (*Tuple, error) {
-	return decodeTuple(b, in)
-}
-
+// decodeTuple reads one v1 record; with a non-nil interner the key, field
+// names and string values are deduplicated through it (the decoded tuple
+// never aliases b).
 func decodeTuple(b []byte, in *codec.Interner) (*Tuple, error) {
 	readString := codec.ReadString
 	if in != nil {
@@ -178,6 +239,11 @@ func decodeTuple(b []byte, in *codec.Interner) (*Tuple, error) {
 	if n, b, err = codec.ReadUvarint(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple strs: %w", err)
 	}
+	// Each string field costs at least 2 bytes; a count exceeding the
+	// remaining buffer is malformed (guards the allocation below).
+	if n > uint64(len(b))/2 {
+		return nil, fmt.Errorf("engine: decode tuple: %d string fields in %d bytes", n, len(b))
+	}
 	if n > 0 {
 		t.strs = make([]strField, n)
 		for i := range t.strs {
@@ -191,6 +257,11 @@ func decodeTuple(b []byte, in *codec.Interner) (*Tuple, error) {
 	}
 	if n, b, err = codec.ReadUvarint(b); err != nil {
 		return nil, fmt.Errorf("engine: decode tuple nums: %w", err)
+	}
+	// A numeric field costs at least 9 bytes (1-byte name ref + 8-byte
+	// float); same malformed-count guard as for strings.
+	if n > uint64(len(b))/9 {
+		return nil, fmt.Errorf("engine: decode tuple: %d numeric fields in %d bytes", n, len(b))
 	}
 	if n > 0 {
 		t.nums = make([]numField, n)

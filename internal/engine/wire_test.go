@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+func goldenTuple() *Tuple {
+	return (&Tuple{Key: "k1", TS: 7}).WithStr("geo", "dk").WithNum("b", 2)
+}
+
+// TestGoldenV1Record pins the v1 record encoding byte for byte. This layout
+// is frozen: persisted v1 data must decode forever.
+func TestGoldenV1Record(t *testing.T) {
+	want := []byte{
+		0x02, 'k', '1', // key, length-prefixed
+		0x0e,                // ts = 7, zig-zag varint
+		0x01,                // 1 string field
+		0x03, 'g', 'e', 'o', // name "geo"
+		0x02, 'd', 'k', // value "dk"
+		0x01,      // 1 numeric field
+		0x01, 'b', // name "b"
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40, // 2.0 LE float64
+	}
+	got := goldenTuple().Encode(nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v1 record drifted:\n got %#v\nwant %#v", got, want)
+	}
+	back, err := DecodeTuple(got)
+	if err != nil || back.Key != "k1" || back.TS != 7 || back.Str("geo") != "dk" || back.Num("b") != 2 {
+		t.Fatalf("v1 golden round trip: %+v err %v", back, err)
+	}
+}
+
+// TestGoldenV2Frame pins the v2 frame encoding byte for byte: version byte,
+// length-prefixed records, first use of a name defines it inline (odd
+// low bit), repeats back-reference by id (even low bit).
+func TestGoldenV2Frame(t *testing.T) {
+	rec1 := []byte{
+		0x03,           // kg = 3
+		0x02, 'k', '1', // key
+		0x0e,                // ts = 7
+		0x01,                // 1 string field
+		0x07, 'g', 'e', 'o', // name def: 3<<1|1, "geo" → id 0
+		0x02, 'd', 'k', // value "dk"
+		0x01,      // 1 numeric field
+		0x03, 'b', // name def: 1<<1|1, "b" → id 1
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40,
+	}
+	rec2 := []byte{
+		0x03,
+		0x02, 'k', '1',
+		0x0e,
+		0x01,
+		0x00, // back-ref id 0 ("geo")
+		0x02, 'd', 'k',
+		0x01,
+		0x02, // back-ref id 1 ("b")
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40,
+	}
+	want := []byte{0xF2} // codec.FrameV2
+	want = append(want, byte(len(rec1)))
+	want = append(want, rec1...)
+	want = append(want, byte(len(rec2)))
+	want = append(want, rec2...)
+
+	var ob outbox
+	var scratch []byte
+	tu := goldenTuple()
+	w1 := ob.stage(3, tu, &scratch)
+	w2 := ob.stage(3, tu, &scratch)
+	if !bytes.Equal(ob.buf, want) {
+		t.Fatalf("v2 frame drifted:\n got %#v\nwant %#v", ob.buf, want)
+	}
+	if w1 != len(rec1) || w2 != len(rec2) {
+		t.Fatalf("stage wire lengths %d/%d, want %d/%d", w1, w2, len(rec1), len(rec2))
+	}
+	if w2 >= w1 {
+		t.Fatalf("dictionary back-references should shrink repeat records (%d vs %d)", w2, w1)
+	}
+
+	// Decode the pinned bytes and check the views.
+	var rx rxDecoder
+	n := 0
+	err := decodeBatch(want, &rx, func(kg int, v *TupleView, wire int) {
+		n++
+		if kg != 3 || v.Key() != "k1" || v.TS() != 7 || v.Str("geo") != "dk" || v.Num("b") != 2 {
+			t.Fatalf("record %d decoded wrong: kg=%d key=%q", n, kg, v.Key())
+		}
+		if wire != map[int]int{1: len(rec1), 2: len(rec2)}[n] {
+			t.Fatalf("record %d wire=%d", n, wire)
+		}
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("decode: %d records, err %v", n, err)
+	}
+}
+
+// buildV1Frame assembles a v1-versioned frame the way a v1 sender would:
+// every record spells its field names out in full.
+func buildV1Frame(kgs []int, tuples []*Tuple) []byte {
+	frame := codec.AppendFrameHeader(codec.GetBuf(), codec.FrameV1)
+	var scratch []byte
+	for i, tu := range tuples {
+		scratch = codec.AppendUvarint(scratch[:0], uint64(kgs[i]))
+		scratch = tu.Encode(scratch)
+		frame = codec.AppendBatchItem(frame, scratch)
+	}
+	return frame
+}
+
+// TestCrossVersionDecode feeds the same logical batch through a v1 and a v2
+// frame and asserts the receive path yields identical tuples from both.
+func TestCrossVersionDecode(t *testing.T) {
+	var tuples []*Tuple
+	var kgs []int
+	for i := 0; i < 40; i++ {
+		tuples = append(tuples, (&Tuple{Key: fmt.Sprintf("key-%d", i%7), TS: int64(i)}).
+			WithStr("geo", fmt.Sprintf("cell-%d", i%3)).
+			WithStr("editor", "ed-1").
+			WithNum("bytes", float64(i)*1.5))
+		kgs = append(kgs, i%5)
+	}
+	var ob outbox
+	var scratch []byte
+	for i, tu := range tuples {
+		ob.stage(kgs[i], tu, &scratch)
+	}
+	v2frame := ob.buf
+	v1frame := buildV1Frame(kgs, tuples)
+
+	decodeAll := func(frame []byte) []*Tuple {
+		var rx rxDecoder
+		var out []*Tuple
+		var gotKGs []int
+		if err := decodeBatch(frame, &rx, func(kg int, v *TupleView, wire int) {
+			out = append(out, v.Materialize(nil))
+			gotKGs = append(gotKGs, kg)
+		}); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for i, kg := range gotKGs {
+			if kg != kgs[i] {
+				t.Fatalf("record %d kg=%d want %d", i, kg, kgs[i])
+			}
+		}
+		return out
+	}
+	fromV1 := decodeAll(v1frame)
+	fromV2 := decodeAll(v2frame)
+	if len(fromV1) != len(tuples) || len(fromV2) != len(tuples) {
+		t.Fatalf("decoded %d/%d of %d", len(fromV1), len(fromV2), len(tuples))
+	}
+	for i := range tuples {
+		for _, got := range []*Tuple{fromV1[i], fromV2[i]} {
+			want := tuples[i]
+			if got.Key != want.Key || got.TS != want.TS ||
+				got.Str("geo") != want.Str("geo") || got.Str("editor") != want.Str("editor") ||
+				got.Num("bytes") != want.Num("bytes") || got.NumFields() != want.NumFields() {
+				t.Fatalf("record %d differs across versions: %+v vs %+v", i, got, want)
+			}
+		}
+	}
+	// v2 must be strictly smaller: names ride once per frame, not per record.
+	if len(v2frame) >= len(v1frame) {
+		t.Fatalf("v2 frame (%d B) not smaller than v1 (%d B)", len(v2frame), len(v1frame))
+	}
+}
+
+// TestViewZeroAllocSteadyState asserts the heart of the PR: decoding a v2
+// frame and reading every field through the views allocates nothing once
+// the interner is warm.
+func TestViewZeroAllocSteadyState(t *testing.T) {
+	var ob outbox
+	var scratch []byte
+	for i := 0; i < 64; i++ {
+		ob.stage(i%4, (&Tuple{Key: fmt.Sprintf("key-%d", i%8), TS: int64(i)}).
+			WithStr("geo", fmt.Sprintf("cell-%d", i%3)).
+			WithNum("bytes", float64(i)), &scratch)
+	}
+	frame := ob.buf
+	var rx rxDecoder
+	run := func() {
+		sum := 0.0
+		if err := decodeBatch(frame, &rx, func(kg int, v *TupleView, wire int) {
+			if v.Key() == "" || v.Str("geo") == "" {
+				t.Fatal("bad view")
+			}
+			sum += v.Num("bytes") + float64(v.TS()) + float64(v.NumFields())
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum == 0 {
+			t.Fatal("no data")
+		}
+	}
+	run() // warm the interner
+	if allocs := testing.AllocsPerRun(50, run); allocs > 0 {
+		t.Fatalf("steady-state receive path allocates %.1f allocs per frame, want 0", allocs)
+	}
+}
+
+// TestMaterializeOutlivesFrame checks the documented escape hatch: a
+// materialized tuple (and strings read from a view) stay intact after the
+// frame buffer is recycled and overwritten.
+func TestMaterializeOutlivesFrame(t *testing.T) {
+	var ob outbox
+	var scratch []byte
+	ob.stage(1, (&Tuple{Key: "persist-me", TS: 9}).WithStr("s", "value-1").WithNum("n", 3), &scratch)
+	msg, ok := ob.take(1)
+	if !ok {
+		t.Fatal("no frame")
+	}
+	var rx rxDecoder
+	var kept *Tuple
+	var keptStr string
+	if err := decodeBatch(msg.encoded, &rx, func(kg int, v *TupleView, wire int) {
+		kept = v.Materialize(nil)
+		keptStr = v.Str("s")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	codec.PutBuf(msg.encoded)
+	// Grab the pooled buffer again and scribble over it.
+	junk := codec.GetBuf()
+	for i := 0; i < 256; i++ {
+		junk = append(junk, 0xAB)
+	}
+	if kept.Key != "persist-me" || kept.TS != 9 || kept.Str("s") != "value-1" || kept.Num("n") != 3 {
+		t.Fatalf("materialized tuple corrupted by frame reuse: %+v", kept)
+	}
+	if keptStr != "value-1" {
+		t.Fatalf("retained view string corrupted: %q", keptStr)
+	}
+	codec.PutBuf(junk)
+}
+
+// TestStageViewMatchesStage pins the hot-move forwarding encoder to the
+// canonical one: staging a record straight from a decoded view must produce
+// byte-identical frames to materializing the view and staging the Tuple.
+// (stageView hand-writes the v2 record layout; this is the drift alarm.)
+func TestStageViewMatchesStage(t *testing.T) {
+	var src outbox
+	var scratch []byte
+	for i := 0; i < 20; i++ {
+		src.stage(i%4, (&Tuple{Key: fmt.Sprintf("key-%d", i), TS: int64(i)}).
+			WithStr("geo", fmt.Sprintf("cell-%d", i%3)).
+			WithStr("editor", "ed-1").
+			WithNum("bytes", float64(i)), &scratch)
+	}
+	msg, _ := src.take(1)
+	var rx rxDecoder
+	var viaView, viaTuple outbox
+	var s1, s2 []byte
+	if err := decodeBatch(msg.encoded, &rx, func(kg int, v *TupleView, wire int) {
+		w1 := viaView.stageView(kg, v, &s1)
+		w2 := viaTuple.stage(kg, v.Materialize(nil), &s2)
+		if w1 != w2 {
+			t.Fatalf("wire lengths differ: stageView %d, stage %d", w1, w2)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaView.buf, viaTuple.buf) {
+		t.Fatalf("stageView drifted from stage:\n view  %#v\n tuple %#v", viaView.buf, viaTuple.buf)
+	}
+	if !bytes.Equal(viaView.buf, msg.encoded) {
+		t.Fatalf("re-staged frame differs from original")
+	}
+}
+
+// TestWireAccountingIdentity is the sender/receiver agreement test the v2
+// cost model depends on: across periods with real cross-node traffic, the
+// receiver-measured wire volume must equal the sum of what worker nodes and
+// sources staged, byte for byte.
+func TestWireAccountingIdentity(t *testing.T) {
+	tp := NewTopology()
+	tp.AddSource("src", func(period int, emit Emit) {
+		for i := 0; i < 500; i++ {
+			emit((&Tuple{Key: fmt.Sprintf("k%d", i%37), TS: int64(i)}).
+				WithStr("payload", fmt.Sprintf("p%d", i%11)).
+				WithNum("v", float64(i)))
+		}
+	})
+	tp.AddOperator(&Operator{
+		Name: "a", KeyGroups: 8,
+		Proc: func(tu *TupleView, st *State, emit Emit) {
+			emit((&Tuple{Key: tu.Str("payload"), TS: tu.TS()}).WithNum("v", tu.Num("v")))
+		},
+	})
+	tp.AddOperator(&Operator{
+		Name: "b", KeyGroups: 8,
+		Proc: func(tu *TupleView, st *State, emit Emit) { st.Add("n", tu.Num("v")) },
+	})
+	tp.Connect("src", "a")
+	tp.Connect("a", "b")
+	// Pin op a to node 0 and op b to node 1 so every a→b edge crosses nodes.
+	initial := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		initial[i] = 1
+	}
+	e, err := New(tp, Config{Nodes: 2}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for p := 0; p < 3; p++ {
+		ps, err := e.RunPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.BytesCrossNodeIn == 0 || ps.SrcBytesCrossNode == 0 {
+			t.Fatalf("period %d: no cross-node traffic measured (in=%d src=%d)",
+				ps.Period, ps.BytesCrossNodeIn, ps.SrcBytesCrossNode)
+		}
+		if got, want := ps.BytesCrossNodeIn, ps.BytesCrossNode+ps.SrcBytesCrossNode; got != want {
+			t.Fatalf("period %d: receiver measured %d wire bytes, senders staged %d",
+				ps.Period, got, want)
+		}
+	}
+}
+
+// TestReceiveInternerStaysBounded runs many periods of unique (never
+// repeating) keys through a live engine and asserts every node's receive
+// interner stays within its documented bounds — the regression test for the
+// unbounded interner growth fixed in this PR.
+func TestReceiveInternerStaysBounded(t *testing.T) {
+	seq := 0
+	tp := NewTopology()
+	tp.AddSource("src", func(period int, emit Emit) {
+		for i := 0; i < 2000; i++ {
+			seq++
+			emit((&Tuple{Key: fmt.Sprintf("unique-%010d", seq), TS: int64(seq)}).
+				WithStr("val", fmt.Sprintf("payload-%010d", seq)))
+		}
+	})
+	tp.AddOperator(&Operator{
+		Name: "sink", KeyGroups: 8,
+		Proc: func(tu *TupleView, st *State, emit Emit) {
+			if tu.Key() == "" || tu.Str("val") == "" {
+				t.Error("empty field")
+			}
+			st.Add("n", 1)
+		},
+	})
+	tp.Connect("src", "sink")
+	e, err := New(tp, Config{Nodes: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const periods = 40 // 80k unique keys + 80k unique values ≫ any cap
+	for p := 0; p < periods; p++ {
+		if _, err := e.RunPeriod(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range e.nodes {
+		if got := n.rx.in.Len(); got > 1<<15 {
+			t.Fatalf("node %d interner grew to %d entries after %d periods", i, got, periods)
+		}
+		if got := n.rx.in.InternedBytes(); got > 1<<22 {
+			t.Fatalf("node %d interner holds %d payload bytes", i, got)
+		}
+	}
+}

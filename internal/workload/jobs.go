@@ -149,10 +149,10 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "geohash",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      1,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			st.Add("edits", 1)
-			out := (&engine.Tuple{Key: tu.Str("geo"), TS: tu.TS}).
-				WithStr("article", tu.Key).
+			out := (&engine.Tuple{Key: tu.Str("geo"), TS: tu.TS()}).
+				WithStr("article", tu.Key()).
 				WithNum("bytes", tu.Num("bytes"))
 			emit(out)
 		},
@@ -164,7 +164,7 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "topk",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      1,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			p := int(st.Add("period", 0)) // current period set by Flush below
 			windowAdd(st, p, window, tu.Str("article"), 1)
 		},
@@ -190,9 +190,9 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "globaltopk",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      4,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			p := int(st.Num("period"))
-			windowAdd(st, p, window, tu.Key, tu.Num("count"))
+			windowAdd(st, p, window, tu.Key(), tu.Num("count"))
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			p := int(st.Num("period"))
@@ -257,7 +257,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "rainscore",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      1,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			score := 0.0
 			if tu.Num("histMax") > 0 {
 				score = 100 * tu.Num("precip") / tu.Num("histMax")
@@ -265,7 +265,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 					score = 100
 				}
 			}
-			emit((&engine.Tuple{Key: tu.Str("airport"), TS: tu.TS}).
+			emit((&engine.Tuple{Key: tu.Str("airport"), TS: tu.TS()}).
 				WithNum("rainscore", score))
 		},
 	})
@@ -279,9 +279,9 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "join",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      1,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			if tu.HasNum("rainscore") {
-				st.Table("score")[tu.Key] = tu.Num("rainscore")
+				st.Table("score")[tu.Key()] = tu.Num("rainscore")
 				return
 			}
 			score := st.Table("score")[tu.Str("origin")]
@@ -301,8 +301,8 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		Name:      "courier",
 		KeyGroups: cfg.KeyGroups / 2,
 		Cost:      1,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			st.Table("eff")[tu.Key] += tu.Num("delay")
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
+			st.Table("eff")[tu.Key()] += tu.Num("delay")
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for bucket, sum := range st.Table("eff") {
@@ -317,7 +317,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 			Name:      name,
 			KeyGroups: cfg.KeyGroups / 2,
 			Cost:      0.5,
-			Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
+			Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 				st.Add("rows", 1)
 			},
 		}
@@ -351,8 +351,8 @@ func addAirlineSourceAndExtract(t *engine.Topology, cfg JobConfig) {
 		Name:      "extract",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			out := (&engine.Tuple{Key: tu.Key, TS: tu.TS}).
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
+			out := (&engine.Tuple{Key: tu.Key(), TS: tu.TS()}).
 				WithStr("route", tu.Str("route")).
 				WithStr("origin", tu.Str("origin")).
 				WithNum("delay", tu.Num("delay")).
@@ -372,10 +372,10 @@ func addSumDelay(t *engine.Topology, cfg JobConfig) {
 		Name:      "sumdelay",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			key := tu.Key + "|" + strconv.Itoa(int(tu.Num("year")))
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
+			key := tu.Key() + "|" + strconv.Itoa(int(tu.Num("year")))
 			st.Table("byYear")[key] += tu.Num("delay")
-			st.Table("dirty")[tu.Key]++
+			st.Table("dirty")[tu.Key()]++
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for plane := range st.Table("dirty") {
@@ -392,8 +392,8 @@ func addRouteDelay(t *engine.Topology, cfg JobConfig) {
 		Name:      "routedelay",
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
-		Proc: func(tu *engine.Tuple, st *engine.State, emit engine.Emit) {
-			st.Table("byRoute")[tu.Key] += tu.Num("delay")
+		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
+			st.Table("byRoute")[tu.Key()] += tu.Num("delay")
 		},
 	})
 }

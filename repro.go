@@ -48,8 +48,15 @@ type (
 	Source = engine.Source
 	// SourceFunc is the generator signature.
 	SourceFunc = engine.SourceFunc
-	// Tuple is the data unit ⟨key, value, ts⟩.
+	// Tuple is the data unit ⟨key, value, ts⟩ — what sources and operators
+	// construct and emit.
 	Tuple = engine.Tuple
+	// TupleView is the read-only, reusable window operators receive: on the
+	// cross-node path it reads straight out of the pooled frame buffer
+	// without materializing a Tuple. Valid only inside the Proc callback;
+	// Materialize deep-copies for retention (see internal/engine/view.go
+	// for the ownership rules).
+	TupleView = engine.TupleView
 	// State is the migratable computation state of one key group.
 	State = engine.State
 	// Emit sends a tuple downstream.
