@@ -10,6 +10,7 @@ package repro
 // micro-benchmarks follow at the bottom.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graphpart"
 	"repro/internal/lp"
+	"repro/internal/statestore"
 	"repro/internal/workload"
 )
 
@@ -314,6 +316,63 @@ func BenchmarkStateMigration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMigrationDelta measures the synchronous half of a checkpoint-
+// assisted migration: diff the live state against the checkpoint, encode
+// the delta, decode it and apply it to the pre-copied base — versus
+// BenchmarkMigrationFull, the classic full-state transfer of the same
+// 2000-cell state. The reported syncB metrics are the bytes each path moves
+// inside the barrier (the volume the engine's MigrationLatency model
+// charges).
+func BenchmarkMigrationDelta(b *testing.B) {
+	ckpt := statestore.NewState()
+	for i := 0; i < 2000; i++ {
+		ckpt.Table("w")[fmt.Sprintf("key-%06d", i)] = float64(i)
+	}
+	live := ckpt.Clone()
+	for i := 0; i < 20; i++ {
+		live.Table("w")[fmt.Sprintf("key-%06d", i*97)] += 1
+	}
+	// The destination's pre-copied base exists before the barrier; cloning
+	// it is background work, not part of the synchronous path measured
+	// here. Apply is idempotent (absolute-value sets), so one base serves
+	// every iteration.
+	dst := ckpt.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	syncB := 0
+	for i := 0; i < b.N; i++ {
+		enc := statestore.Diff(ckpt, live).Encode(nil)
+		d, _, err := statestore.DecodeDelta(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Apply(dst)
+		syncB = len(enc)
+	}
+	b.ReportMetric(float64(syncB), "syncB")
+}
+
+// BenchmarkMigrationFull is the baseline BenchmarkMigrationDelta beats: the
+// same state shipped whole through the synchronous path.
+func BenchmarkMigrationFull(b *testing.B) {
+	live := statestore.NewState()
+	for i := 0; i < 2000; i++ {
+		live.Table("w")[fmt.Sprintf("key-%06d", i)] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	syncB := 0
+	for i := 0; i < b.N; i++ {
+		enc := live.Encode(nil)
+		got, err := statestore.DecodeState(enc)
+		if err != nil || got.Empty() {
+			b.Fatalf("decode: err=%v empty=%v", err, got == nil || got.Empty())
+		}
+		syncB = len(enc)
+	}
+	b.ReportMetric(float64(syncB), "syncB")
 }
 
 // ---------------------------------------------------------------------------

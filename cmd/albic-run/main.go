@@ -13,7 +13,17 @@
 // hot mover whose restricted moves apply at sub-period boundaries without
 // waiting for the period barrier. -cancel-stale makes the pipelined planner
 // abort an in-flight solve when a fresher snapshot arrives (the stale plan
-// is never applied).
+// is never applied). -sub-ewma additionally folds the sub-period
+// observations into the periodic planner's EWMA, so both loops see the same
+// load signal.
+//
+// With -ckpt-every N the controller checkpoints all key-group state
+// incrementally every N periods, which arms checkpoint-assisted migration:
+// planned moves of checkpointed groups pre-copy the checkpoint in the
+// background (-precopy-chunk bytes per boundary, spanning several period
+// boundaries for large states) and synchronously transfer only the delta —
+// and with -migr-cost the planner prices such moves at delta cost, so a
+// tight budget is spent where migration is cheap.
 //
 // Usage:
 //
@@ -55,6 +65,10 @@ func main() {
 	cooldown := flag.Int("cooldown", 0, "sub-boundaries skipped after a reactive firing (0 = default 2)")
 	hotBudget := flag.Int("hot-budget", 2, "max key groups per reactive firing")
 	cancelStale := flag.Bool("cancel-stale", false, "cancel an in-flight pipelined solve when a fresher snapshot arrives")
+	subEWMA := flag.Bool("sub-ewma", false, "fold sub-period observations into the periodic planner's EWMA (needs -reactive and -smooth < 1)")
+	ckptEvery := flag.Int("ckpt-every", 0, "incremental checkpoint every N periods (0 = off); arms checkpoint-assisted delta migration")
+	migrCost := flag.Float64("migr-cost", 0, "max migration cost per adaptation, in state bytes at alpha=1 (0 = unlimited)")
+	precopyChunk := flag.Int("precopy-chunk", 0, "checkpoint bytes pre-copied per group per period boundary (0 = default 256 KiB, negative = unlimited)")
 	flag.Parse()
 	if *smooth <= 0 || *smooth > 1 {
 		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
@@ -62,6 +76,10 @@ func main() {
 	}
 	if *reactive && *subperiods < 2 {
 		fmt.Fprintf(os.Stderr, "albic-run: -reactive requires -subperiods >= 2\n")
+		os.Exit(2)
+	}
+	if *subEWMA && (!*reactive || *smooth >= 1) {
+		fmt.Fprintf(os.Stderr, "albic-run: -sub-ewma requires -reactive and -smooth < 1\n")
 		os.Exit(2)
 	}
 
@@ -107,7 +125,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ecfg := repro.EngineConfig{Nodes: *nodes}
+	ecfg := repro.EngineConfig{Nodes: *nodes, PrecopyChunkBytes: *precopyChunk}
 	if *reactive {
 		ecfg.SubPeriods = *subperiods
 	}
@@ -122,9 +140,15 @@ func main() {
 		*job, *balancerName, *nodes, *budget, cfg.Rate, *pipelined, *reactive)
 	fmt.Printf("%7s %10s %12s %10s %11s %9s %12s %10s\n",
 		"period", "loadDist%", "collocation%", "avgLoad%", "migrations", "hotMoves", "migLatency_s", "plan_ms")
+	alpha := 0.0
+	if *migrCost > 0 {
+		alpha = 1 // price moves in state bytes; checkpointed groups cost only their delta
+	}
 	ctrl := repro.NewController(e, repro.ControllerOptions{
 		Balancer:         bal,
 		MaxMigrations:    *budget,
+		MaxMigrCost:      *migrCost,
+		Alpha:            alpha,
 		SmoothAlpha:      *smooth,
 		Pipelined:        *pipelined,
 		CancelStalePlans: *cancelStale,
@@ -133,6 +157,8 @@ func main() {
 		TriggerDeviation: *triggerDev,
 		TriggerCooldown:  *cooldown,
 		HotMoveBudget:    *hotBudget,
+		SubEWMA:          *subEWMA,
+		CheckpointEvery:  *ckptEvery,
 		OnPeriod: func(r repro.PeriodReport) {
 			planMS := "-"
 			if r.Outcome != nil {
@@ -151,5 +177,9 @@ func main() {
 	if *reactive || *cancelStale {
 		fmt.Printf("plans applied=%d cancelled=%d, hot moves=%d\n",
 			m.PlansApplied, m.PlansCancelled, m.HotMoves)
+	}
+	if *ckptEvery > 0 {
+		fmt.Printf("checkpoints=%d (appended %d B), precopy=%d B, sync deltas=%d B, deferred boundaries=%d\n",
+			m.Checkpoints, m.CkptBytes, m.PrecopyBytes, m.MigratedDeltaBytes, m.DeferredMoves)
 	}
 }

@@ -35,6 +35,7 @@ package controller
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -70,6 +71,14 @@ type SubPeriodEngine interface {
 	// SetSubObserver installs the sub-period boundary hook (see
 	// engine.SubObserver).
 	SetSubObserver(engine.SubObserver)
+}
+
+// CheckpointEngine is the additional data-plane surface checkpoint cadence
+// (Options.CheckpointEvery) requires. *engine.Engine implements it.
+type CheckpointEngine interface {
+	// TakeCheckpoint incrementally checkpoints every key group's state
+	// between periods.
+	TakeCheckpoint() engine.CheckpointStats
 }
 
 // Options configures a Controller.
@@ -127,6 +136,26 @@ type Options struct {
 	// HotMover overrides the reactive planner (default
 	// core.GreedyHotMover).
 	HotMover core.Balancer
+	// SubEWMA feeds the sub-period observations into the periodic planner's
+	// EWMA: at every sub-interval boundary the interval's load increment
+	// (scaled to a full-period rate) is folded into the smoothed loads the
+	// planner consumes, so the reactive trigger and the periodic planner
+	// see the same mid-period signal instead of the planner learning about
+	// transient skew one full period late. Requires Reactive (the
+	// observations arrive through the same sub-period observer) and
+	// SmoothAlpha < 1.
+	SubEWMA bool
+
+	// CheckpointEvery, when > 0, makes the controller own the checkpoint
+	// cadence: every that-many periods it takes an incremental checkpoint
+	// of all key-group state (engine.TakeCheckpoint). Besides fault
+	// tolerance, a warm checkpoint is what arms checkpoint-assisted
+	// migration — the engine pre-copies checkpoints of planned moves across
+	// period boundaries (multi-period transfer scheduling happens inside
+	// the engine, so lockstep and pipelined modes behave identically) and
+	// the planner prices checkpointed groups at delta cost. Requires an
+	// engine implementing CheckpointEngine.
+	CheckpointEvery int
 
 	// OnPeriod, when non-nil, observes every period boundary (after any
 	// plan application) — for printing progress or driving external
@@ -169,6 +198,9 @@ type PeriodReport struct {
 	// boundary.
 	Added      []int
 	Terminated []int
+	// Checkpoint describes the incremental checkpoint taken at this
+	// boundary (nil when the cadence did not fire).
+	Checkpoint *engine.CheckpointStats
 }
 
 // Metrics is the recorded per-period series of one controller run (the
@@ -191,6 +223,18 @@ type Metrics struct {
 	// HotMoves counts the reactive sub-period migrations executed over the
 	// run (also folded into each period's Migrations series).
 	HotMoves int
+	// Checkpoints counts the incremental checkpoints taken
+	// (Options.CheckpointEvery); CkptBytes is the total volume they
+	// appended to the store (full snapshots first, deltas after).
+	Checkpoints int
+	CkptBytes   int64
+	// PrecopyBytes / MigratedDeltaBytes total the background pre-copied
+	// checkpoint volume and the synchronous delta volume of checkpoint-
+	// assisted migrations over the run; DeferredMoves counts period
+	// boundaries a staged move waited behind its pre-copy.
+	PrecopyBytes       int64
+	MigratedDeltaBytes int64
+	DeferredMoves      int
 }
 
 // Controller owns the adaptation loop over one engine.
@@ -261,6 +305,17 @@ type run struct {
 	trigger  *Trigger
 	hotMover core.Balancer
 	lastHot  []core.Move
+
+	// Sub-period EWMA feed (Options.SubEWMA), written by the sub-period
+	// observer and read by observe — never concurrently, by the same
+	// engine guarantee as the reactive state above. subPrev holds each
+	// group's cumulative partial load at the last boundary, subCount the
+	// boundaries seen this period, lastSubCount the previous period's
+	// count (the K estimate the per-boundary fold factor derives from).
+	subPrev      []float64
+	subCount     int
+	lastSubCount int
+	subFolded    bool
 }
 
 // Run executes the adaptation loop for the given number of periods
@@ -268,6 +323,14 @@ type run struct {
 // series.
 func (c *Controller) Run(ctx context.Context, periods int) (*Metrics, error) {
 	r := &run{c: c, ctx: ctx, m: &Metrics{}, terminated: map[int]bool{}}
+	if c.opt.SubEWMA && !c.opt.Reactive {
+		return r.m, fmt.Errorf("controller: SubEWMA requires Reactive (observations arrive through the sub-period observer)")
+	}
+	if c.opt.CheckpointEvery > 0 {
+		if _, ok := c.eng.(CheckpointEngine); !ok {
+			return r.m, fmt.Errorf("controller: CheckpointEvery requires an engine with checkpoint support")
+		}
+	}
 	if c.opt.Reactive {
 		se, ok := c.eng.(SubPeriodEngine)
 		if !ok {
@@ -315,6 +378,9 @@ func (c *Controller) Run(ctx context.Context, periods int) (*Metrics, error) {
 // hot-move batch on the mid-period snapshot. The returned moves are applied
 // by the engine immediately, without waiting for the period barrier.
 func (r *run) onSubPeriod(snap *core.Snapshot, period, sub int) []core.Move {
+	if r.c.opt.SubEWMA && r.c.opt.SmoothAlpha < 1 {
+		r.foldSub(snap)
+	}
 	// If the previous firing's moves were all rejected by the engine (the
 	// snapshot they were planned on went stale between boundaries), none of
 	// them shows up in the current allocation: re-arm the trigger so the
@@ -365,14 +431,28 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 	if p == 0 && c.opt.TargetAvgLoad > 0 {
 		c.eng.CalibrateCapacity(c.opt.TargetAvgLoad)
 	}
-	// Counted before any early return: hot moves executed during an
-	// unobserved warm-up period still happened.
+	// Counted before any early return: hot moves and state-transfer volume
+	// during an unobserved warm-up period still happened.
 	r.m.HotMoves += ps.HotMoves
+	r.m.PrecopyBytes += ps.PrecopyBytes
+	r.m.MigratedDeltaBytes += ps.MigratedDeltaBytes
+	r.m.DeferredMoves += ps.DeferredMoves
+
+	// Checkpoint cadence (also active during warm-up: the cadence is
+	// operational, not a metric). A warm checkpoint is what arms
+	// checkpoint-assisted migration for the moves planned below.
+	if c.opt.CheckpointEvery > 0 && ps.Period%c.opt.CheckpointEvery == 0 {
+		cs := c.eng.(CheckpointEngine).TakeCheckpoint()
+		r.m.Checkpoints++
+		r.m.CkptBytes += int64(cs.NewBytes)
+		rep.Checkpoint = &cs
+	}
 
 	recording := p >= c.opt.Warmup
 	if !recording && c.fw == nil && c.opt.OnPeriod == nil {
 		// Nobody consumes the snapshot during an unbalanced, unobserved
 		// warm-up period; skip building it.
+		r.rollSubEWMA()
 		return nil
 	}
 	snap, err := c.eng.Snapshot()
@@ -461,11 +541,16 @@ func (r *run) observe(ps *engine.PeriodStats) error {
 	if c.opt.OnPeriod != nil {
 		c.opt.OnPeriod(rep)
 	}
+	r.rollSubEWMA()
 	return nil
 }
 
 // smoothLoads folds the snapshot's per-group loads into the EWMA the
 // planner sees. The recorded metrics stay raw per-period measurements.
+// When the sub-period feed already folded this period's boundary
+// increments (Options.SubEWMA), only the tail interval past the last
+// boundary is folded here, so the period's signal enters the EWMA exactly
+// once — just in finer-grained, fresher steps.
 func (r *run) smoothLoads(snap *core.Snapshot) {
 	alpha := r.c.opt.SmoothAlpha
 	if alpha >= 1 {
@@ -478,9 +563,71 @@ func (r *run) smoothLoads(snap *core.Snapshot) {
 		}
 		return
 	}
+	if r.subFolded {
+		k1, alphaSub := r.subFoldFactor()
+		for k := range snap.Groups {
+			tail := snap.Groups[k].Load - r.subPrev[k]
+			r.smooth[k] = alphaSub*(tail*k1) + (1-alphaSub)*r.smooth[k]
+			snap.Groups[k].Load = r.smooth[k]
+		}
+		return
+	}
 	for k := range snap.Groups {
 		r.smooth[k] = alpha*snap.Groups[k].Load + (1-alpha)*r.smooth[k]
 		snap.Groups[k].Load = r.smooth[k]
+	}
+}
+
+// subFoldFactor returns the sub-interval count estimate K (from the
+// previous period, like the engine's own boundary calibration) and the
+// per-boundary EWMA factor 1-(1-α)^(1/K), chosen so K boundary folds decay
+// history exactly as one period-level fold at α would.
+func (r *run) subFoldFactor() (float64, float64) {
+	k := float64(r.lastSubCount + 1)
+	return k, 1 - math.Pow(1-r.c.opt.SmoothAlpha, 1/k)
+}
+
+// foldSub folds one sub-interval boundary's load increment into the
+// planner's EWMA (Options.SubEWMA). SubSnapshot loads are cumulative from
+// the period start; the increment since the previous boundary, scaled by
+// K, is a full-period-rate sample of the same signal the reactive trigger
+// watches. Runs on the engine's generation goroutine — the engine
+// guarantees it never overlaps the period-boundary observe hook.
+func (r *run) foldSub(snap *core.Snapshot) {
+	r.subCount++
+	if r.subPrev == nil {
+		r.subPrev = make([]float64, len(snap.Groups))
+	}
+	if r.lastSubCount == 0 || r.smooth == nil {
+		// No K estimate yet (first period) or the EWMA is not seeded:
+		// record the cumulative loads and let period-end smoothing handle
+		// this period whole.
+		for k := range snap.Groups {
+			r.subPrev[k] = snap.Groups[k].Load
+		}
+		return
+	}
+	k1, alphaSub := r.subFoldFactor()
+	for k := range snap.Groups {
+		cum := snap.Groups[k].Load
+		r.smooth[k] = alphaSub*((cum-r.subPrev[k])*k1) + (1-alphaSub)*r.smooth[k]
+		r.subPrev[k] = cum
+	}
+	r.subFolded = true
+}
+
+// rollSubEWMA closes the period for the sub-period feed: the boundary
+// count becomes the next period's K estimate and the cumulative trackers
+// reset.
+func (r *run) rollSubEWMA() {
+	if !r.c.opt.SubEWMA {
+		return
+	}
+	r.lastSubCount = r.subCount
+	r.subCount = 0
+	r.subFolded = false
+	for k := range r.subPrev {
+		r.subPrev[k] = 0
 	}
 }
 

@@ -29,8 +29,18 @@ type GroupStat struct {
 	// percentage points of a unit-capacity node.
 	Load float64
 	// StateSize is |σ_k|, the serialized size of the group's state. The
-	// migration cost is Alpha·StateSize.
+	// migration cost of a group without a checkpoint is Alpha·StateSize.
 	StateSize float64
+	// HasCkpt reports that the group's state is resident in the engine's
+	// incremental checkpoint store, making it eligible for checkpoint-
+	// assisted migration: the checkpoint pre-copies to the destination in
+	// the background, and only the delta since the checkpoint transfers
+	// synchronously. CkptDelta is that delta's encoded size, so the
+	// migration cost drops to Alpha·min(StateSize, CkptDelta) — the cost
+	// model through which the planners naturally prefer moving checkpoint-
+	// resident groups under a tight MaxMigrCost budget.
+	HasCkpt   bool
+	CkptDelta float64
 }
 
 // OpStat describes one operator of the running job.
@@ -97,12 +107,19 @@ func (s *Snapshot) Validate() error {
 	return nil
 }
 
-// migCost returns the migration cost of group k.
+// migCost returns the migration cost of group k: Alpha times the volume a
+// move of k transfers synchronously — the full state, or only the delta
+// since the last checkpoint when one is resident (checkpoint-assisted
+// migration, never more than the full state).
 func (s *Snapshot) migCost(k int) float64 {
 	if s.Alpha <= 0 {
 		return 1
 	}
-	return s.Alpha * s.Groups[k].StateSize
+	size := s.Groups[k].StateSize
+	if g := &s.Groups[k]; g.HasCkpt && g.CkptDelta < size {
+		size = g.CkptDelta
+	}
+	return s.Alpha * size
 }
 
 // Problem builds the assign.Problem treating every key group as its own

@@ -3,122 +3,94 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/codec"
+	"repro/internal/statestore"
 )
 
 // This file implements checkpoint-based fault tolerance, the extension the
 // paper delegates to its companion work ([26] Madsen et al., "Integrating
 // fault-tolerance and elasticity in a distributed data stream processing
 // system", SSDBM 2014): between periods the controller checkpoints every
-// key group's state; when a worker fails, the lost groups are re-created on
-// surviving nodes from the last checkpoint.
+// key group's state into the engine's incremental statestore.Store; when a
+// worker fails, the lost groups are re-created on surviving nodes from the
+// last checkpoint.
+//
+// The same store backs checkpoint-assisted migration (see precopy.go):
+// because a checkpoint is the shared base, moving a checkpointed key group
+// pre-copies the checkpoint in the background and synchronously transfers
+// only the delta accumulated since — fault tolerance and reconfiguration
+// integrate through one mechanism instead of two disjoint subsystems.
 //
 // Recovery is at-most-once with respect to the tuples processed after the
 // checkpoint (the sources here are synthetic and cannot be replayed); what
 // the engine guarantees is that a failure never wedges the barrier protocol
 // and that recovered groups resume from a consistent state.
 
-// Checkpoint is a consistent snapshot of all key-group states, taken at a
-// period boundary.
-type Checkpoint struct {
-	// Period is the last completed period.
+// CheckpointStats describes one incremental checkpoint.
+type CheckpointStats struct {
+	// Period is the last completed period (the checkpoint's version).
 	Period int
-	// States maps global key-group ids to their serialized state. Groups
-	// with no state yet are absent.
-	States map[int][]byte
-	// Alloc is the allocation at checkpoint time.
-	Alloc []int
+	// Groups is the number of key groups covered by the checkpoint.
+	Groups int
+	// NewBytes is the volume this checkpoint appended to the store: full
+	// snapshots for first-time groups, deltas for the rest. This — not the
+	// total state size — is the incremental cost of the checkpoint.
+	NewBytes int
+	// TotalBytes is the store's durable footprint after the checkpoint
+	// (bases plus delta chains, bounded by compaction).
+	TotalBytes int
 }
 
-// Bytes returns the checkpoint's total serialized size.
-func (c *Checkpoint) Bytes() int {
-	n := 0
-	for _, b := range c.States {
-		n += len(b)
+// TakeCheckpoint incrementally checkpoints every key group's state into the
+// engine's store: first-time groups store a full snapshot, already-tracked
+// groups append only the delta since their previous checkpoint. Must be
+// called between periods (the engine is quiescent then; the completion
+// events of RunPeriod establish the necessary happens-before edge, exactly
+// as for statistics merging).
+func (e *Engine) TakeCheckpoint() CheckpointStats {
+	if e.ckpt == nil {
+		e.ckpt = statestore.New()
 	}
-	return n
-}
-
-// Encode serializes the checkpoint (for durable storage).
-func (c *Checkpoint) Encode() []byte {
-	buf := codec.AppendUvarint(nil, uint64(c.Period))
-	buf = codec.AppendUvarint(buf, uint64(len(c.Alloc)))
-	for _, n := range c.Alloc {
-		buf = codec.AppendInt64(buf, int64(n))
-	}
-	buf = codec.AppendUvarint(buf, uint64(len(c.States)))
-	for gid := 0; gid < len(c.Alloc); gid++ {
-		st, ok := c.States[gid]
-		if !ok {
-			continue
-		}
-		buf = codec.AppendUvarint(buf, uint64(gid))
-		buf = codec.AppendUvarint(buf, uint64(len(st)))
-		buf = append(buf, st...)
-	}
-	return buf
-}
-
-// DecodeCheckpoint reads a checkpoint written by Encode.
-func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
-	c := &Checkpoint{States: map[int][]byte{}}
-	period, b, err := codec.ReadUvarint(b)
-	if err != nil {
-		return nil, fmt.Errorf("engine: checkpoint period: %w", err)
-	}
-	c.Period = int(period)
-	nAlloc, b, err := codec.ReadUvarint(b)
-	if err != nil {
-		return nil, fmt.Errorf("engine: checkpoint alloc len: %w", err)
-	}
-	for i := uint64(0); i < nAlloc; i++ {
-		var v int64
-		if v, b, err = codec.ReadInt64(b); err != nil {
-			return nil, fmt.Errorf("engine: checkpoint alloc: %w", err)
-		}
-		c.Alloc = append(c.Alloc, int(v))
-	}
-	nStates, b, err := codec.ReadUvarint(b)
-	if err != nil {
-		return nil, fmt.Errorf("engine: checkpoint state count: %w", err)
-	}
-	for i := uint64(0); i < nStates; i++ {
-		var gid, size uint64
-		if gid, b, err = codec.ReadUvarint(b); err != nil {
-			return nil, fmt.Errorf("engine: checkpoint gid: %w", err)
-		}
-		if size, b, err = codec.ReadUvarint(b); err != nil {
-			return nil, fmt.Errorf("engine: checkpoint size: %w", err)
-		}
-		if uint64(len(b)) < size {
-			return nil, fmt.Errorf("engine: checkpoint truncated")
-		}
-		c.States[int(gid)] = append([]byte(nil), b[:size]...)
-		b = b[size:]
-	}
-	return c, nil
-}
-
-// TakeCheckpoint snapshots every key group's state. Must be called between
-// periods (the engine is quiescent then; the completion events of RunPeriod
-// establish the necessary happens-before edge, exactly as for statistics
-// merging).
-func (e *Engine) TakeCheckpoint() *Checkpoint {
-	cp := &Checkpoint{
-		Period: e.period,
-		States: map[int][]byte{},
-		Alloc:  append([]int(nil), e.baseAlloc...),
-	}
+	cs := CheckpointStats{Period: e.period}
+	var fresh []int
 	for i, n := range e.nodes {
 		if e.removed[i] {
 			continue
 		}
 		for gid, st := range n.states {
-			cp.States[gid] = st.Encode(nil)
+			cs.NewBytes += e.ckpt.Checkpoint(gid, e.period, st)
+			fresh = append(fresh, gid)
 		}
 	}
-	return cp
+	cs.Groups = e.ckpt.Len()
+	cs.TotalBytes = e.ckpt.Bytes()
+	// Refresh the planner's residency signal: the groups just checkpointed
+	// have, right now, an empty delta against their checkpoint — a plan
+	// made at this boundary must price their moves accordingly rather than
+	// against the previous (or missing) checkpoint.
+	e.mu.Lock()
+	if e.ckptDeltas == nil {
+		e.ckptDeltas = make([]int, e.topo.NumGroups())
+		for gid := range e.ckptDeltas {
+			e.ckptDeltas[gid] = -1
+		}
+	}
+	emptyDelta := (&statestore.Delta{}).Size()
+	for _, gid := range fresh {
+		e.ckptDeltas[gid] = emptyDelta
+	}
+	e.mu.Unlock()
+	return cs
 }
+
+// CheckpointStore exposes the engine's checkpoint store (nil until the
+// first TakeCheckpoint), e.g. to Encode it for durable storage. Like
+// TakeCheckpoint, it must only be used between periods.
+func (e *Engine) CheckpointStore() *statestore.Store { return e.ckpt }
+
+// RestoreCheckpointStore installs a store decoded from durable storage
+// (statestore.Decode) as the engine's checkpoint base, replacing any
+// existing one. Must be called between periods.
+func (e *Engine) RestoreCheckpointStore(s *statestore.Store) { e.ckpt = s }
 
 // FailNode simulates a worker crash between periods: the goroutine stops
 // and every state it held is lost. The node's key groups must be recovered
@@ -137,16 +109,20 @@ func (e *Engine) FailNode(id int) error {
 	return nil
 }
 
-// Recover reinstates the key groups lost with failed nodes from the
-// checkpoint: every group currently allocated to a removed node is moved to
-// a surviving node (least-loaded round-robin over `onto`, or all alive
-// nodes when onto is nil) and its state restored from the checkpoint.
-// Groups on surviving nodes keep their live (newer) state. Returns the
-// number of recovered groups.
-func (e *Engine) Recover(cp *Checkpoint, onto []int) (int, error) {
-	if cp == nil {
-		return 0, fmt.Errorf("engine: nil checkpoint")
-	}
+// Recover repairs the allocation after node failures using the engine's
+// checkpoint store. Two cases per key group:
+//
+//   - its migration target died but its physical host survives (e.g. the
+//     destination of an in-flight pre-copy crashed): the staged move is
+//     cancelled — the live, newer state stays where it is and the pre-copy
+//     session is dropped;
+//   - its physical host died: the group is re-created on a surviving node
+//     (least-loaded round-robin over `onto`, or all alive nodes when onto
+//     is nil) from its last checkpoint, or empty if it was never
+//     checkpointed.
+//
+// Returns the number of groups restored from checkpoint (or empty).
+func (e *Engine) Recover(onto []int) (int, error) {
 	if onto == nil {
 		for i := range e.nodes {
 			if !e.removed[i] {
@@ -162,25 +138,37 @@ func (e *Engine) Recover(cp *Checkpoint, onto []int) (int, error) {
 			return 0, fmt.Errorf("engine: recovery target %d not alive", n)
 		}
 	}
+	// Cancel staged moves whose destination died while the source survives.
+	for gid, target := range e.groupNode {
+		phys := e.baseAlloc[gid]
+		if target != phys && e.removed[target] && !e.removed[phys] {
+			e.groupNode[gid] = phys
+			if s := e.precopy[gid]; s != nil {
+				e.dropPrecopy(s)
+			}
+		}
+	}
+	// Restore groups whose physical host died.
 	recovered := 0
 	next := 0
-	for gid, node := range e.groupNode {
-		if !e.removed[node] {
+	for gid, phys := range e.baseAlloc {
+		if !e.removed[phys] {
 			continue
 		}
 		dest := onto[next%len(onto)]
 		next++
 		st := NewState()
-		if enc, ok := cp.States[gid]; ok && len(enc) > 0 {
-			var err error
-			st, err = DecodeState(enc)
-			if err != nil {
-				return recovered, fmt.Errorf("engine: recover group %d: %w", gid, err)
+		if e.ckpt != nil {
+			if cst, _, ok := e.ckpt.Materialize(gid); ok {
+				st = cst
 			}
 		}
 		e.nodes[dest].states[gid] = st
 		e.groupNode[gid] = dest
 		e.baseAlloc[gid] = dest
+		if s := e.precopy[gid]; s != nil {
+			e.dropPrecopy(s)
+		}
 		recovered++
 	}
 	return recovered, nil

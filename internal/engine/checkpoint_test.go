@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/statestore"
 )
 
 // tallyTopology counts tuples per key group in running (never-cleared)
@@ -38,8 +40,30 @@ func totalTallied(e *Engine) float64 {
 	return total
 }
 
-func TestCheckpointRoundTrip(t *testing.T) {
-	e, err := New(tallyTopology(100, 6), Config{Nodes: 3}, nil)
+// growingTopology accumulates per-period table cells: every period touches
+// only fresh keys, so the state grows while the bulk of it stays unchanged
+// — the regime where incremental checkpoints pay off.
+func growingTopology(perPeriod, kgs int) *Topology {
+	tp := NewTopology()
+	tp.AddSource("src", func(period int, emit Emit) {
+		for i := 0; i < perPeriod; i++ {
+			emit(&Tuple{Key: fmt.Sprintf("k%d", i%20), TS: int64(period*1000 + i)})
+		}
+	})
+	tp.AddOperator(&Operator{
+		Name:      "grow",
+		KeyGroups: kgs,
+		Proc: func(tu *TupleView, st *State, emit Emit) {
+			st.Add("total", 1)
+			st.Table("seen")[fmt.Sprintf("p%d-t%d", tu.TS()/1000, tu.TS())] = 1
+		},
+	})
+	tp.Connect("src", "grow")
+	return tp
+}
+
+func TestIncrementalCheckpointAndRoundTrip(t *testing.T) {
+	e, err := New(growingTopology(100, 6), Config{Nodes: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,25 +73,57 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cp := e.TakeCheckpoint()
-	if cp.Period != 2 || cp.Bytes() == 0 {
-		t.Fatalf("checkpoint: period %d bytes %d", cp.Period, cp.Bytes())
+	cs := e.TakeCheckpoint()
+	if cs.Period != 2 || cs.Groups == 0 || cs.NewBytes == 0 {
+		t.Fatalf("first checkpoint: %+v", cs)
 	}
-	enc := cp.Encode()
-	got, err := DecodeCheckpoint(enc)
+	firstTotal := cs.TotalBytes
+
+	// Another period mutates every group a little; the next checkpoint must
+	// append only deltas — far less than a fresh full snapshot.
+	if _, err := e.RunPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	cs2 := e.TakeCheckpoint()
+	if cs2.Period != 3 {
+		t.Fatalf("second checkpoint period = %d", cs2.Period)
+	}
+	if cs2.NewBytes >= firstTotal {
+		t.Fatalf("incremental checkpoint appended %d bytes, full snapshot was %d", cs2.NewBytes, firstTotal)
+	}
+	// An immediate re-checkpoint with unchanged states appends nothing.
+	cs3 := e.TakeCheckpoint()
+	if cs3.NewBytes != 0 {
+		t.Fatalf("no-change checkpoint appended %d bytes", cs3.NewBytes)
+	}
+
+	// Durable round trip through the store encoding.
+	enc := e.CheckpointStore().Encode(nil)
+	got, err := statestore.Decode(enc, e.topo.NumGroups())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Period != cp.Period || len(got.States) != len(cp.States) || len(got.Alloc) != len(cp.Alloc) {
-		t.Fatalf("round trip mismatch: %+v vs %+v", got.Period, cp.Period)
+	if got.Len() != e.CheckpointStore().Len() {
+		t.Fatalf("round trip lost groups: %d vs %d", got.Len(), e.CheckpointStore().Len())
 	}
-	for gid, b := range cp.States {
-		if string(got.States[gid]) != string(b) {
-			t.Fatalf("state %d differs after round trip", gid)
+	for _, gid := range e.CheckpointStore().Groups() {
+		want, wver, _ := e.CheckpointStore().Materialize(gid)
+		have, hver, ok := got.Materialize(gid)
+		if !ok || wver != hver {
+			t.Fatalf("group %d version mismatch after round trip (%d vs %d, ok=%v)", gid, wver, hver, ok)
+		}
+		if !statestore.Diff(want, have).Empty() {
+			t.Fatalf("group %d state differs after round trip", gid)
 		}
 	}
-	if _, err := DecodeCheckpoint(enc[:len(enc)/2]); err == nil {
-		t.Fatal("truncated checkpoint must fail to decode")
+	if _, err := statestore.Decode(enc[:len(enc)/2], e.topo.NumGroups()); err == nil {
+		t.Fatal("truncated store must fail to decode")
+	}
+
+	// Restoring the decoded store keeps recovery working.
+	e.RestoreCheckpointStore(got)
+	if e.CheckpointStore() != got {
+		t.Fatal("restore did not install the store")
 	}
 }
 
@@ -83,7 +139,7 @@ func TestFailureRecoveryRestoresCheckpointState(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cp := e.TakeCheckpoint()
+	e.TakeCheckpoint()
 	if _, err := e.RunPeriod(); err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +151,7 @@ func TestFailureRecoveryRestoresCheckpointState(t *testing.T) {
 	if err := e.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	recovered, err := e.Recover(cp, nil)
+	recovered, err := e.Recover(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +181,36 @@ func TestFailureRecoveryRestoresCheckpointState(t *testing.T) {
 	}
 }
 
+func TestRecoverWithoutCheckpointRestoresEmpty(t *testing.T) {
+	e, err := New(tallyTopology(60, 4), Config{Nodes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.RunPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := e.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered == 0 {
+		t.Fatal("no groups recovered")
+	}
+	// Never checkpointed: the lost groups come back empty, but the engine
+	// keeps running and counting.
+	before := totalTallied(e)
+	if _, err := e.RunPeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalTallied(e); got != before+60 {
+		t.Fatalf("post-recovery period total = %v, want %v", got, before+60)
+	}
+}
+
 func TestRecoverErrors(t *testing.T) {
 	e, err := New(tallyTopology(10, 4), Config{Nodes: 2}, nil)
 	if err != nil {
@@ -134,10 +220,7 @@ func TestRecoverErrors(t *testing.T) {
 	if _, err := e.RunPeriod(); err != nil {
 		t.Fatal(err)
 	}
-	cp := e.TakeCheckpoint()
-	if _, err := e.Recover(nil, nil); err == nil {
-		t.Fatal("nil checkpoint must error")
-	}
+	e.TakeCheckpoint()
 	if err := e.FailNode(5); err == nil {
 		t.Fatal("invalid node must error")
 	}
@@ -147,17 +230,17 @@ func TestRecoverErrors(t *testing.T) {
 	if err := e.FailNode(0); err == nil {
 		t.Fatal("double failure must error")
 	}
-	if _, err := e.Recover(cp, []int{0}); err == nil {
+	if _, err := e.Recover([]int{0}); err == nil {
 		t.Fatal("recovering onto the failed node must error")
 	}
-	if _, err := e.Recover(cp, nil); err != nil {
+	if _, err := e.Recover(nil); err != nil {
 		t.Fatal(err)
 	}
 	// Failing everything leaves no recovery targets.
 	if err := e.FailNode(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Recover(cp, nil); err == nil {
+	if _, err := e.Recover(nil); err == nil {
 		t.Fatal("no survivors must error")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/statestore"
 )
 
 // Config tunes the engine's simulated cost model. All costs are in abstract
@@ -45,6 +46,22 @@ type Config struct {
 	// may apply without waiting for the period barrier. Values < 2 disable
 	// the reactive layer (and its per-tuple atomic counter cost) entirely.
 	SubPeriods int
+	// CheckpointAssistBytes enables checkpoint-assisted migration (see
+	// precopy.go): a staged move of a key group whose last checkpoint is at
+	// least this many encoded bytes pre-copies the checkpoint to the
+	// destination in the background and synchronously transfers only the
+	// delta accumulated since. 0 takes the default 1 (assist whenever a
+	// checkpoint exists); negative disables the path entirely (every move
+	// ships its full state). Groups without a checkpoint always use direct
+	// full-state migration.
+	CheckpointAssistBytes int
+	// PrecopyChunkBytes bounds the checkpoint bytes pre-copied per group at
+	// each period boundary (default 256 KiB), so background state transfer
+	// consumes bounded bandwidth per period: a checkpoint larger than the
+	// chunk spans multiple period boundaries, with the move deferred until
+	// the pre-copy completes. Negative means unlimited (the whole
+	// checkpoint ships at one boundary).
+	PrecopyChunkBytes int
 }
 
 func (c *Config) defaults() {
@@ -62,6 +79,12 @@ func (c *Config) defaults() {
 	}
 	if c.MigrSecondsPerByte <= 0 {
 		c.MigrSecondsPerByte = 0.002
+	}
+	if c.CheckpointAssistBytes == 0 {
+		c.CheckpointAssistBytes = 1
+	}
+	if c.PrecopyChunkBytes == 0 {
+		c.PrecopyChunkBytes = 256 << 10
 	}
 }
 
@@ -106,6 +129,21 @@ type Engine struct {
 	// calibrated from them.
 	lastSrcTuples  int64
 	lastTotalMilli int64
+
+	// ckpt is the incremental checkpoint store (nil until the first
+	// TakeCheckpoint); precopy tracks in-flight checkpoint pre-copies.
+	// Both are owned by the engine goroutine between periods; nodes read a
+	// session's captured bytes only through the arm-phase mailbox handoff
+	// (see precopy.go).
+	ckpt    *statestore.Store
+	precopy map[int]*precopySession
+	// ckptDeltas is the planner's residency signal: per gid, the encoded
+	// delta between live state and last checkpoint (-1 = no checkpoint;
+	// nil until the first checkpoint). Guarded by mu (Snapshot reads it
+	// concurrently); refreshed at every finishPeriod and — so a plan made
+	// right after a cadence checkpoint prices against the fresh checkpoint,
+	// not the previous one — reset at TakeCheckpoint.
+	ckptDeltas []int
 
 	events chan engEvent
 	period int
@@ -212,8 +250,15 @@ type periodRun struct {
 	// table's view, updated in place by hot moves) — the diff base for the
 	// next period's migrations, even if ApplyPlan re-targets groupNode
 	// while the period is in flight.
-	alloc               []int
+	alloc []int
+	// staged lists the migrations this period executes; transfers carries
+	// the same moves with their transfer mode (full vs checkpoint-assisted
+	// delta). Moves deferred behind an incomplete pre-copy appear in
+	// neither (they re-surface in the staged diff at the next boundary).
 	staged              []core.Move
+	transfers           []stagedTransfer
+	deferred            int
+	precopyBytes        int64
 	expectedCompletions int
 	synthetic           []bool
 	srcBatches          int64
@@ -255,15 +300,32 @@ func (e *Engine) beginPeriod() *periodRun {
 
 	pr := &periodRun{
 		period:     e.period,
-		rt:         newRouterTable(e.topo, alloc, len(e.nodes)),
 		alloc:      alloc,
-		staged:     staged,
 		stagedGids: map[int]bool{},
 		hotMoved:   map[int]bool{},
 	}
-	for _, mv := range staged {
-		pr.stagedGids[mv.Group] = true
+	// Decide the transfer mode of every staged move: direct full-state
+	// migration, checkpoint-assisted delta, or deferred behind an
+	// in-flight pre-copy (this also ships the boundary's pre-copy chunks).
+	pr.transfers = e.planTransfers(pr, staged)
+	pr.staged = make([]core.Move, 0, len(pr.transfers))
+	for _, tr := range pr.transfers {
+		pr.staged = append(pr.staged, tr.mv)
 	}
+	executed := make(map[int]bool, len(pr.staged))
+	for _, mv := range pr.staged {
+		executed[mv.Group] = true
+	}
+	for _, mv := range staged {
+		// Both executed and deferred moves keep their group off the hot-move
+		// path (a deferred group's pre-copy destination is already fixed).
+		pr.stagedGids[mv.Group] = true
+		if !executed[mv.Group] {
+			// Deferred: this period still runs the group on its old host.
+			pr.alloc[mv.Group] = mv.From
+		}
+	}
+	pr.rt = newRouterTable(e.topo, pr.alloc, len(e.nodes))
 	if k := int64(e.cfg.SubPeriods); k >= 2 && e.subMilli != nil {
 		pr.subObserver = subObserver
 		// Sub-interval boundaries are calibrated from the previous period's
@@ -344,10 +406,11 @@ func (e *Engine) beginPeriod() *periodRun {
 		}
 	}
 
-	// Issue staged migrations.
-	for _, mv := range pr.staged {
-		op, kg := e.topo.OpOf(mv.Group)
-		e.nodes[mv.From].mb.put(migrateOutMsg{op: op, kg: kg, dest: mv.To})
+	// Issue staged migrations (full-state, or delta against the pre-copied
+	// checkpoint version for checkpoint-assisted transfers).
+	for _, tr := range pr.transfers {
+		op, kg := e.topo.OpOf(tr.mv.Group)
+		e.nodes[tr.mv.From].mb.put(migrateOutMsg{op: op, kg: kg, dest: tr.mv.To, deltaBase: tr.deltaBase})
 	}
 	return pr
 }
@@ -457,7 +520,7 @@ func (e *Engine) generate(pr *periodRun) error {
 // failure aborts the wait exactly like the lockstep path does.
 func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, error) {
 	completions, migs := 0, 0
-	migratedBytes := 0
+	migratedBytes, deltaBytes := 0, 0
 	errs := pr.errs
 	for completions < pr.expectedCompletions || migs < len(pr.staged) || gen != nil {
 		select {
@@ -468,6 +531,9 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			case evMigrated:
 				migs++
 				migratedBytes += ev.bytes
+				if ev.delta {
+					deltaBytes += ev.bytes
+				}
 			case evError:
 				errs = append(errs, ev.err)
 			}
@@ -483,17 +549,23 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	}
 
 	ps := &PeriodStats{
-		Period:            pr.period,
-		GroupUnits:        make([]float64, e.topo.NumGroups()),
-		GroupNode:         append([]int(nil), pr.alloc...),
-		StateBytes:        make([]int, e.topo.NumGroups()),
-		Comm:              map[core.Pair]float64{},
-		NodeUnits:         make([]float64, len(e.nodes)),
-		Migrations:        len(pr.staged) + pr.hotMoves,
-		HotMoves:          pr.hotMoves,
-		MigrationLatency:  float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
-		BatchesCrossNode:  pr.srcBatches,
-		SrcBytesCrossNode: pr.srcBytes,
+		Period:     pr.period,
+		GroupUnits: make([]float64, e.topo.NumGroups()),
+		GroupNode:  append([]int(nil), pr.alloc...),
+		StateBytes: make([]int, e.topo.NumGroups()),
+		Comm:       map[core.Pair]float64{},
+		NodeUnits:  make([]float64, len(e.nodes)),
+		Migrations: len(pr.staged) + pr.hotMoves,
+		HotMoves:   pr.hotMoves,
+		// For checkpoint-assisted transfers, migratedBytes already counts
+		// only the delta — the pre-copied base moved in the background and
+		// never pauses processing.
+		MigrationLatency:   float64(migratedBytes) * e.cfg.MigrSecondsPerByte,
+		MigratedDeltaBytes: int64(deltaBytes),
+		PrecopyBytes:       pr.precopyBytes,
+		DeferredMoves:      pr.deferred,
+		BatchesCrossNode:   pr.srcBatches,
+		SrcBytesCrossNode:  pr.srcBytes,
 	}
 	e.lastSrcTuples = pr.srcEmitted
 	totalMilli := int64(0)
@@ -528,11 +600,39 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			ps.StateBytes[gid] = st.Size()
 		}
 	}
+	// Measure, per checkpointed group, the encoded delta between its live
+	// state and its last checkpoint — the synchronous cost a checkpoint-
+	// assisted move of the group would pay right now. This is the residency
+	// signal the planner's cost model consumes (see core.GroupStat). Nodes
+	// are quiescent here, exactly like for the statistics merge above.
+	if e.ckpt != nil && e.ckpt.Len() > 0 {
+		live := make(map[int]*State, e.topo.NumGroups())
+		for i, n := range e.nodes {
+			if e.removed[i] {
+				continue
+			}
+			for gid, st := range n.states {
+				live[gid] = st
+			}
+		}
+		ps.CkptDeltaBytes = make([]int, e.topo.NumGroups())
+		for gid := range ps.CkptDeltaBytes {
+			ps.CkptDeltaBytes[gid] = -1
+		}
+		for _, gid := range e.ckpt.Groups() {
+			if sz, ok := e.ckpt.DeltaSize(gid, live[gid]); ok {
+				ps.CkptDeltaBytes[gid] = sz
+			}
+		}
+	}
 	// The period installed pr.alloc, not necessarily the current target:
 	// a plan staged mid-period diffs against what is physically in place.
 	e.mu.Lock()
 	e.baseAlloc = append(e.baseAlloc[:0], pr.alloc...)
 	e.last = ps
+	if ps.CkptDeltaBytes != nil {
+		e.ckptDeltas = append(e.ckptDeltas[:0], ps.CkptDeltaBytes...)
+	}
 	e.mu.Unlock()
 	return ps, nil
 }
@@ -702,6 +802,12 @@ func (e *Engine) Snapshot() (*core.Snapshot, error) {
 			Node:      e.groupNode[gid],
 			Load:      e.loadPercent(e.last.GroupUnits[gid]),
 			StateSize: float64(e.last.StateBytes[gid]),
+		}
+		if e.ckptDeltas != nil {
+			if d := e.ckptDeltas[gid]; d >= 0 {
+				s.Groups[gid].HasCkpt = true
+				s.Groups[gid].CkptDelta = float64(d)
+			}
 		}
 	}
 	return s, nil

@@ -32,16 +32,40 @@ type barrierMsg struct {
 }
 
 // stateMsg installs migrated state for (op, kg); part of direct state
-// migration. encoded may be empty (group had no state yet).
+// migration. encoded may be empty (group had no state yet). When delta is
+// set, encoded is a statestore.Delta against the checkpoint version baseVer
+// that was pre-copied to the receiver (checkpoint-assisted migration); the
+// receiver reconstructs the state by applying it to its pre-copied base.
 type stateMsg struct {
 	op, kg  int
 	encoded []byte
+	delta   bool
+	baseVer int
 }
 
 // migrateOutMsg asks a node to ship (op, kg)'s state to dest (direct state
-// migration, step "serialize and send").
+// migration, step "serialize and send"). deltaBase >= 0 switches to
+// checkpoint-assisted transfer: the destination holds the pre-copied
+// checkpoint at that version, so the node ships only the delta of its live
+// state against it.
 type migrateOutMsg struct {
 	op, kg, dest int
+	deltaBase    int
+}
+
+// precopyMsg carries one background chunk of a checkpointed state toward a
+// planned migration's destination (checkpoint-assisted migration; see
+// precopy.go). It is pure background traffic: it takes no part in the
+// barrier protocol and the receiver only accumulates bytes. With discard
+// set, the session was abandoned (plan changed) and the receiver drops any
+// buffered bytes for the group instead.
+type precopyMsg struct {
+	op, kg  int
+	version int
+	total   int
+	off     int
+	chunk   []byte
+	discard bool
 }
 
 // hotMove is one sub-period ("reactive") migration: key group gid — key
@@ -71,6 +95,7 @@ func (dataBatchMsg) isMessage()  {}
 func (barrierMsg) isMessage()    {}
 func (stateMsg) isMessage()      {}
 func (migrateOutMsg) isMessage() {}
+func (precopyMsg) isMessage()    {}
 func (hotMoveMsg) isMessage()    {}
 func (stopMsg) isMessage()       {}
 

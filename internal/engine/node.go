@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/codec"
+	"repro/internal/statestore"
 )
 
 // pendingTuple is one tuple buffered while its key group's state is still in
@@ -40,6 +41,9 @@ type engEvent struct {
 	node  int
 	op    int
 	bytes int
+	// delta marks an evMigrated whose bytes are a checkpoint-assisted
+	// delta transfer (not a full state).
+	delta bool
 	err   error
 }
 
@@ -52,6 +56,10 @@ type node struct {
 	states  map[int]*State         // gid -> state
 	pending map[int][]pendingTuple // gid -> tuples buffered awaiting migration
 	awaitIn map[int]bool           // gid awaiting a stateMsg
+	// precopied accumulates checkpoint bytes background-copied toward this
+	// node ahead of a planned migration (checkpoint-assisted transfer); the
+	// delta stateMsg at the barrier reconstructs the state from it.
+	precopied map[int]*precopyBuf
 	// potcSent tracks, per candidate key group, how much work this sender
 	// instance has routed there (PoTC balances the work each sender emits
 	// downstream using local knowledge).
@@ -148,6 +156,8 @@ func (n *node) run() {
 				n.onState(m)
 			case migrateOutMsg:
 				n.onMigrateOut(m)
+			case precopyMsg:
+				n.onPrecopy(m)
 			case hotMoveMsg:
 				n.onHotMove(m)
 			}
@@ -210,11 +220,36 @@ func (n *node) startPeriod(m periodStartMsg) {
 
 // onMigrateOut serializes and ships (op, kg)'s state to the destination
 // node, then reports the migrated volume to the engine for the latency
-// model.
+// model. With deltaBase >= 0 (checkpoint-assisted transfer) only the delta
+// of the live state against the pre-copied checkpoint is shipped — unless
+// the state diverged so much that the delta would exceed the full encoding,
+// in which case the transfer degrades to a full-state migration.
 func (n *node) onMigrateOut(m migrateOutMsg) {
 	gid := n.eng.topo.GID(m.op, m.kg)
+	st := n.states[gid]
+	if m.deltaBase >= 0 {
+		if s := n.eng.precopySource(gid); s != nil && s.version == m.deltaBase {
+			base, err := statestore.DecodeState(s.data)
+			if err != nil {
+				n.eng.events <- engEvent{kind: evError, node: n.id,
+					err: fmt.Errorf("engine: node %d delta base for group %d: %w", n.id, gid, err)}
+				return
+			}
+			d := statestore.Diff(base, st)
+			if encoded := d.Encode(nil); st == nil || len(encoded) < st.Size() {
+				delete(n.states, gid)
+				n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
+				n.flushOut(m.dest)
+				n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: s.version})
+				n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded), delta: true}
+				return
+			}
+		}
+		// Session vanished or the delta is no cheaper: fall through to a
+		// full-state transfer (the destination drops its pre-copied base).
+	}
 	var encoded []byte
-	if st := n.states[gid]; st != nil {
+	if st != nil {
 		encoded = st.Encode(nil)
 		delete(n.states, gid)
 	}
@@ -225,6 +260,41 @@ func (n *node) onMigrateOut(m migrateOutMsg) {
 	n.flushOut(m.dest)
 	n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
 	n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
+}
+
+// precopyBuf accumulates one group's pre-copied checkpoint bytes.
+type precopyBuf struct {
+	version int
+	total   int
+	buf     []byte
+}
+
+// onPrecopy appends one background pre-copy chunk. It deliberately touches
+// no statistics: chunks may arrive while the node is not yet armed for the
+// period (they are enqueued before periodStartMsg), when the engine still
+// owns the stats for resetting.
+func (n *node) onPrecopy(m precopyMsg) {
+	gid := n.eng.topo.GID(m.op, m.kg)
+	if m.discard {
+		delete(n.precopied, gid)
+		return
+	}
+	if n.precopied == nil {
+		n.precopied = map[int]*precopyBuf{}
+	}
+	pb := n.precopied[gid]
+	if pb == nil || m.off == 0 {
+		pb = &precopyBuf{version: m.version, total: m.total, buf: make([]byte, 0, m.total)}
+		n.precopied[gid] = pb
+	}
+	if pb.version != m.version || pb.total != m.total || len(pb.buf) != m.off {
+		n.eng.events <- engEvent{kind: evError, node: n.id,
+			err: fmt.Errorf("engine: node %d pre-copy chunk for group %d out of order (have %d, chunk at %d, version %d vs %d)",
+				n.id, gid, len(pb.buf), m.off, pb.version, m.version)}
+		delete(n.precopied, gid)
+		return
+	}
+	pb.buf = append(pb.buf, m.chunk...)
 }
 
 // onHotMove executes one sub-period migration broadcast. Every node records
@@ -412,16 +482,46 @@ func (n *node) sendHotBarriers(op int) {
 
 func (n *node) onState(m stateMsg) {
 	gid := n.eng.topo.GID(m.op, m.kg)
-	st := NewState()
-	if len(m.encoded) > 0 {
-		var err error
-		st, err = DecodeState(m.encoded)
-		if err != nil {
-			n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+	var st *State
+	if m.delta {
+		// Checkpoint-assisted transfer: reconstruct the state by applying
+		// the shipped delta to the pre-copied checkpoint base.
+		pb := n.precopied[gid]
+		if pb == nil || pb.version != m.baseVer || len(pb.buf) != pb.total {
+			n.eng.events <- engEvent{kind: evError, node: n.id,
+				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", n.id, gid)}
 			return
 		}
+		base, err := statestore.DecodeState(pb.buf)
+		if err != nil {
+			n.eng.events <- engEvent{kind: evError, node: n.id,
+				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", n.id, gid, err)}
+			return
+		}
+		d, rest, err := statestore.DecodeDelta(m.encoded)
+		if err != nil || len(rest) != 0 {
+			n.eng.events <- engEvent{kind: evError, node: n.id,
+				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", n.id, gid, err, len(rest))}
+			return
+		}
+		d.Apply(base)
+		st = base
+		// Only the delta is synchronous work; the base was deserialization
+		// paid in the background.
 		n.stats.addMigUnits(float64(len(m.encoded)) * n.eng.cfg.DeserCostPerByte)
+	} else {
+		st = NewState()
+		if len(m.encoded) > 0 {
+			var err error
+			st, err = DecodeState(m.encoded)
+			if err != nil {
+				n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+				return
+			}
+			n.stats.addMigUnits(float64(len(m.encoded)) * n.eng.cfg.DeserCostPerByte)
+		}
 	}
+	delete(n.precopied, gid)
 	n.states[gid] = st
 	if n.awaitIn[gid] {
 		delete(n.awaitIn, gid)

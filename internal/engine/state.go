@@ -1,120 +1,18 @@
 package engine
 
-import (
-	"fmt"
+import "repro/internal/statestore"
 
-	"repro/internal/codec"
-)
+// State handling lives in internal/statestore (the versioned incremental
+// store that checkpointing and migration share); the engine re-exports the
+// state type so operators and the public API are unaffected by the move.
 
 // State is the computation state σ_k of one key group: scalar counters,
-// string registers, and named tables (e.g. per-key aggregates or window
-// contents). It is what direct state migration serializes and ships.
-type State struct {
-	Nums   map[string]float64
-	Strs   map[string]string
-	Tables map[string]map[string]float64
-}
+// string registers, and named tables. It is what direct state migration
+// serializes and ships, and what the checkpoint store versions.
+type State = statestore.State
 
 // NewState returns an empty state.
-func NewState() *State {
-	return &State{}
-}
+func NewState() *State { return statestore.NewState() }
 
-// Add increments counter name by v and returns the new value.
-func (s *State) Add(name string, v float64) float64 {
-	if s.Nums == nil {
-		s.Nums = map[string]float64{}
-	}
-	s.Nums[name] += v
-	return s.Nums[name]
-}
-
-// Num returns counter name (0 if absent).
-func (s *State) Num(name string) float64 { return s.Nums[name] }
-
-// SetStr sets a string register.
-func (s *State) SetStr(name, v string) {
-	if s.Strs == nil {
-		s.Strs = map[string]string{}
-	}
-	s.Strs[name] = v
-}
-
-// Str returns a string register ("" if absent).
-func (s *State) Str(name string) string { return s.Strs[name] }
-
-// Table returns the named table, creating it if needed.
-func (s *State) Table(name string) map[string]float64 {
-	if s.Tables == nil {
-		s.Tables = map[string]map[string]float64{}
-	}
-	t := s.Tables[name]
-	if t == nil {
-		t = map[string]float64{}
-		s.Tables[name] = t
-	}
-	return t
-}
-
-// ClearTable drops the named table (window flush).
-func (s *State) ClearTable(name string) {
-	if s.Tables != nil {
-		delete(s.Tables, name)
-	}
-}
-
-// Empty reports whether the state holds no data.
-func (s *State) Empty() bool {
-	return len(s.Nums) == 0 && len(s.Strs) == 0 && len(s.Tables) == 0
-}
-
-// Merge folds src into s: numeric counters and table cells are summed,
-// string registers are taken from src when present. This is the default
-// combine function for partially-aggregated state (PoTC merge step).
-func (s *State) Merge(src *State) {
-	for k, v := range src.Nums {
-		s.Add(k, v)
-	}
-	for k, v := range src.Strs {
-		s.SetStr(k, v)
-	}
-	for name, table := range src.Tables {
-		dst := s.Table(name)
-		for k, v := range table {
-			dst[k] += v
-		}
-	}
-}
-
-// Encode serializes the state (appended to buf).
-func (s *State) Encode(buf []byte) []byte {
-	buf = codec.AppendFloatMap(buf, s.Nums)
-	buf = codec.AppendStringMap(buf, s.Strs)
-	buf = codec.AppendNestedFloatMap(buf, s.Tables)
-	return buf
-}
-
-// Size returns |σ|: the serialized size in bytes. It is computed
-// arithmetically (no encode, no sort) — encoded length is independent of
-// key order, so Size() == len(Encode(nil)) always.
-func (s *State) Size() int {
-	return codec.SizeFloatMap(s.Nums) +
-		codec.SizeStringMap(s.Strs) +
-		codec.SizeNestedFloatMap(s.Tables)
-}
-
-// DecodeState reads a state written by Encode.
-func DecodeState(b []byte) (*State, error) {
-	s := &State{}
-	var err error
-	if s.Nums, b, err = codec.ReadFloatMap(b); err != nil {
-		return nil, fmt.Errorf("engine: decode state nums: %w", err)
-	}
-	if s.Strs, b, err = codec.ReadStringMap(b); err != nil {
-		return nil, fmt.Errorf("engine: decode state strs: %w", err)
-	}
-	if s.Tables, _, err = codec.ReadNestedFloatMap(b); err != nil {
-		return nil, fmt.Errorf("engine: decode state tables: %w", err)
-	}
-	return s, nil
-}
+// DecodeState reads a state written by State.Encode.
+func DecodeState(b []byte) (*State, error) { return statestore.DecodeState(b) }

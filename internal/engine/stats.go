@@ -163,6 +163,24 @@ type PeriodStats struct {
 	// HotMoves counts the reactive sub-period migrations executed inside
 	// this period (they did not wait for the period barrier).
 	HotMoves int
+	// MigratedDeltaBytes is the synchronously-transferred volume of this
+	// period's checkpoint-assisted migrations: only the delta since the
+	// pre-copied checkpoint. It is the part of the migrated volume above
+	// that the delta-transfer path kept small (full-state migrations
+	// contribute to MigrationLatency's byte count but not here).
+	MigratedDeltaBytes int64
+	// PrecopyBytes is the checkpoint volume background-copied toward
+	// migration destinations at this period's start (bounded per group by
+	// Config.PrecopyChunkBytes; never charged to MigrationLatency).
+	PrecopyBytes int64
+	// DeferredMoves counts staged migrations that did not execute this
+	// period because their checkpoint pre-copy is still in flight.
+	DeferredMoves int
+	// CkptDeltaBytes is, per global key-group id, the encoded delta between
+	// the group's live state at period end and its last checkpoint (-1 for
+	// groups without a checkpoint; nil when the engine has never
+	// checkpointed). It feeds the planner's delta-cost model.
+	CkptDeltaBytes []int
 }
 
 // LoadPercent converts cost units to percentage points of node capacity.

@@ -1,0 +1,83 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// bigState builds a state with `cells` table cells — the "large window
+// contents" shape whose migration the checkpoint-assisted path accelerates.
+func bigState(cells int) *State {
+	st := NewState()
+	st.Add("total", float64(cells))
+	t := st.Table("seen")
+	for i := 0; i < cells; i++ {
+		t[fmt.Sprintf("key-%06d", i)] = float64(i)
+	}
+	return st
+}
+
+// touch mutates `dirty` cells of st (the per-period churn on a mostly-cold
+// state).
+func touch(st *State, dirty, salt int) {
+	t := st.Table("seen")
+	for i := 0; i < dirty; i++ {
+		t[fmt.Sprintf("key-%06d", (salt*dirty+i)%2000)] += 1
+	}
+	st.Add("total", float64(dirty))
+}
+
+// BenchmarkStateStoreCheckpoint measures one incremental checkpoint of a
+// 2000-cell state with 1% churn: the delta-append cost the controller pays
+// per cadence, vs re-encoding the full snapshot every time.
+func BenchmarkStateStoreCheckpoint(b *testing.B) {
+	s := New()
+	st := bigState(2000)
+	s.Checkpoint(0, 0, st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	appended := 0
+	for i := 0; i < b.N; i++ {
+		touch(st, 20, i)
+		appended += s.Checkpoint(0, i+1, st)
+	}
+	b.ReportMetric(float64(appended)/float64(b.N), "deltaB/ckpt")
+	b.ReportMetric(float64(len(st.Encode(nil))), "fullB")
+}
+
+// BenchmarkStateStoreMaterialize measures reconstructing a checkpointed
+// state from its base + delta chain (the recovery read path).
+func BenchmarkStateStoreMaterialize(b *testing.B) {
+	s := New()
+	st := bigState(2000)
+	s.Checkpoint(0, 0, st)
+	for v := 1; v <= 6; v++ {
+		touch(st, 20, v)
+		s.Checkpoint(0, v, st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, ok := s.Materialize(0)
+		if !ok || got.Empty() {
+			b.Fatal("materialize failed")
+		}
+	}
+}
+
+// BenchmarkStateStoreDiff measures computing the live-vs-checkpoint delta
+// of a 2000-cell state with 1% churn — the per-period cost of the planner's
+// delta-size signal and the barrier-time cost of a delta migration.
+func BenchmarkStateStoreDiff(b *testing.B) {
+	base := bigState(2000)
+	live := base.Clone()
+	touch(live, 20, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Diff(base, live)
+		if d.Empty() {
+			b.Fatal("empty diff")
+		}
+	}
+}

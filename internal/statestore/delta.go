@@ -1,0 +1,364 @@
+package statestore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// Delta is the exact semantic difference between two States: applying a
+// Delta produced by Diff(old, new) to (a clone of) old yields a state equal
+// to new, field for field. Values are absolute (the new value, not an
+// increment), so floating-point application is exact; deletions are
+// represented explicitly, which plain Merge-style combination cannot
+// express. Deltas are what the incremental store chains and what
+// checkpoint-assisted migration ships synchronously.
+type Delta struct {
+	// NumSet holds counters added or changed (absolute new values); NumDel
+	// lists counters removed.
+	NumSet map[string]float64
+	NumDel []string
+	// StrSet / StrDel mirror the same for string registers.
+	StrSet map[string]string
+	StrDel []string
+	// TabSet holds, per table, the cells added or changed (absolute values);
+	// TabCellDel the cells removed from tables that survive; TabDel the
+	// tables dropped entirely.
+	TabSet     map[string]map[string]float64
+	TabCellDel map[string][]string
+	TabDel     []string
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool {
+	return len(d.NumSet) == 0 && len(d.NumDel) == 0 &&
+		len(d.StrSet) == 0 && len(d.StrDel) == 0 &&
+		len(d.TabSet) == 0 && len(d.TabCellDel) == 0 && len(d.TabDel) == 0
+}
+
+// Diff computes new − old. Neither argument is mutated; nil arguments are
+// treated as empty states.
+func Diff(old, new *State) *Delta {
+	if old == nil {
+		old = &State{}
+	}
+	if new == nil {
+		new = &State{}
+	}
+	d := &Delta{}
+	for k, v := range new.Nums {
+		if ov, ok := old.Nums[k]; !ok || ov != v {
+			if d.NumSet == nil {
+				d.NumSet = map[string]float64{}
+			}
+			d.NumSet[k] = v
+		}
+	}
+	for k := range old.Nums {
+		if _, ok := new.Nums[k]; !ok {
+			d.NumDel = append(d.NumDel, k)
+		}
+	}
+	for k, v := range new.Strs {
+		if ov, ok := old.Strs[k]; !ok || ov != v {
+			if d.StrSet == nil {
+				d.StrSet = map[string]string{}
+			}
+			d.StrSet[k] = v
+		}
+	}
+	for k := range old.Strs {
+		if _, ok := new.Strs[k]; !ok {
+			d.StrDel = append(d.StrDel, k)
+		}
+	}
+	for name, nt := range new.Tables {
+		ot := old.Tables[name]
+		var set map[string]float64
+		for k, v := range nt {
+			if ov, ok := ot[k]; !ok || ov != v {
+				if set == nil {
+					set = map[string]float64{}
+				}
+				set[k] = v
+			}
+		}
+		if set != nil {
+			if d.TabSet == nil {
+				d.TabSet = map[string]map[string]float64{}
+			}
+			d.TabSet[name] = set
+		}
+		var dels []string
+		for k := range ot {
+			if _, ok := nt[k]; !ok {
+				dels = append(dels, k)
+			}
+		}
+		if dels != nil {
+			if d.TabCellDel == nil {
+				d.TabCellDel = map[string][]string{}
+			}
+			d.TabCellDel[name] = dels
+		}
+	}
+	for name := range old.Tables {
+		if _, ok := new.Tables[name]; !ok {
+			d.TabDel = append(d.TabDel, name)
+		}
+	}
+	return d
+}
+
+// Apply mutates st so that Apply(Diff(old, new)) on a clone of old produces
+// a state equal to new.
+func (d *Delta) Apply(st *State) {
+	for k, v := range d.NumSet {
+		if st.Nums == nil {
+			st.Nums = map[string]float64{}
+		}
+		st.Nums[k] = v
+	}
+	for _, k := range d.NumDel {
+		delete(st.Nums, k)
+	}
+	for k, v := range d.StrSet {
+		st.SetStr(k, v)
+	}
+	for _, k := range d.StrDel {
+		delete(st.Strs, k)
+	}
+	for _, name := range d.TabDel {
+		st.ClearTable(name)
+	}
+	for name, set := range d.TabSet {
+		t := st.Table(name)
+		for k, v := range set {
+			t[k] = v
+		}
+	}
+	for name, dels := range d.TabCellDel {
+		t := st.Tables[name]
+		for _, k := range dels {
+			delete(t, k)
+		}
+	}
+}
+
+// sizeStringSlice is the encoded length of appendStringSlice.
+func sizeStringSlice(v []string) int {
+	n := codec.SizeUvarint(uint64(len(v)))
+	for _, s := range v {
+		n += codec.SizeString(s)
+	}
+	return n
+}
+
+// Size returns the encoded length of the delta without building bytes:
+// Size() == len(Encode(nil)) always.
+func (d *Delta) Size() int {
+	n := codec.SizeFloatMap(d.NumSet) + sizeStringSlice(d.NumDel) +
+		codec.SizeStringMap(d.StrSet) + sizeStringSlice(d.StrDel) +
+		codec.SizeNestedFloatMap(d.TabSet) + sizeStringSlice(d.TabDel)
+	n += codec.SizeUvarint(uint64(len(d.TabCellDel)))
+	for name, dels := range d.TabCellDel {
+		n += codec.SizeString(name) + sizeStringSlice(dels)
+	}
+	return n
+}
+
+// DiffSize returns Diff(old, new).Size() without building the delta — no
+// maps, no slices, one pass over both states. It is the per-period
+// residency signal's cost: the engine calls it for every checkpointed
+// group at every period boundary.
+func DiffSize(old, new *State) int {
+	if old == nil {
+		old = &State{}
+	}
+	if new == nil {
+		new = &State{}
+	}
+	numSetN, numSetB := 0, 0
+	for k, v := range new.Nums {
+		if ov, ok := old.Nums[k]; !ok || ov != v {
+			numSetN++
+			numSetB += codec.SizeString(k) + 8
+		}
+	}
+	numDelN, numDelB := 0, 0
+	for k := range old.Nums {
+		if _, ok := new.Nums[k]; !ok {
+			numDelN++
+			numDelB += codec.SizeString(k)
+		}
+	}
+	strSetN, strSetB := 0, 0
+	for k, v := range new.Strs {
+		if ov, ok := old.Strs[k]; !ok || ov != v {
+			strSetN++
+			strSetB += codec.SizeString(k) + codec.SizeString(v)
+		}
+	}
+	strDelN, strDelB := 0, 0
+	for k := range old.Strs {
+		if _, ok := new.Strs[k]; !ok {
+			strDelN++
+			strDelB += codec.SizeString(k)
+		}
+	}
+	tabSetN, tabSetB := 0, 0
+	cellDelN, cellDelB := 0, 0
+	for name, nt := range new.Tables {
+		ot := old.Tables[name]
+		setN, setB := 0, 0
+		for k, v := range nt {
+			if ov, ok := ot[k]; !ok || ov != v {
+				setN++
+				setB += codec.SizeString(k) + 8
+			}
+		}
+		if setN > 0 {
+			tabSetN++
+			tabSetB += codec.SizeString(name) + codec.SizeUvarint(uint64(setN)) + setB
+		}
+		delN, delB := 0, 0
+		for k := range ot {
+			if _, ok := nt[k]; !ok {
+				delN++
+				delB += codec.SizeString(k)
+			}
+		}
+		if delN > 0 {
+			cellDelN++
+			cellDelB += codec.SizeString(name) + codec.SizeUvarint(uint64(delN)) + delB
+		}
+	}
+	tabDelN, tabDelB := 0, 0
+	for name := range old.Tables {
+		if _, ok := new.Tables[name]; !ok {
+			tabDelN++
+			tabDelB += codec.SizeString(name)
+		}
+	}
+	return codec.SizeUvarint(uint64(numSetN)) + numSetB +
+		codec.SizeUvarint(uint64(numDelN)) + numDelB +
+		codec.SizeUvarint(uint64(strSetN)) + strSetB +
+		codec.SizeUvarint(uint64(strDelN)) + strDelB +
+		codec.SizeUvarint(uint64(tabSetN)) + tabSetB +
+		codec.SizeUvarint(uint64(cellDelN)) + cellDelB +
+		codec.SizeUvarint(uint64(tabDelN)) + tabDelB
+}
+
+// appendStringSlice appends a sorted length-prefixed string list (sorting
+// keeps the encoding deterministic; the slice is not mutated).
+func appendStringSlice(b []byte, v []string) []byte {
+	b = codec.AppendUvarint(b, uint64(len(v)))
+	if len(v) == 0 {
+		return b
+	}
+	sorted := append([]string(nil), v...)
+	sort.Strings(sorted)
+	for _, s := range sorted {
+		b = codec.AppendString(b, s)
+	}
+	return b
+}
+
+func readStringSlice(b []byte) ([]string, []byte, error) {
+	n, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	// Every entry costs at least one length byte: a count exceeding the
+	// remaining bytes is malformed, not a huge allocation.
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("statestore: string list claims %d entries in %d bytes", n, len(b))
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s string
+		if s, b, err = codec.ReadString(b); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, s)
+	}
+	return out, b, nil
+}
+
+// Encode serializes the delta deterministically (appended to buf).
+// Encoding order: NumSet, NumDel, StrSet, StrDel, TabSet, TabCellDel,
+// TabDel.
+func (d *Delta) Encode(buf []byte) []byte {
+	buf = codec.AppendFloatMap(buf, d.NumSet)
+	buf = appendStringSlice(buf, d.NumDel)
+	buf = codec.AppendStringMap(buf, d.StrSet)
+	buf = appendStringSlice(buf, d.StrDel)
+	buf = codec.AppendNestedFloatMap(buf, d.TabSet)
+	buf = codec.AppendUvarint(buf, uint64(len(d.TabCellDel)))
+	names := make([]string, 0, len(d.TabCellDel))
+	for name := range d.TabCellDel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		buf = codec.AppendString(buf, name)
+		buf = appendStringSlice(buf, d.TabCellDel[name])
+	}
+	buf = appendStringSlice(buf, d.TabDel)
+	return buf
+}
+
+// DecodeDelta reads a delta written by Encode and returns the remaining
+// bytes. All count and length fields are validated against the remaining
+// input before allocation.
+func DecodeDelta(b []byte) (*Delta, []byte, error) {
+	d := &Delta{}
+	var err error
+	if d.NumSet, b, err = codec.ReadFloatMap(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta numset: %w", err)
+	}
+	if d.NumDel, b, err = readStringSlice(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta numdel: %w", err)
+	}
+	if d.StrSet, b, err = codec.ReadStringMap(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta strset: %w", err)
+	}
+	if d.StrDel, b, err = readStringSlice(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta strdel: %w", err)
+	}
+	if d.TabSet, b, err = codec.ReadNestedFloatMap(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta tabset: %w", err)
+	}
+	var n uint64
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta tabcelldel count: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("statestore: delta claims %d cell-del tables in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		var dels []string
+		if name, b, err = codec.ReadString(b); err != nil {
+			return nil, nil, fmt.Errorf("statestore: delta tabcelldel name: %w", err)
+		}
+		if dels, b, err = readStringSlice(b); err != nil {
+			return nil, nil, fmt.Errorf("statestore: delta tabcelldel %q: %w", name, err)
+		}
+		if d.TabCellDel == nil {
+			d.TabCellDel = map[string][]string{}
+		}
+		if _, dup := d.TabCellDel[name]; dup {
+			return nil, nil, fmt.Errorf("statestore: delta duplicate cell-del table %q", name)
+		}
+		d.TabCellDel[name] = dels
+	}
+	if d.TabDel, b, err = readStringSlice(b); err != nil {
+		return nil, nil, fmt.Errorf("statestore: delta tabdel: %w", err)
+	}
+	return d, b, nil
+}

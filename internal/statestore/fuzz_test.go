@@ -1,0 +1,136 @@
+package statestore
+
+import (
+	"testing"
+)
+
+// FuzzStoreDecode fuzzes the durable store decoding — the checkpoint bytes
+// an engine would reload after a restart — with the laws recovery relies
+// on:
+//
+//  1. Decode never panics, whatever the bytes;
+//  2. anything that decodes cleanly re-encodes to a store that decodes to
+//     the same materialized states (round-trip stability);
+//  3. every materialized tip state itself survives an encode/decode cycle.
+//
+// The seed corpus covers well-formed stores (bases plus delta chains) and
+// the corrupt shapes the decoder must reject: truncated deltas, duplicate
+// and out-of-range gids, inverted versions, lying length prefixes.
+func FuzzStoreDecode(f *testing.F) {
+	// Well-formed: two groups, one with a delta chain.
+	s := New()
+	a := NewState()
+	a.Add("total", 41)
+	a.SetStr("reg", "x")
+	a.Table("t")["cell"] = 1
+	s.Checkpoint(0, 1, a)
+	b := a.Clone()
+	b.Add("total", 1)
+	b.Table("t")["cell2"] = 2
+	delete(b.Strs, "reg")
+	s.Checkpoint(0, 2, b)
+	s.Checkpoint(4, 2, b)
+	f.Add(s.Encode(nil), 5)
+	// Empty store.
+	f.Add(New().Encode(nil), 0)
+	// Truncated delta: chop the tail off the valid encoding.
+	valid := s.Encode(nil)
+	f.Add(valid[:len(valid)-2], 5)
+	f.Add(valid[:len(valid)/2], 5)
+	// Out-of-range gid for the declared bound.
+	f.Add(valid, 1)
+	// Duplicate gid entries.
+	one := New()
+	one.Checkpoint(0, 1, a)
+	enc := one.Encode(nil)
+	dup := append([]byte{storeMagic, 0x02}, enc[2:]...)
+	dup = append(dup, enc[2:]...)
+	f.Add(dup, 0)
+	// Version inversion and lying counts.
+	f.Add([]byte{storeMagic, 0x01, 0x00, 0x05, 0x01, 0x00, 0x00}, 0)
+	f.Add([]byte{storeMagic, 0xFF, 0xFF, 0x7F}, 0)
+	f.Add([]byte{storeMagic}, 0)
+	f.Add([]byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, b []byte, maxGID int) {
+		if maxGID < 0 || maxGID > 1<<16 {
+			maxGID = 0
+		}
+		s, err := Decode(b, maxGID)
+		if err != nil {
+			return // malformed input may fail, never panic
+		}
+		// Law 2+3: round trip through encode/decode, comparing materialized
+		// states group by group.
+		enc := s.Encode(nil)
+		s2, err := Decode(enc, maxGID)
+		if err != nil {
+			t.Fatalf("re-encoded store failed to decode: %v", err)
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round trip changed group count: %d vs %d", s2.Len(), s.Len())
+		}
+		for _, gid := range s.Groups() {
+			want, wver, _ := s.Materialize(gid)
+			have, hver, ok := s2.Materialize(gid)
+			if !ok || wver != hver {
+				t.Fatalf("gid %d: version %d vs %d (ok=%v)", gid, wver, hver, ok)
+			}
+			if !Diff(want, have).Empty() || !Diff(have, want).Empty() {
+				t.Fatalf("gid %d: materialized state changed across round trip", gid)
+			}
+			stEnc := want.Encode(nil)
+			st2, err := DecodeState(stEnc)
+			if err != nil {
+				t.Fatalf("gid %d: tip state failed to re-decode: %v", gid, err)
+			}
+			if !Diff(want, st2).Empty() {
+				t.Fatalf("gid %d: tip state changed across encode/decode", gid)
+			}
+		}
+	})
+}
+
+// FuzzDeltaDecode fuzzes the delta decoder: never panic, and any delta that
+// decodes cleanly must apply to an empty state and re-encode/re-decode to
+// an equivalent delta (same effect on the same base).
+func FuzzDeltaDecode(f *testing.F) {
+	a := NewState()
+	a.Add("n", 1)
+	a.SetStr("s", "v")
+	a.Table("t")["c"] = 2
+	b := a.Clone()
+	b.Add("n", 1)
+	delete(b.Strs, "s")
+	b.ClearTable("t")
+	b.Table("u")["d"] = 3
+	f.Add(Diff(a, b).Encode(nil))
+	f.Add(Diff(b, a).Encode(nil))
+	f.Add(Diff(nil, a).Encode(nil))
+	f.Add((&Delta{}).Encode(nil))
+	f.Add([]byte{0xFF, 0x7F})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, rest, err := DecodeDelta(raw)
+		if err != nil {
+			return
+		}
+		_ = rest
+		if got := d.Size(); got != len(d.Encode(nil)) {
+			t.Fatalf("Size()=%d, len(Encode)=%d", got, len(d.Encode(nil)))
+		}
+		st := NewState()
+		d.Apply(st)
+		enc := d.Encode(nil)
+		d2, rest2, err := DecodeDelta(enc)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-encoded delta failed to decode: %v (%d trailing)", err, len(rest2))
+		}
+		st2 := NewState()
+		d2.Apply(st2)
+		if !Diff(st, st2).Empty() || !Diff(st2, st).Empty() {
+			t.Fatal("delta effect changed across encode/decode")
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package statestore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randState(rng *rand.Rand, scale int) *State {
+	st := NewState()
+	for i := 0; i < rng.Intn(scale+1); i++ {
+		st.Add(fmt.Sprintf("n%d", rng.Intn(scale)), rng.Float64()*100)
+	}
+	for i := 0; i < rng.Intn(scale+1); i++ {
+		st.SetStr(fmt.Sprintf("s%d", rng.Intn(scale)), fmt.Sprintf("v%d", rng.Intn(1000)))
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		t := st.Table(fmt.Sprintf("t%d", rng.Intn(3)))
+		for j := 0; j < rng.Intn(scale+1); j++ {
+			t[fmt.Sprintf("c%d", rng.Intn(scale))] = rng.Float64()
+		}
+	}
+	return st
+}
+
+// mutate applies random edits including deletions — the delta must express
+// every kind of change.
+func mutate(rng *rand.Rand, st *State) {
+	for k := range st.Nums {
+		switch rng.Intn(3) {
+		case 0:
+			st.Nums[k] += 1
+		case 1:
+			delete(st.Nums, k)
+		}
+	}
+	st.Add(fmt.Sprintf("n-new%d", rng.Intn(100)), 1)
+	for k := range st.Strs {
+		if rng.Intn(3) == 0 {
+			delete(st.Strs, k)
+		} else if rng.Intn(2) == 0 {
+			st.Strs[k] += "x"
+		}
+	}
+	for name, t := range st.Tables {
+		if rng.Intn(5) == 0 {
+			st.ClearTable(name)
+			continue
+		}
+		for k := range t {
+			switch rng.Intn(4) {
+			case 0:
+				t[k] += 0.5
+			case 1:
+				delete(t, k)
+			}
+		}
+		t[fmt.Sprintf("c-new%d", rng.Intn(100))] = rng.Float64()
+	}
+}
+
+func statesEqual(a, b *State) bool { return Diff(a, b).Empty() && Diff(b, a).Empty() }
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		old := randState(rng, 12)
+		new := old.Clone()
+		mutate(rng, new)
+		d := Diff(old, new)
+		got := old.Clone()
+		d.Apply(got)
+		if !statesEqual(got, new) {
+			t.Fatalf("iter %d: Apply(Diff(old,new)) != new\nold=%+v\nnew=%+v\ngot=%+v", i, old, new, got)
+		}
+		// Encode/Decode round trip preserves the delta, and both size
+		// computations match the encoding exactly.
+		enc := d.Encode(nil)
+		if len(enc) != d.Size() {
+			t.Fatalf("iter %d: Size()=%d, len(Encode)=%d", i, d.Size(), len(enc))
+		}
+		if got := DiffSize(old, new); got != len(enc) {
+			t.Fatalf("iter %d: DiffSize=%d, len(Encode)=%d", i, got, len(enc))
+		}
+		d2, rest, err := DecodeDelta(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("iter %d: decode delta: %v (%d trailing)", i, err, len(rest))
+		}
+		got2 := old.Clone()
+		d2.Apply(got2)
+		if !statesEqual(got2, new) {
+			t.Fatalf("iter %d: decoded delta diverges", i)
+		}
+	}
+}
+
+func TestDiffExactWithSpecialFloats(t *testing.T) {
+	old := NewState()
+	old.Add("x", 1)
+	new := NewState()
+	new.Nums = map[string]float64{"x": math.NaN(), "inf": math.Inf(1)}
+	d := Diff(old, new)
+	enc := d.Encode(nil)
+	d2, _, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := old.Clone()
+	d2.Apply(got)
+	if !math.IsNaN(got.Num("x")) || !math.IsInf(got.Num("inf"), 1) {
+		t.Fatalf("special floats lost: %+v", got.Nums)
+	}
+}
+
+func TestStoreIncrementalChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New()
+	cur := randState(rng, 20)
+	if app := s.Checkpoint(5, 1, cur); app != len(cur.Encode(nil)) {
+		t.Fatalf("first checkpoint appended %d, want full snapshot", app)
+	}
+	for v := 2; v <= 30; v++ {
+		cur = cur.Clone()
+		mutate(rng, cur)
+		s.Checkpoint(5, v, cur)
+		got, ver, ok := s.Materialize(5)
+		if !ok || ver != v {
+			t.Fatalf("v%d: materialize ver=%d ok=%v", v, ver, ok)
+		}
+		if !statesEqual(got, cur) {
+			t.Fatalf("v%d: materialized state diverged", v)
+		}
+		// Compaction bounds the chain and the footprint.
+		if cl := s.ChainLen(5); cl > defaultMaxChain {
+			t.Fatalf("v%d: chain length %d exceeds max %d", v, cl, defaultMaxChain)
+		}
+	}
+	// Unchanged checkpoint appends nothing but advances the version.
+	if app := s.Checkpoint(5, 31, cur); app != 0 {
+		t.Fatalf("no-op checkpoint appended %d", app)
+	}
+	if s.Version(5) != 31 {
+		t.Fatalf("version = %d, want 31", s.Version(5))
+	}
+
+	// EncodedState equals the materialized encoding and compacts.
+	enc, ver, ok := s.EncodedState(5)
+	if !ok || ver != 31 {
+		t.Fatalf("EncodedState ver=%d ok=%v", ver, ok)
+	}
+	dec, err := DecodeState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(dec, cur) {
+		t.Fatal("EncodedState does not round-trip to the tip state")
+	}
+	if s.ChainLen(5) != 0 {
+		t.Fatal("EncodedState must compact the chain")
+	}
+
+	// DeltaSize reflects the synchronous transfer cost of a live state.
+	live := cur.Clone()
+	live.Add("extra", 1)
+	dsz, ok := s.DeltaSize(5, live)
+	if !ok || dsz != Diff(cur, live).Size() {
+		t.Fatalf("DeltaSize = %d ok=%v", dsz, ok)
+	}
+
+	s.Delete(5)
+	if s.Has(5) || s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("delete left %d groups, %d bytes", s.Len(), s.Bytes())
+	}
+}
+
+func TestStoreEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := New()
+	states := map[int]*State{}
+	for gid := 0; gid < 10; gid += 2 {
+		states[gid] = randState(rng, 10)
+		s.Checkpoint(gid, 1, states[gid])
+	}
+	for v := 2; v <= 5; v++ {
+		for gid, st := range states {
+			st = st.Clone()
+			mutate(rng, st)
+			states[gid] = st
+			s.Checkpoint(gid, v, st)
+		}
+	}
+	enc := s.Encode(nil)
+	got, err := Decode(enc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Bytes() != s.Bytes() {
+		t.Fatalf("round trip: %d groups %d bytes, want %d / %d", got.Len(), got.Bytes(), s.Len(), s.Bytes())
+	}
+	for gid, want := range states {
+		have, ver, ok := got.Materialize(gid)
+		if !ok || ver != 5 {
+			t.Fatalf("gid %d: ver=%d ok=%v", gid, ver, ok)
+		}
+		if !statesEqual(have, want) {
+			t.Fatalf("gid %d diverged after round trip", gid)
+		}
+	}
+}
+
+func TestStoreDecodeHardening(t *testing.T) {
+	s := New()
+	st := NewState()
+	st.Add("a", 1)
+	st.Table("t")["x"] = 2
+	s.Checkpoint(3, 1, st)
+	st2 := st.Clone()
+	st2.Add("a", 1)
+	s.Checkpoint(3, 2, st2)
+	valid := s.Encode(nil)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   {0x00, 0x01},
+		"magic only":  {storeMagic},
+		"truncated":   valid[:len(valid)-3],
+		"trailing":    append(append([]byte(nil), valid...), 0xFF),
+		"count lies":  {storeMagic, 0xFF, 0xFF, 0x01},
+		"huge base":   {storeMagic, 0x01, 0x00, 0x01, 0x01, 0xFF, 0xFF, 0x7F},
+		"ver < base":  {storeMagic, 0x01, 0x00, 0x05, 0x01, 0x00, 0x00},
+		"delta count": {storeMagic, 0x01, 0x00, 0x01, 0x02, 0x03, 0x00, 0x00, 0x00, 0xFF, 0x7F},
+	}
+	for name, b := range cases {
+		if _, err := Decode(b, 0); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+	// Out-of-range gid (store holds gid 3, bound is 3).
+	if _, err := Decode(valid, 3); err == nil {
+		t.Error("out-of-range gid must fail")
+	}
+	if _, err := Decode(valid, 4); err != nil {
+		t.Errorf("in-range decode failed: %v", err)
+	}
+
+	// Duplicate gids: splice the same group entry twice.
+	dup := New()
+	dup.Checkpoint(0, 1, st)
+	one := dup.Encode(nil)
+	body := one[2:] // magic + count=1
+	two := append([]byte{storeMagic, 0x02}, body...)
+	two = append(two, body...)
+	if _, err := Decode(two, 0); err == nil {
+		t.Error("duplicate gid must fail")
+	}
+}

@@ -1,0 +1,306 @@
+package statestore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// storeMagic versions the durable store encoding.
+const storeMagic = 0xC5
+
+// Compaction defaults: a group's delta chain is folded into a fresh base
+// once it grows past MaxChain links or past CompactFactor times the base
+// size, bounding both replay length and storage overhead.
+const (
+	defaultMaxChain      = 8
+	defaultCompactFactor = 0.5
+)
+
+// entry is one key group's incremental chain: a full encoded snapshot at
+// baseVer plus encoded deltas leading to version. tip caches the
+// materialized state at version so Diff-based appends and reads never
+// replay the chain.
+type entry struct {
+	baseVer, version int
+	base             []byte
+	deltas           [][]byte
+	deltaBytes       int
+	tip              *State
+}
+
+// Store is a versioned, per-group incremental state store. Checkpointing
+// appends deltas (Checkpoint), recovery and migration read materialized
+// states (Materialize / EncodedState), and Encode/Decode round-trip the
+// whole store for durability. A Store is not goroutine-safe: the engine
+// mutates it only between periods, exactly like node statistics.
+type Store struct {
+	// MaxChain / CompactFactor tune compaction; zero values take the
+	// defaults above.
+	MaxChain      int
+	CompactFactor float64
+
+	groups map[int]*entry
+	bytes  int
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{groups: map[int]*entry{}} }
+
+func (s *Store) maxChain() int {
+	if s.MaxChain > 0 {
+		return s.MaxChain
+	}
+	return defaultMaxChain
+}
+
+func (s *Store) compactFactor() float64 {
+	if s.CompactFactor > 0 {
+		return s.CompactFactor
+	}
+	return defaultCompactFactor
+}
+
+// Len returns the number of key groups with a checkpointed state.
+func (s *Store) Len() int { return len(s.groups) }
+
+// Bytes returns the total stored volume (bases plus delta chains) — the
+// durable footprint the incremental design keeps close to one full
+// snapshot.
+func (s *Store) Bytes() int { return s.bytes }
+
+// Has reports whether gid has a checkpointed state.
+func (s *Store) Has(gid int) bool { return s.groups[gid] != nil }
+
+// Version returns the version of gid's latest checkpoint (-1 if none).
+func (s *Store) Version(gid int) int {
+	e := s.groups[gid]
+	if e == nil {
+		return -1
+	}
+	return e.version
+}
+
+// Groups returns the checkpointed gids in ascending order.
+func (s *Store) Groups() []int {
+	out := make([]int, 0, len(s.groups))
+	for gid := range s.groups {
+		out = append(out, gid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Checkpoint records st as gid's state at version. The first checkpoint of
+// a group stores a full snapshot; later ones append only the delta since
+// the previous checkpoint (and fold the chain into a fresh base when it
+// grows past the compaction bounds). It returns the bytes appended — the
+// incremental cost of this checkpoint. A nil st checkpoints the empty
+// state.
+func (s *Store) Checkpoint(gid, version int, st *State) int {
+	if st == nil {
+		st = &State{}
+	}
+	if s.groups == nil {
+		s.groups = map[int]*entry{}
+	}
+	e := s.groups[gid]
+	if e == nil {
+		base := st.Encode(nil)
+		s.groups[gid] = &entry{baseVer: version, version: version, base: base, tip: st.Clone()}
+		s.bytes += len(base)
+		return len(base)
+	}
+	d := Diff(e.tip, st)
+	e.version = version
+	if d.Empty() {
+		return 0
+	}
+	enc := d.Encode(nil)
+	e.deltas = append(e.deltas, enc)
+	e.deltaBytes += len(enc)
+	e.tip = st.Clone()
+	appended := len(enc)
+	s.bytes += appended
+	if len(e.deltas) > s.maxChain() || float64(e.deltaBytes) > s.compactFactor()*float64(len(e.base)) {
+		s.compact(e)
+	}
+	return appended
+}
+
+// compact folds e's chain into a fresh base at the tip version.
+func (s *Store) compact(e *entry) {
+	s.bytes -= len(e.base) + e.deltaBytes
+	e.base = e.tip.Encode(nil)
+	e.baseVer = e.version
+	e.deltas, e.deltaBytes = nil, 0
+	s.bytes += len(e.base)
+}
+
+// ChainLen returns the number of deltas stacked on gid's base (0 if the
+// group is absent or freshly compacted).
+func (s *Store) ChainLen(gid int) int {
+	e := s.groups[gid]
+	if e == nil {
+		return 0
+	}
+	return len(e.deltas)
+}
+
+// Materialize returns a copy of gid's checkpointed state and its version.
+func (s *Store) Materialize(gid int) (*State, int, bool) {
+	e := s.groups[gid]
+	if e == nil {
+		return nil, -1, false
+	}
+	return e.tip.Clone(), e.version, true
+}
+
+// EncodedState returns gid's checkpointed state fully encoded (the bytes a
+// pre-copy ships) plus its version. The returned slice is immutable: the
+// store never mutates an encoding it handed out. Long chains are compacted
+// as a side effect so repeated reads stay cheap.
+func (s *Store) EncodedState(gid int) ([]byte, int, bool) {
+	e := s.groups[gid]
+	if e == nil {
+		return nil, -1, false
+	}
+	if len(e.deltas) > 0 {
+		s.compact(e)
+	}
+	return e.base, e.version, true
+}
+
+// DeltaSize returns the encoded size of Diff(checkpoint, cur) — the bytes a
+// checkpoint-assisted migration of gid would synchronously transfer if the
+// live state is cur — computed without building the delta (DiffSize). ok is
+// false when gid has no checkpoint.
+func (s *Store) DeltaSize(gid int, cur *State) (int, bool) {
+	e := s.groups[gid]
+	if e == nil {
+		return 0, false
+	}
+	return DiffSize(e.tip, cur), true
+}
+
+// Delete drops gid's chain.
+func (s *Store) Delete(gid int) {
+	e := s.groups[gid]
+	if e == nil {
+		return
+	}
+	s.bytes -= len(e.base) + e.deltaBytes
+	delete(s.groups, gid)
+}
+
+// Encode serializes the whole store (appended to buf) for durable storage.
+func (s *Store) Encode(buf []byte) []byte {
+	buf = append(buf, storeMagic)
+	buf = codec.AppendUvarint(buf, uint64(len(s.groups)))
+	for _, gid := range s.Groups() {
+		e := s.groups[gid]
+		buf = codec.AppendUvarint(buf, uint64(gid))
+		buf = codec.AppendUvarint(buf, uint64(e.baseVer))
+		buf = codec.AppendUvarint(buf, uint64(e.version))
+		buf = codec.AppendUvarint(buf, uint64(len(e.base)))
+		buf = append(buf, e.base...)
+		buf = codec.AppendUvarint(buf, uint64(len(e.deltas)))
+		for _, d := range e.deltas {
+			buf = codec.AppendUvarint(buf, uint64(len(d)))
+			buf = append(buf, d...)
+		}
+	}
+	return buf
+}
+
+// Decode reads a store written by Encode. maxGID, when positive, bounds
+// acceptable group ids (the engine passes its topology's group count); any
+// structural problem — truncation, duplicate or out-of-order gids,
+// out-of-range gids, undecodable bases or deltas, version inversions —
+// fails the decode rather than producing a partial store.
+func Decode(b []byte, maxGID int) (*Store, error) {
+	if len(b) == 0 || b[0] != storeMagic {
+		return nil, fmt.Errorf("statestore: bad store magic")
+	}
+	b = b[1:]
+	n, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: store group count: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("statestore: store claims %d groups in %d bytes", n, len(b))
+	}
+	s := New()
+	prevGID := -1
+	for i := uint64(0); i < n; i++ {
+		var gid, baseVer, version, baseLen uint64
+		if gid, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: store gid: %w", err)
+		}
+		if int(gid) <= prevGID {
+			return nil, fmt.Errorf("statestore: duplicate or out-of-order gid %d", gid)
+		}
+		if maxGID > 0 && gid >= uint64(maxGID) {
+			return nil, fmt.Errorf("statestore: gid %d out of range (max %d)", gid, maxGID)
+		}
+		prevGID = int(gid)
+		if baseVer, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: gid %d base version: %w", gid, err)
+		}
+		if version, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: gid %d version: %w", gid, err)
+		}
+		if version < baseVer {
+			return nil, fmt.Errorf("statestore: gid %d version %d below base %d", gid, version, baseVer)
+		}
+		if baseLen, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: gid %d base length: %w", gid, err)
+		}
+		if uint64(len(b)) < baseLen {
+			return nil, fmt.Errorf("statestore: gid %d base truncated (%d of %d bytes)", gid, len(b), baseLen)
+		}
+		base := append([]byte(nil), b[:baseLen]...)
+		b = b[baseLen:]
+		tip, err := DecodeState(base)
+		if err != nil {
+			return nil, fmt.Errorf("statestore: gid %d base: %w", gid, err)
+		}
+		var nd uint64
+		if nd, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: gid %d delta count: %w", gid, err)
+		}
+		if nd > uint64(len(b)) {
+			return nil, fmt.Errorf("statestore: gid %d claims %d deltas in %d bytes", gid, nd, len(b))
+		}
+		e := &entry{baseVer: int(baseVer), version: int(version), base: base}
+		for j := uint64(0); j < nd; j++ {
+			var dl uint64
+			if dl, b, err = codec.ReadUvarint(b); err != nil {
+				return nil, fmt.Errorf("statestore: gid %d delta %d length: %w", gid, j, err)
+			}
+			if uint64(len(b)) < dl {
+				return nil, fmt.Errorf("statestore: gid %d delta %d truncated (%d of %d bytes)", gid, j, len(b), dl)
+			}
+			enc := append([]byte(nil), b[:dl]...)
+			b = b[dl:]
+			d, rest, err := DecodeDelta(enc)
+			if err != nil {
+				return nil, fmt.Errorf("statestore: gid %d delta %d: %w", gid, j, err)
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("statestore: gid %d delta %d has %d trailing bytes", gid, j, len(rest))
+			}
+			d.Apply(tip)
+			e.deltas = append(e.deltas, enc)
+			e.deltaBytes += len(enc)
+		}
+		e.tip = tip
+		s.groups[int(gid)] = e
+		s.bytes += len(base) + e.deltaBytes
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("statestore: %d trailing bytes after store", len(b))
+	}
+	return s, nil
+}

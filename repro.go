@@ -24,6 +24,15 @@
 // overtake the data it covers, which is what the period/migration barrier
 // protocol relies on (see internal/engine/mailbox.go and batch.go).
 //
+// Integrative state handling. Key-group state lives in internal/statestore:
+// a versioned, per-group incremental store (full snapshot + delta chains)
+// shared by checkpoint-based fault tolerance and state migration. The
+// controller checkpoints on a cadence; a planned move of a checkpointed
+// group pre-copies the checkpoint to the destination in the background —
+// across multiple period boundaries for large states — and synchronously
+// transfers only the delta accumulated since, which is also how the
+// planners price such moves (mc_k = α·min(|σ_k|, |Δ_k|)).
+//
 // This file re-exports the public API from the internal packages; see
 // examples/ for runnable programs and cmd/albic-bench for the experiment
 // harness regenerating the paper's Figures 2-14.
@@ -35,6 +44,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/statestore"
 	"repro/internal/workload"
 )
 
@@ -69,9 +79,13 @@ type (
 	EngineConfig = engine.Config
 	// PeriodStats is one period's merged statistics.
 	PeriodStats = engine.PeriodStats
-	// Checkpoint is a consistent snapshot of all key-group states for
-	// failure recovery (extension, see internal/engine/checkpoint.go).
-	Checkpoint = engine.Checkpoint
+	// CheckpointStats describes one incremental checkpoint of all key-group
+	// states (extension, see internal/engine/checkpoint.go).
+	CheckpointStats = engine.CheckpointStats
+	// StateStore is the versioned, per-group incremental state store that
+	// checkpointing and checkpoint-assisted migration share (full base
+	// snapshots plus delta chains; see internal/statestore).
+	StateStore = statestore.Store
 )
 
 // Reconfiguration stack (internal/core).
