@@ -69,6 +69,7 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 0, "incremental checkpoint every N periods (0 = off); arms checkpoint-assisted delta migration")
 	migrCost := flag.Float64("migr-cost", 0, "max migration cost per adaptation, in state bytes at alpha=1 (0 = unlimited)")
 	precopyChunk := flag.Int("precopy-chunk", 0, "checkpoint bytes pre-copied per group per period boundary (0 = default 256 KiB, negative = unlimited)")
+	shards := flag.Int("shards", 1, "worker shards per node (parallel operator execution; needs GOMAXPROCS > 1 to pay off)")
 	flag.Parse()
 	if *smooth <= 0 || *smooth > 1 {
 		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
@@ -125,7 +126,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ecfg := repro.EngineConfig{Nodes: *nodes, PrecopyChunkBytes: *precopyChunk}
+	ecfg := repro.EngineConfig{Nodes: *nodes, PrecopyChunkBytes: *precopyChunk, ShardsPerNode: *shards}
 	if *reactive {
 		ecfg.SubPeriods = *subperiods
 	}

@@ -63,6 +63,16 @@ type Engine interface {
 	TerminateNode(id int) error
 }
 
+// WeightedScaleEngine is the additional data-plane surface heterogeneous
+// scale-out (core.ScaleDecision.AddWeights) requires. *engine.Engine
+// implements it; against an engine that does not, weighted decisions fall
+// back to unit-capacity AddNodes.
+type WeightedScaleEngine interface {
+	// AddNodesWeighted provisions one node per entry with that capacity
+	// weight (see engine.Engine.AddNodesWeighted).
+	AddNodesWeighted(weights []float64) ([]int, error)
+}
+
 // SubPeriodEngine is the additional data-plane surface reactive
 // (sub-period) mode requires. *engine.Engine implements it; the engine must
 // also have been built with engine.Config.SubPeriods >= 2 or no boundary
@@ -676,7 +686,16 @@ func (r *run) applyOutcome(out *core.Outcome, rep *PeriodReport) error {
 		}
 	}
 	if out.Scale.AddNodes > 0 {
-		rep.Added = r.c.eng.AddNodes(out.Scale.AddNodes)
+		we, _ := r.c.eng.(WeightedScaleEngine)
+		if len(out.Scale.AddWeights) > 0 && we != nil {
+			ids, err := we.AddNodesWeighted(out.Scale.AddWeights)
+			if err != nil {
+				return fmt.Errorf("controller: weighted scale-out: %w", err)
+			}
+			rep.Added = ids
+		} else {
+			rep.Added = r.c.eng.AddNodes(out.Scale.AddNodes)
+		}
 	}
 	if len(out.Scale.MarkForRemoval) > 0 {
 		r.c.eng.MarkForRemoval(out.Scale.MarkForRemoval)

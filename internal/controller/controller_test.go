@@ -298,8 +298,11 @@ func TestElasticityThroughController(t *testing.T) {
 
 			// Scripted elasticity: grow by two nodes at the third adaptation,
 			// mark them for removal at the sixth.
+			// The first added node has double capacity: scale-out is
+			// heterogeneous, and the engine must record the weight (the old
+			// AddNodes path silently hardcoded weight 1 for every new node).
 			script := make([]core.ScaleDecision, mode.periods)
-			script[2] = core.ScaleDecision{AddNodes: 2}
+			script[2] = core.ScaleDecision{AddNodes: 2, AddWeights: []float64{2, 1}}
 			script[5] = core.ScaleDecision{MarkForRemoval: []int{3, 4}}
 
 			var added []int
@@ -349,6 +352,16 @@ func TestElasticityThroughController(t *testing.T) {
 			}
 			if got, want := col.get(), int64(mode.periods*perPeriod); got != want {
 				t.Fatalf("sink received %d tuples, want %d (tuple loss across scaling)", got, want)
+			}
+			// The weighted add must be visible to the planner: node 3 was
+			// provisioned at weight 2, so the snapshot carries a capacity
+			// vector with exactly that entry.
+			snap, err := e.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Capacity == nil || snap.Capacity[3] != 2 {
+				t.Fatalf("snapshot capacity = %v, want weight 2 at node 3 (weighted scale-out lost)", snap.Capacity)
 			}
 		})
 	}

@@ -8,8 +8,12 @@ import (
 // ScaleDecision is the horizontal-scaling action for one adaptation period.
 type ScaleDecision struct {
 	// AddNodes requests this many new nodes (appended after the current
-	// ones, with unit capacity unless the caller overrides).
+	// ones, with unit capacity unless AddWeights overrides).
 	AddNodes int
+	// AddWeights optionally sets the capacity weight of each added node
+	// (1 = the baseline node). When non-empty it must hold exactly AddNodes
+	// positive entries; empty means unit capacity for all added nodes.
+	AddWeights []float64
 	// MarkForRemoval lists alive nodes to mark for removal; the balancer
 	// will drain them over the following periods (Lemma 2) and the
 	// framework terminates them once empty.
@@ -91,9 +95,33 @@ func (f *Framework) Step(ctx context.Context, s *Snapshot) (*Outcome, error) {
 	}
 	s2 := s.Clone()
 	if dec.AddNodes > 0 {
+		if len(dec.AddWeights) > 0 && len(dec.AddWeights) != dec.AddNodes {
+			return nil, fmt.Errorf("core: scaler added %d nodes with %d weights", dec.AddNodes, len(dec.AddWeights))
+		}
+		hetero := false
+		for _, w := range dec.AddWeights {
+			if w <= 0 {
+				return nil, fmt.Errorf("core: scaler added node with weight %v, want > 0", w)
+			}
+			if w != 1 {
+				hetero = true
+			}
+		}
+		// A weighted add turns a homogeneous cluster heterogeneous: the
+		// re-plan must see the capacity vector, so materialize it.
+		if s2.Capacity == nil && hetero {
+			s2.Capacity = make([]float64, s2.NumNodes)
+			for i := range s2.Capacity {
+				s2.Capacity[i] = 1
+			}
+		}
 		if s2.Capacity != nil {
 			for i := 0; i < dec.AddNodes; i++ {
-				s2.Capacity = append(s2.Capacity, 1)
+				w := 1.0
+				if i < len(dec.AddWeights) {
+					w = dec.AddWeights[i]
+				}
+				s2.Capacity = append(s2.Capacity, w)
 			}
 		}
 		if s2.Kill == nil {

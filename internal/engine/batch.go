@@ -40,6 +40,10 @@ type outbox struct {
 	count int
 	buf   []byte
 	dict  codec.Dict
+	// local marks an outbox whose destination shard lives on the sender's
+	// own node: frames ship identically (FIFO through the mailbox) but are
+	// excluded from wire-byte, frame and serialization-cost accounting.
+	local bool
 }
 
 // begin lazily starts a new v2 frame.
@@ -106,7 +110,7 @@ func (o *outbox) take(period int) (dataBatchMsg, bool) {
 	if o.count == 0 {
 		return dataBatchMsg{}, false
 	}
-	m := dataBatchMsg{op: o.op, period: period, count: o.count, encoded: o.buf}
+	m := dataBatchMsg{op: o.op, period: period, count: o.count, encoded: o.buf, local: o.local}
 	o.buf, o.count = nil, 0
 	return m, true
 }

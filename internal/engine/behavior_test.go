@@ -112,7 +112,7 @@ func TestConnectByKeying(t *testing.T) {
 	// hash to it, and every route's tuples must be on exactly one kg.
 	routeKG := map[string]int{}
 	for _, n := range e.nodes {
-		for gid, st := range n.states {
+		for gid, st := range n.allStates() {
 			op, kg := e.topo.OpOf(gid)
 			if e.topo.OpName(op) != "byroute" {
 				continue
@@ -171,7 +171,7 @@ func TestTwoChoiceAggregationCorrect(t *testing.T) {
 		}
 		total := 0.0
 		for _, n := range e.nodes {
-			for gid, st := range n.states {
+			for gid, st := range n.allStates() {
 				if op, _ := e.topo.OpOf(gid); e.topo.OpName(op) == "agg" {
 					total += st.Num("total")
 				}

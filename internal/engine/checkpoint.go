@@ -56,9 +56,11 @@ func (e *Engine) TakeCheckpoint() CheckpointStats {
 		if e.removed[i] {
 			continue
 		}
-		for gid, st := range n.states {
-			cs.NewBytes += e.ckpt.Checkpoint(gid, e.period, st)
-			fresh = append(fresh, gid)
+		for _, sh := range n.shards {
+			for gid, st := range sh.states {
+				cs.NewBytes += e.ckpt.Checkpoint(gid, e.period, st)
+				fresh = append(fresh, gid)
+			}
 		}
 	}
 	cs.Groups = e.ckpt.Len()
@@ -104,8 +106,10 @@ func (e *Engine) FailNode(id int) error {
 	}
 	e.removed[id] = true
 	e.killed[id] = true
-	e.nodes[id].mb.close()
-	e.nodes[id].states = map[int]*State{}
+	e.nodes[id].closeMailboxes()
+	for _, sh := range e.nodes[id].shards {
+		sh.states = map[int]*State{}
+	}
 	return nil
 }
 
@@ -163,7 +167,7 @@ func (e *Engine) Recover(onto []int) (int, error) {
 				st = cst
 			}
 		}
-		e.nodes[dest].states[gid] = st
+		e.shardFor(dest, gid).states[gid] = st
 		e.groupNode[gid] = dest
 		e.baseAlloc[gid] = dest
 		if s := e.precopy[gid]; s != nil {

@@ -33,7 +33,7 @@ func totalTallied(e *Engine) float64 {
 		if e.removed[i] {
 			continue
 		}
-		for _, st := range n.states {
+		for _, st := range n.allStates() {
 			total += st.Num("total")
 		}
 	}

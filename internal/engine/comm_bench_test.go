@@ -18,7 +18,7 @@ func benchCommAccumulate(b *testing.B, numGroups int, dense bool) {
 		denseCommGroupLimit = 0
 	}
 	defer func() { denseCommGroupLimit = old }()
-	s := newNodeStats(numGroups, nil)
+	s := newNodeStats(numGroups, false)
 	half := numGroups / 2
 	b.ReportAllocs()
 	b.ResetTimer()

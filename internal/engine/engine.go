@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/statestore"
@@ -62,6 +61,15 @@ type Config struct {
 	// the pre-copy completes. Negative means unlimited (the whole
 	// checkpoint ships at one boundary).
 	PrecopyChunkBytes int
+	// ShardsPerNode splits every node's execution into this many
+	// hash-partitioned worker shards, each with its own mailbox-drain
+	// goroutine, outbox set and statistics (see node.go) — cores within a
+	// node become virtual shared-nothing nodes, so the data path scales with
+	// GOMAXPROCS while planning, host sets and the cost model stay strictly
+	// node-level (intra-node shard-to-shard frames are modeled as free local
+	// traffic). 0 or 1 keeps the single-goroutine node of earlier versions;
+	// values above 256 are capped.
+	ShardsPerNode int
 }
 
 func (c *Config) defaults() {
@@ -85,6 +93,12 @@ func (c *Config) defaults() {
 	}
 	if c.PrecopyChunkBytes == 0 {
 		c.PrecopyChunkBytes = 256 << 10
+	}
+	if c.ShardsPerNode <= 0 {
+		c.ShardsPerNode = 1
+	}
+	if c.ShardsPerNode > 256 {
+		c.ShardsPerNode = 256
 	}
 }
 
@@ -115,11 +129,14 @@ type Engine struct {
 	groupNode []int // authoritative target allocation (gid -> node)
 	baseAlloc []int // allocation physically in place (last period's end)
 
-	// subMilli is the shared per-gid milli-unit load matrix behind
-	// SubSnapshot (nil unless Config.SubPeriods >= 2); nodes add to it on
-	// the hot path, any goroutine may read it atomically mid-period. It is
-	// reset between periods while nodes are quiescent.
-	subMilli []atomic.Int64
+	// spn is Config.ShardsPerNode after defaults; shardIdx[gid] is the shard
+	// index (within whichever node hosts it) that owns global group gid.
+	// Ownership is a pure hash of the gid, so it is identical on every node:
+	// a group that migrates lands on the same shard index at its new host,
+	// and any sender can address "the owning shard of gid on node n" without
+	// coordination. Both are immutable after New.
+	spn      int
+	shardIdx []uint8
 	// subObserver is the sub-period boundary hook (guarded by mu; captured
 	// once per period into the periodRun).
 	subObserver SubObserver
@@ -206,15 +223,48 @@ func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
 		}
 	}
 	e.baseAlloc = append([]int(nil), e.groupNode...)
-	if cfg.SubPeriods >= 2 {
-		e.subMilli = make([]atomic.Int64, topo.NumGroups())
+	e.spn = cfg.ShardsPerNode
+	e.shardIdx = make([]uint8, topo.NumGroups())
+	if e.spn > 1 {
+		// Hash, not gid % spn: the default allocation strides gids across
+		// nodes (gid % Nodes), and a modulo shard split would collapse all of
+		// a node's groups onto one shard whenever the two strides align.
+		for g := range e.shardIdx {
+			e.shardIdx[g] = uint8(mix64(uint64(g)) % uint64(e.spn))
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(i, e)
 		e.nodes = append(e.nodes, n)
-		go n.run()
+		n.start()
 	}
 	return e, nil
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed integer hash
+// for the gid → shard split.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// gsidFor returns the global shard id of the shard owning gid on nodeID.
+func (e *Engine) gsidFor(nodeID, gid int) int {
+	return nodeID*e.spn + int(e.shardIdx[gid])
+}
+
+// shardAt resolves a global shard id.
+func (e *Engine) shardAt(gsid int) *shard {
+	return e.nodes[gsid/e.spn].shards[gsid%e.spn]
+}
+
+// shardFor returns the shard owning gid on nodeID.
+func (e *Engine) shardFor(nodeID, gid int) *shard {
+	return e.nodes[nodeID].shards[e.shardIdx[gid]]
 }
 
 // NumNodes returns the engine's node-slot count (including removed slots).
@@ -238,7 +288,11 @@ func (e *Engine) nodeLoadEstimate(id int) float64 {
 	if e.removed[id] {
 		return math.Inf(1)
 	}
-	return float64(e.nodes[id].stats.nodeUnits.Load()) / 1000 * e.invWeights[id]
+	total := int64(0)
+	for _, sh := range e.nodes[id].shards {
+		total += sh.stats.nodeUnits.Load()
+	}
+	return float64(total) / 1000 * e.invWeights[id]
 }
 
 // periodRun carries one period's coordination state across the
@@ -264,6 +318,12 @@ type periodRun struct {
 	srcBatches          int64
 	srcBytes            int64 // wire bytes the sources staged (per-record sum)
 	errs                []error
+	// armFailed marks an arm phase that lost a shard (closed mailbox or an
+	// error event instead of an ack): the period is aborted before any data
+	// flows and the errors surface from RunPeriod/Run. The engine's shards
+	// may be armed inconsistently afterwards — callers must Close (or
+	// recover via the checkpoint path) rather than run further periods.
+	armFailed bool
 
 	// Reactive sub-period state (see subperiod.go). All fields are owned by
 	// the generation goroutine during the period; finishPeriod reads them
@@ -326,31 +386,39 @@ func (e *Engine) beginPeriod() *periodRun {
 		}
 	}
 	pr.rt = newRouterTable(e.topo, pr.alloc, len(e.nodes))
-	if k := int64(e.cfg.SubPeriods); k >= 2 && e.subMilli != nil {
+	if k := int64(e.cfg.SubPeriods); k >= 2 {
 		pr.subObserver = subObserver
 		// Sub-interval boundaries are calibrated from the previous period's
 		// source volume; the first period (and any zero-volume period) runs
-		// without boundaries.
-		if per := e.lastSrcTuples / k; per > 0 {
+		// without boundaries. A quiet-but-nonzero period still arms at least
+		// one boundary per sub-interval — flooring to zero here would
+		// silently disable reactive triggers for the next period even though
+		// its volume may spike.
+		per := e.lastSrcTuples / k
+		if per == 0 && e.lastSrcTuples > 0 {
+			per = 1
+		}
+		if per > 0 {
 			pr.subPerSub = per
 			pr.subNext = per
 		}
-		// Reset the shared mid-period counters (nodes are quiescent).
-		for i := range e.subMilli {
-			e.subMilli[i].Store(0)
-		}
 	}
 
-	// Reset per-period stats (nodes are quiescent between periods).
+	// Reset per-period stats, including the shards' mid-period sub-interval
+	// counters (shards are quiescent between periods).
 	for i, n := range e.nodes {
 		if !e.removed[i] {
-			n.stats.reset()
+			for _, sh := range n.shards {
+				sh.stats.reset()
+			}
 		}
 	}
 
-	// Expected barrier count per (node, op): one per source feeding the op
-	// plus one per host of each upstream operator; ops with no inputs get
-	// one synthetic engine barrier.
+	// Expected barrier count per (shard, op): one per source feeding the op
+	// plus one per shard of each host of each upstream operator — every
+	// shard of a hosting node participates in the barrier protocol, so both
+	// the senders of a barrier wave and its receivers scale with
+	// ShardsPerNode. Ops with no inputs get one synthetic engine barrier.
 	nops := len(e.topo.ops)
 	senders := make([]int, nops)
 	for _, edges := range e.topo.srcEdges {
@@ -360,7 +428,7 @@ func (e *Engine) beginPeriod() *periodRun {
 	}
 	for op := range e.topo.ops {
 		for _, ed := range e.topo.opEdges[op] {
-			senders[ed.op] += len(pr.rt.hosts[op])
+			senders[ed.op] += len(pr.rt.hosts[op]) * e.spn
 		}
 	}
 	pr.synthetic = make([]bool, nops)
@@ -371,46 +439,65 @@ func (e *Engine) beginPeriod() *periodRun {
 		}
 	}
 
-	awaitIn := map[int][]int{}
+	awaitIn := map[int][]int{} // global shard id -> gids arriving by stateMsg
 	for _, mv := range pr.staged {
-		awaitIn[mv.To] = append(awaitIn[mv.To], mv.Group)
+		g := e.gsidFor(mv.To, mv.Group)
+		awaitIn[g] = append(awaitIn[g], mv.Group)
 	}
 
-	// Arm all nodes, collect acks.
+	// Arm every shard of every alive node, collect acks. A shard whose
+	// mailbox is already closed — a crash the control plane has not absorbed
+	// yet — can never ack, and neither can one that reports an error instead
+	// of arming; both count toward the loop's exit so the control goroutine
+	// cannot wedge. Either case aborts the period (armFailed) and surfaces
+	// from RunPeriod/Run.
 	active := 0
 	for i, n := range e.nodes {
 		if e.removed[i] {
 			continue
 		}
-		active++
-		n.mb.put(periodStartMsg{
-			period:      pr.period,
-			router:      pr.rt,
-			barrierNeed: senders,
-			awaitIn:     awaitIn[i],
-		})
+		for _, sh := range n.shards {
+			ok := sh.mb.put(periodStartMsg{
+				period:      pr.period,
+				router:      pr.rt,
+				barrierNeed: senders,
+				awaitIn:     awaitIn[sh.gsid],
+			})
+			if !ok {
+				pr.errs = append(pr.errs, fmt.Errorf("engine: node %d shard %d failed during arm phase (mailbox closed)", i, sh.sid))
+				pr.armFailed = true
+				continue
+			}
+			active++
+		}
 	}
 	for op := range e.topo.ops {
-		pr.expectedCompletions += len(pr.rt.hosts[op])
+		pr.expectedCompletions += len(pr.rt.hosts[op]) * e.spn
 	}
-	acks := 0
-	for acks < active {
+	acks, errored := 0, 0
+	for acks+errored < active {
 		ev := <-e.events
 		switch ev.kind {
 		case evAck:
 			acks++
 		case evError:
 			pr.errs = append(pr.errs, ev.err)
+			errored++
+			pr.armFailed = true
 		default:
 			pr.errs = append(pr.errs, fmt.Errorf("engine: unexpected event %d during arm phase", ev.kind))
 		}
 	}
+	if pr.armFailed {
+		return pr
+	}
 
 	// Issue staged migrations (full-state, or delta against the pre-copied
-	// checkpoint version for checkpoint-assisted transfers).
+	// checkpoint version for checkpoint-assisted transfers) to the shard
+	// owning each group on its old host.
 	for _, tr := range pr.transfers {
 		op, kg := e.topo.OpOf(tr.mv.Group)
-		e.nodes[tr.mv.From].mb.put(migrateOutMsg{op: op, kg: kg, dest: tr.mv.To, deltaBase: tr.deltaBase})
+		e.shardFor(tr.mv.From, tr.mv.Group).mb.put(migrateOutMsg{op: op, kg: kg, dest: tr.mv.To, deltaBase: tr.deltaBase})
 	}
 	return pr
 }
@@ -422,21 +509,21 @@ func (e *Engine) beginPeriod() *periodRun {
 // emissions go through the same per-(dest, op) batching as node-to-node
 // traffic; the flush below precedes the source barriers.
 func (e *Engine) generate(pr *periodRun) error {
-	srcOuts := make([]*outbox, len(e.nodes))
+	srcOuts := make([]*outbox, len(e.nodes)*e.spn) // indexed by global shard id
 	var srcScratch []byte
 	srcBatches := int64(0)
-	flushSrc := func(dest int) {
-		if srcOuts[dest] == nil {
+	flushSrc := func(destG int) {
+		if srcOuts[destG] == nil {
 			return
 		}
-		if m, ok := srcOuts[dest].take(pr.period); ok {
+		if m, ok := srcOuts[destG].take(pr.period); ok {
 			srcBatches++
-			e.nodes[dest].mb.put(m)
+			e.shardAt(destG).mb.put(m)
 		}
 	}
 	flushAllSrc := func() {
-		for dest := range srcOuts {
-			flushSrc(dest)
+		for destG := range srcOuts {
+			flushSrc(destG)
 		}
 	}
 	var srcErr error
@@ -444,25 +531,31 @@ func (e *Engine) generate(pr *periodRun) error {
 		emit := func(t *Tuple) {
 			for _, op := range e.topo.srcEdges[si] {
 				kg := pr.rt.keyGroup(op, t.Key)
+				gid := e.topo.GID(op, kg)
 				dest := pr.rt.nodeOf(op, kg)
 				if pr.hotDest != nil {
-					if d, ok := pr.hotDest[e.topo.GID(op, kg)]; ok {
+					if d, ok := pr.hotDest[gid]; ok {
 						dest = d
 					}
 				}
-				ob := srcOuts[dest]
+				destG := e.gsidFor(dest, gid)
+				ob := srcOuts[destG]
 				if ob == nil {
 					ob = &outbox{}
-					srcOuts[dest] = ob
+					srcOuts[destG] = ob
 				}
 				if ob.count > 0 && ob.op != op {
-					flushSrc(dest)
+					flushSrc(destG)
 				}
 				ob.op = op
 				pr.srcBytes += int64(ob.stage(kg, t, &srcScratch))
 				if ob.full() {
-					flushSrc(dest)
+					flushSrc(destG)
 				}
+			}
+			if t.pooled {
+				// NewTuple-built source tuple: fully encoded above, recycle.
+				putTuple(t)
 			}
 			pr.srcEmitted++
 			// Sub-period boundary: fires between tuples on this goroutine
@@ -496,18 +589,23 @@ func (e *Engine) generate(pr *periodRun) error {
 		e.subBoundary(pr, flushAllSrc)
 	}
 	pr.srcBatches = srcBatches
-	// Source barriers, then synthetic barriers for input-less ops.
+	// Source barriers, then synthetic barriers for input-less ops — one per
+	// shard of every hosting node (each shard collects the full complement).
 	for si := range e.topo.sources {
 		for _, op := range e.topo.srcEdges[si] {
 			for _, host := range pr.rt.hosts[op] {
-				e.nodes[host].mb.put(barrierMsg{op: op, period: pr.period})
+				for _, sh := range e.nodes[host].shards {
+					sh.mb.put(barrierMsg{op: op, period: pr.period})
+				}
 			}
 		}
 	}
 	for op, syn := range pr.synthetic {
 		if syn {
 			for _, host := range pr.rt.hosts[op] {
-				e.nodes[host].mb.put(barrierMsg{op: op, period: pr.period})
+				for _, sh := range e.nodes[host].shards {
+					sh.mb.put(barrierMsg{op: op, period: pr.period})
+				}
 			}
 		}
 	}
@@ -571,7 +669,9 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	totalMilli := int64(0)
 	for i, n := range e.nodes {
 		if !e.removed[i] {
-			totalMilli += n.stats.nodeUnits.Load()
+			for _, sh := range n.shards {
+				totalMilli += sh.stats.nodeUnits.Load()
+			}
 		}
 	}
 	e.lastTotalMilli = totalMilli
@@ -579,25 +679,27 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 		if e.removed[i] {
 			continue
 		}
-		ps.NodeUnits[i] += n.stats.migUnits
-		for gid, u := range n.stats.groupUnits {
-			ps.GroupUnits[gid] += u
-			ps.NodeUnits[i] += u
-		}
-		for _, c := range n.stats.groupTuplesIn {
-			ps.TuplesIn += c
-		}
-		for _, c := range n.stats.groupTuplesOut {
-			ps.TuplesOut += c
-		}
-		n.stats.forEachComm(func(p core.Pair, v float64) {
-			ps.Comm[p] += v
-		})
-		ps.BytesCrossNode += n.stats.bytesOut
-		ps.BytesCrossNodeIn += n.stats.bytesIn
-		ps.BatchesCrossNode += n.stats.batchesOut
-		for gid, st := range n.states {
-			ps.StateBytes[gid] = st.Size()
+		for _, sh := range n.shards {
+			ps.NodeUnits[i] += sh.stats.migUnits
+			for gid, u := range sh.stats.groupUnits {
+				ps.GroupUnits[gid] += u
+				ps.NodeUnits[i] += u
+			}
+			for _, c := range sh.stats.groupTuplesIn {
+				ps.TuplesIn += c
+			}
+			for _, c := range sh.stats.groupTuplesOut {
+				ps.TuplesOut += c
+			}
+			sh.stats.forEachComm(func(p core.Pair, v float64) {
+				ps.Comm[p] += v
+			})
+			ps.BytesCrossNode += sh.stats.bytesOut
+			ps.BytesCrossNodeIn += sh.stats.bytesIn
+			ps.BatchesCrossNode += sh.stats.batchesOut
+			for gid, st := range sh.states {
+				ps.StateBytes[gid] = st.Size()
+			}
 		}
 	}
 	// Measure, per checkpointed group, the encoded delta between its live
@@ -611,8 +713,10 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			if e.removed[i] {
 				continue
 			}
-			for gid, st := range n.states {
-				live[gid] = st
+			for _, sh := range n.shards {
+				for gid, st := range sh.states {
+					live[gid] = st
+				}
 			}
 		}
 		ps.CkptDeltaBytes = make([]int, e.topo.NumGroups())
@@ -643,6 +747,9 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 // operator processes and flushes, and the merged statistics are returned.
 func (e *Engine) RunPeriod() (*PeriodStats, error) {
 	pr := e.beginPeriod()
+	if pr.armFailed {
+		return nil, fmt.Errorf("engine: period %d arm failed: %w", pr.period, errors.Join(pr.errs...))
+	}
 	if err := e.generate(pr); err != nil {
 		return nil, err
 	}
@@ -663,6 +770,9 @@ func (e *Engine) Run(ctx context.Context, periods int, observe func(*PeriodStats
 			return err
 		}
 		pr := e.beginPeriod()
+		if pr.armFailed {
+			return fmt.Errorf("engine: period %d arm failed: %w", pr.period, errors.Join(pr.errs...))
+		}
 		gen := make(chan error, 1)
 		go func() { gen <- e.generate(pr) }()
 		ps, err := e.finishPeriod(pr, gen)
@@ -701,27 +811,50 @@ func (e *Engine) ApplyPlan(groupNode []int) error {
 	return nil
 }
 
-// AddNodes provisions count new worker nodes and returns their ids. Must be
-// called between periods (the controller applies scaling decisions at
-// period boundaries: worker goroutines index the node table unlocked while
-// a period is in flight). The mutex only orders it against concurrent
-// ApplyPlan / Allocation / Snapshot callers.
+// AddNodes provisions count new worker nodes of unit capacity and returns
+// their ids. Must be called between periods (the controller applies scaling
+// decisions at period boundaries: worker goroutines index the node table
+// unlocked while a period is in flight). The mutex only orders it against
+// concurrent ApplyPlan / Allocation / Snapshot callers.
 func (e *Engine) AddNodes(count int) []int {
+	if count <= 0 {
+		return nil
+	}
+	w := make([]float64, count)
+	for i := range w {
+		w[i] = 1
+	}
+	ids, _ := e.AddNodesWeighted(w) // unit weights never fail validation
+	return ids
+}
+
+// AddNodesWeighted provisions one new worker node per entry of weights, with
+// that entry as its relative capacity weight (1 = the baseline node; see
+// Config.NodeWeights), and returns their ids. Weights must be positive —
+// this mirrors New's validation, which scale-out previously bypassed by
+// hardcoding weight 1 for every added node. Same call-site constraints as
+// AddNodes.
+func (e *Engine) AddNodesWeighted(weights []float64) ([]int, error) {
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("engine: added node weight %d is %v, want > 0", i, w)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var ids []int
-	for i := 0; i < count; i++ {
+	for _, w := range weights {
 		id := len(e.nodes)
 		n := newNode(id, e)
 		e.nodes = append(e.nodes, n)
 		e.removed = append(e.removed, false)
 		e.killed = append(e.killed, false)
-		e.weights = append(e.weights, 1)
-		e.invWeights = append(e.invWeights, 1)
-		go n.run()
+		e.weights = append(e.weights, w)
+		e.invWeights = append(e.invWeights, 1/w)
+		n.start()
 		ids = append(ids, id)
 	}
-	return ids
+	return ids, nil
 }
 
 // MarkForRemoval flags nodes for scale-in; the balancer drains them.
@@ -756,7 +889,7 @@ func (e *Engine) TerminateNode(id int) error {
 		}
 	}
 	e.removed[id] = true
-	e.nodes[id].mb.close()
+	e.nodes[id].closeMailboxes()
 	return nil
 }
 
@@ -764,7 +897,7 @@ func (e *Engine) TerminateNode(id int) error {
 func (e *Engine) Close() {
 	for i, n := range e.nodes {
 		if !e.removed[i] {
-			n.mb.close()
+			n.closeMailboxes()
 		}
 	}
 }

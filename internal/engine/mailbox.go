@@ -18,6 +18,12 @@ type dataBatchMsg struct {
 	period  int
 	count   int
 	encoded []byte
+	// local marks a frame between two shards of the same node: it rides the
+	// same encoded path (per-sender FIFO through the mailbox) but counts
+	// nothing toward wire bytes, frames or serialization cost — intra-node
+	// traffic is modeled as free, keeping the cost model invariant to
+	// Config.ShardsPerNode.
+	local bool
 }
 
 // barrierMsg signals that sender instance (an upstream operator on one node,
@@ -125,33 +131,41 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues one message. Puts after close are dropped.
-func (m *mailbox) put(msg message) {
+// put enqueues one message. Puts after close are dropped; the false return
+// tells the sender the consumer is gone (the engine uses this at arm time to
+// detect a crashed shard instead of waiting forever for its ack).
+func (m *mailbox) put(msg message) bool {
 	m.mu.Lock()
-	if !m.closed {
-		if len(m.q) == 0 {
-			m.nonEmp.Signal()
-		}
-		m.q = append(m.q, msg)
+	if m.closed {
+		m.mu.Unlock()
+		return false
 	}
+	if len(m.q) == 0 {
+		m.nonEmp.Signal()
+	}
+	m.q = append(m.q, msg)
 	m.mu.Unlock()
+	return true
 }
 
 // putBatch enqueues a slice of messages under one lock acquisition,
-// preserving slice order. Puts after close are dropped. The slice is copied;
-// the caller may reuse it.
-func (m *mailbox) putBatch(msgs []message) {
+// preserving slice order. Puts after close are dropped (reported like put).
+// The slice is copied; the caller may reuse it.
+func (m *mailbox) putBatch(msgs []message) bool {
 	if len(msgs) == 0 {
-		return
+		return true
 	}
 	m.mu.Lock()
-	if !m.closed {
-		if len(m.q) == 0 {
-			m.nonEmp.Signal()
-		}
-		m.q = append(m.q, msgs...)
+	if m.closed {
+		m.mu.Unlock()
+		return false
 	}
+	if len(m.q) == 0 {
+		m.nonEmp.Signal()
+	}
+	m.q = append(m.q, msgs...)
 	m.mu.Unlock()
+	return true
 }
 
 // drain blocks until messages are available (or the mailbox is closed and

@@ -79,7 +79,7 @@ func TestCheckpointAssistedMigration(t *testing.T) {
 	}
 	fullSize := 0
 	for _, n := range e.nodes {
-		if st := n.states[0]; st != nil {
+		if st := n.stateOf(0); st != nil {
 			fullSize = st.Size()
 		}
 	}
@@ -153,14 +153,14 @@ func TestCheckpointAssistedMigration(t *testing.T) {
 	// them all, with group 0's share intact on the destination node.
 	cells := 0
 	for _, n := range e.nodes {
-		for _, st := range n.states {
+		for _, st := range n.allStates() {
 			cells += len(st.Table("seen"))
 		}
 	}
 	if cells != emitted {
 		t.Fatalf("state holds %d cells, emitted %d unique keys", cells, emitted)
 	}
-	if st := e.nodes[1].states[0]; st == nil || len(st.Table("seen")) == 0 {
+	if st := e.nodes[1].stateOf(0); st == nil || len(st.Table("seen")) == 0 {
 		t.Fatal("group 0 state not resident on destination node 1")
 	}
 }
@@ -225,7 +225,7 @@ func TestAbandonedPrecopyDiscardsDestinationBuffer(t *testing.T) {
 	if _, err := e.RunPeriod(); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(e.nodes[1].precopied); n != 0 {
+	if n := e.nodes[1].precopiedCount(); n != 0 {
 		t.Fatalf("destination still buffers %d abandoned pre-copies", n)
 	}
 }
@@ -337,8 +337,8 @@ func TestFailureDuringPrecopy(t *testing.T) {
 	}
 	var recovered *State
 	for i, n := range e.nodes {
-		if !e.removed[i] && n.states[0] != nil {
-			recovered = n.states[0]
+		if !e.removed[i] && n.stateOf(0) != nil {
+			recovered = n.stateOf(0)
 		}
 	}
 	if recovered == nil {

@@ -9,15 +9,15 @@ import (
 )
 
 // pendingTuple is one tuple buffered while its key group's state is still in
-// flight. owned marks tuples the node materialized itself from a receive-path
-// view (returned to the tuple pool after replay); unowned entries were
-// emitted by an operator and stay operator-owned.
+// flight. owned marks tuples the shard materialized (or cloned) itself —
+// returned to the tuple pool after replay; unowned entries were emitted by
+// an operator with a caller-owned tuple and stay operator-owned.
 type pendingTuple struct {
 	t     *Tuple
 	owned bool
 }
 
-// periodStartMsg arms a node for one period: routing snapshot, expected
+// periodStartMsg arms a shard for one period: routing snapshot, expected
 // barrier counts and the key groups awaiting in-bound migration.
 type periodStartMsg struct {
 	period      int
@@ -47,17 +47,55 @@ type engEvent struct {
 	err   error
 }
 
-// node is one worker: a goroutine owning the states of its key groups.
+// node is one worker node: a pool of shard goroutines that partition the
+// node's key groups by hash (Config.ShardsPerNode). Planning, host sets and
+// the router table stay node-level — sharding multiplies the effective
+// topology size without touching allocation decisions, treating cores
+// within a node as virtual shared-nothing nodes (STRETCH).
 type node struct {
-	id  int
-	eng *Engine
-	mb  *mailbox
+	id     int
+	shards []*shard
+}
+
+func newNode(id int, eng *Engine) *node {
+	n := &node{id: id}
+	for s := 0; s < eng.spn; s++ {
+		n.shards = append(n.shards, newShard(id, s, eng))
+	}
+	return n
+}
+
+// start launches every shard goroutine.
+func (n *node) start() {
+	for _, sh := range n.shards {
+		go sh.run()
+	}
+}
+
+// closeMailboxes shuts every shard's mailbox.
+func (n *node) closeMailboxes() {
+	for _, sh := range n.shards {
+		sh.mb.close()
+	}
+}
+
+// shard is one worker goroutine: it owns the states of the key groups of its
+// node whose hash lands on it (Engine.shardIdx), drains its own mailbox, and
+// keeps its own outbox set and statistics. The per-sender FIFO invariant the
+// barrier protocol needs therefore holds per shard, and shard statistics
+// merge at the period barrier without hot-path locks.
+type shard struct {
+	nid  int // owning node id
+	sid  int // shard index within the node
+	gsid int // global shard id: nid*ShardsPerNode + sid
+	eng  *Engine
+	mb   *mailbox
 
 	states  map[int]*State         // gid -> state
 	pending map[int][]pendingTuple // gid -> tuples buffered awaiting migration
 	awaitIn map[int]bool           // gid awaiting a stateMsg
 	// precopied accumulates checkpoint bytes background-copied toward this
-	// node ahead of a planned migration (checkpoint-assisted transfer); the
+	// shard ahead of a planned migration (checkpoint-assisted transfer); the
 	// delta stateMsg at the barrier reconstructs the state from it.
 	precopied map[int]*precopyBuf
 	// potcSent tracks, per candidate key group, how much work this sender
@@ -70,11 +108,14 @@ type node struct {
 	// rx is the reusable receive-path decode state (interner, per-frame
 	// dictionary table, recycled TupleView).
 	rx rxDecoder
-	// views is a small stack of wrap-views for node-local deliveries: a
+	// views is a small stack of wrap-views for shard-local deliveries: a
 	// local emit chain (process → emit → process ...) recurses, so each
 	// depth level needs its own view. Grown once per depth ever reached.
 	views     []*TupleView
 	viewDepth int
+	// tp recycles pooled emit tuples (NewTuple) shard-locally: plain slice
+	// ops on the owning goroutine, no sync.Pool traffic on the emit path.
+	tp tupleFreeList
 
 	period      int
 	router      *routerTable
@@ -85,41 +126,48 @@ type node struct {
 
 	// Reactive sub-period state, all reset at period start and nil/empty on
 	// the common (no hot move) path:
-	// hotDest overrides routing for hot-moved groups (gid -> new host);
-	// every node receives the broadcast and applies it to its own sends.
+	// hotDest overrides routing for hot-moved groups (gid -> new host node);
+	// every shard receives the broadcast and applies it to its own sends.
 	hotDest map[int]int
-	// hotAway marks groups this node shipped away mid-period (gid -> new
-	// host); tuples that were already in flight toward this node when the
-	// move happened are forwarded there on arrival.
+	// hotAway marks groups this shard shipped away mid-period (gid -> new
+	// host node); tuples that were already in flight toward this shard when
+	// the move happened are forwarded there on arrival.
 	hotAway map[int]int
 	// hotGained lists key groups gained mid-period (op -> kgs); they are
 	// flushed here, not at their period-start host.
 	hotGained map[int][]int
-	// hotBarrier lists, per op, the destinations owed one extra barrier
-	// once every static upstream barrier for the op has reached this node
-	// (no more data can arrive, hence nothing more can be forwarded): a
-	// hot-move destination must not flush before every tuple this node may
-	// still forward has arrived.
+	// hotBarrier lists, per op, the destination shards (global shard ids)
+	// owed one extra barrier once every static upstream barrier for the op
+	// has reached this shard (no more data can arrive, hence nothing more
+	// can be forwarded): a hot-move destination must not flush before every
+	// tuple this shard may still forward has arrived.
 	hotBarrier map[int][]int
-	// extraNeed counts, per op, the extra (hot) barriers this node must
+	// extraNeed counts, per op, the extra (hot) barriers this shard must
 	// collect before flushing; hotGot counts those received. They are
 	// tracked apart from barrierGot/barrierNeed because only static
 	// barriers signal "upstream data has ceased" — the trigger for sending
-	// this node's own owed hot barriers.
+	// this shard's own owed hot barriers.
 	extraNeed map[int]int
 	hotGot    map[int]int
 
 	stats *nodeStats
-	// outs[dest] batches this node's cross-node deliveries (see batch.go);
-	// owned exclusively by the node goroutine, grown lazily as nodes appear.
+	// outs[gsid] batches this shard's deliveries to other shards (see
+	// batch.go); owned exclusively by the shard goroutine, grown lazily.
+	// Outboxes toward shards of the same node are flagged local: they ship
+	// encoded frames like any other (preserving per-sender FIFO through the
+	// destination mailbox) but count nothing toward the wire-byte or
+	// serialization cost model — intra-node traffic is free, exactly as the
+	// synchronous same-shard path is.
 	outs    []*outbox
 	scratch []byte
 }
 
-func newNode(id int, eng *Engine) *node {
+func newShard(nid, sid int, eng *Engine) *shard {
 	numGroups := eng.topo.NumGroups()
-	return &node{
-		id:       id,
+	s := &shard{
+		nid:      nid,
+		sid:      sid,
+		gsid:     nid*eng.spn + sid,
 		eng:      eng,
 		mb:       newMailbox(),
 		states:   map[int]*State{},
@@ -127,17 +175,19 @@ func newNode(id int, eng *Engine) *node {
 		awaitIn:  map[int]bool{},
 		potcSent: make([]float64, numGroups),
 		emitters: make([]Emit, numGroups),
-		stats:    newNodeStats(numGroups, eng.subMilli),
+		stats:    newNodeStats(numGroups, eng.cfg.SubPeriods >= 2),
 	}
+	s.rx.view.pool = &s.tp
+	return s
 }
 
-// run is the node goroutine main loop: it drains the mailbox's whole backlog
+// run is the shard goroutine main loop: it drains the mailbox's whole backlog
 // per wakeup and processes the batch in order, recycling the spent slice.
-func (n *node) run() {
+func (s *shard) run() {
 	var batch []message
 	for {
 		var ok bool
-		batch, ok = n.mb.drain(batch)
+		batch, ok = s.mb.drain(batch)
 		if !ok {
 			return
 		}
@@ -147,101 +197,104 @@ func (n *node) run() {
 			case stopMsg:
 				return
 			case periodStartMsg:
-				n.startPeriod(m)
+				s.startPeriod(m)
 			case dataBatchMsg:
-				n.onDataBatch(m)
+				s.onDataBatch(m)
 			case barrierMsg:
-				n.onBarrier(m)
+				s.onBarrier(m)
 			case stateMsg:
-				n.onState(m)
+				s.onState(m)
 			case migrateOutMsg:
-				n.onMigrateOut(m)
+				s.onMigrateOut(m)
 			case precopyMsg:
-				n.onPrecopy(m)
+				s.onPrecopy(m)
 			case hotMoveMsg:
-				n.onHotMove(m)
+				s.onHotMove(m)
 			}
 		}
 	}
 }
 
-// outFor returns the outbox for destination node dest, growing the table as
-// nodes are added.
-func (n *node) outFor(dest int) *outbox {
-	for len(n.outs) <= dest {
-		n.outs = append(n.outs, nil)
+// outFor returns the outbox for destination shard g (a global shard id),
+// growing the table as nodes are added.
+func (s *shard) outFor(g int) *outbox {
+	for len(s.outs) <= g {
+		s.outs = append(s.outs, nil)
 	}
-	if n.outs[dest] == nil {
-		n.outs[dest] = &outbox{}
+	if s.outs[g] == nil {
+		s.outs[g] = &outbox{local: g/s.eng.spn == s.nid}
 	}
-	return n.outs[dest]
+	return s.outs[g]
 }
 
-// flushOut ships the outbox for dest (if non-empty) as one dataBatchMsg.
-func (n *node) flushOut(dest int) {
-	if dest >= len(n.outs) || n.outs[dest] == nil {
+// flushOut ships the outbox for shard g (if non-empty) as one dataBatchMsg.
+func (s *shard) flushOut(g int) {
+	if g >= len(s.outs) || s.outs[g] == nil {
 		return
 	}
-	if m, ok := n.outs[dest].take(n.period); ok {
-		n.stats.batchesOut++
-		n.eng.nodes[dest].mb.put(m)
+	if m, ok := s.outs[g].take(s.period); ok {
+		if !m.local {
+			s.stats.batchesOut++
+		}
+		s.eng.shardAt(g).mb.put(m)
 	}
 }
 
 // flushAllOut ships every non-empty outbox. Must be called before enqueuing
-// any message that has to be ordered after this node's data (barriers), so
+// any message that has to be ordered after this shard's data (barriers), so
 // the per-sender FIFO invariant extends through sender-side batching.
-func (n *node) flushAllOut() {
-	for dest := range n.outs {
-		n.flushOut(dest)
+func (s *shard) flushAllOut() {
+	for g := range s.outs {
+		s.flushOut(g)
 	}
 }
 
-func (n *node) startPeriod(m periodStartMsg) {
-	n.period = m.period
-	n.router = m.router
-	n.barrierNeed = m.barrierNeed
-	nops := len(n.eng.topo.ops)
-	n.barrierGot = make([]int, nops)
-	n.flushed = make([]bool, nops)
-	n.awaitByOp = make([]int, nops)
-	n.hotDest, n.hotAway, n.hotGained, n.hotBarrier = nil, nil, nil, nil
-	n.extraNeed, n.hotGot = nil, nil
+func (s *shard) startPeriod(m periodStartMsg) {
+	s.period = m.period
+	s.router = m.router
+	s.barrierNeed = m.barrierNeed
+	nops := len(s.eng.topo.ops)
+	s.barrierGot = make([]int, nops)
+	s.flushed = make([]bool, nops)
+	s.awaitByOp = make([]int, nops)
+	s.hotDest, s.hotAway, s.hotGained, s.hotBarrier = nil, nil, nil, nil
+	s.extraNeed, s.hotGot = nil, nil
 	for _, gid := range m.awaitIn {
-		n.awaitIn[gid] = true
-		op, _ := n.eng.topo.OpOf(gid)
-		n.awaitByOp[op]++
+		s.awaitIn[gid] = true
+		op, _ := s.eng.topo.OpOf(gid)
+		s.awaitByOp[op]++
 	}
 	// Flushing is triggered exclusively by barriers (the engine sends
-	// synthetic barriers to hosts of input-less operators after all nodes
+	// synthetic barriers to hosts of input-less operators after all shards
 	// acked, so emissions never race a peer's period start).
-	n.eng.events <- engEvent{kind: evAck, node: n.id}
+	s.eng.events <- engEvent{kind: evAck, node: s.nid}
 }
 
-// onMigrateOut serializes and ships (op, kg)'s state to the destination
-// node, then reports the migrated volume to the engine for the latency
-// model. With deltaBase >= 0 (checkpoint-assisted transfer) only the delta
-// of the live state against the pre-copied checkpoint is shipped — unless
-// the state diverged so much that the delta would exceed the full encoding,
-// in which case the transfer degrades to a full-state migration.
-func (n *node) onMigrateOut(m migrateOutMsg) {
-	gid := n.eng.topo.GID(m.op, m.kg)
-	st := n.states[gid]
+// onMigrateOut serializes and ships (op, kg)'s state to the owning shard of
+// the destination node, then reports the migrated volume to the engine for
+// the latency model. With deltaBase >= 0 (checkpoint-assisted transfer) only
+// the delta of the live state against the pre-copied checkpoint is shipped —
+// unless the state diverged so much that the delta would exceed the full
+// encoding, in which case the transfer degrades to a full-state migration.
+func (s *shard) onMigrateOut(m migrateOutMsg) {
+	gid := s.eng.topo.GID(m.op, m.kg)
+	destG := s.eng.gsidFor(m.dest, gid)
+	st := s.states[gid]
 	if m.deltaBase >= 0 {
-		if s := n.eng.precopySource(gid); s != nil && s.version == m.deltaBase {
-			base, err := statestore.DecodeState(s.data)
+		if ps := s.eng.precopySource(gid); ps != nil && ps.version == m.deltaBase {
+			base, err := statestore.DecodeState(ps.data)
 			if err != nil {
-				n.eng.events <- engEvent{kind: evError, node: n.id,
-					err: fmt.Errorf("engine: node %d delta base for group %d: %w", n.id, gid, err)}
+				s.eng.events <- engEvent{kind: evError, node: s.nid,
+					err: fmt.Errorf("engine: node %d delta base for group %d: %w", s.nid, gid, err)}
 				return
 			}
 			d := statestore.Diff(base, st)
 			if encoded := d.Encode(nil); st == nil || len(encoded) < st.Size() {
-				delete(n.states, gid)
-				n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
-				n.flushOut(m.dest)
-				n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: s.version})
-				n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded), delta: true}
+				delete(s.states, gid)
+				s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
+				s.flushOut(destG)
+				s.eng.shardAt(destG).mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: ps.version})
+				s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded), delta: true}
 				return
 			}
 		}
@@ -251,15 +304,16 @@ func (n *node) onMigrateOut(m migrateOutMsg) {
 	var encoded []byte
 	if st != nil {
 		encoded = st.Encode(nil)
-		delete(n.states, gid)
+		delete(s.states, gid)
 	}
-	n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
-	// Flush buffered data for dest first so every message this sender ever
-	// enqueues there stays in send order (uniform FIFO, not strictly needed
-	// by the awaitIn protocol but what the documented invariant promises).
-	n.flushOut(m.dest)
-	n.eng.nodes[m.dest].mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
-	n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
+	s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
+	// Flush buffered data for the destination first so every message this
+	// sender ever enqueues there stays in send order (uniform FIFO, not
+	// strictly needed by the awaitIn protocol but what the documented
+	// invariant promises).
+	s.flushOut(destG)
+	s.eng.shardAt(destG).mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
+	s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded)}
 }
 
 // precopyBuf accumulates one group's pre-copied checkpoint bytes.
@@ -270,369 +324,393 @@ type precopyBuf struct {
 }
 
 // onPrecopy appends one background pre-copy chunk. It deliberately touches
-// no statistics: chunks may arrive while the node is not yet armed for the
+// no statistics: chunks may arrive while the shard is not yet armed for the
 // period (they are enqueued before periodStartMsg), when the engine still
 // owns the stats for resetting.
-func (n *node) onPrecopy(m precopyMsg) {
-	gid := n.eng.topo.GID(m.op, m.kg)
+func (s *shard) onPrecopy(m precopyMsg) {
+	gid := s.eng.topo.GID(m.op, m.kg)
 	if m.discard {
-		delete(n.precopied, gid)
+		delete(s.precopied, gid)
 		return
 	}
-	if n.precopied == nil {
-		n.precopied = map[int]*precopyBuf{}
+	if s.precopied == nil {
+		s.precopied = map[int]*precopyBuf{}
 	}
-	pb := n.precopied[gid]
+	pb := s.precopied[gid]
 	if pb == nil || m.off == 0 {
 		pb = &precopyBuf{version: m.version, total: m.total, buf: make([]byte, 0, m.total)}
-		n.precopied[gid] = pb
+		s.precopied[gid] = pb
 	}
 	if pb.version != m.version || pb.total != m.total || len(pb.buf) != m.off {
-		n.eng.events <- engEvent{kind: evError, node: n.id,
+		s.eng.events <- engEvent{kind: evError, node: s.nid,
 			err: fmt.Errorf("engine: node %d pre-copy chunk for group %d out of order (have %d, chunk at %d, version %d vs %d)",
-				n.id, gid, len(pb.buf), m.off, pb.version, m.version)}
-		delete(n.precopied, gid)
+				s.nid, gid, len(pb.buf), m.off, pb.version, m.version)}
+		delete(s.precopied, gid)
 		return
 	}
 	pb.buf = append(pb.buf, m.chunk...)
 }
 
-// onHotMove executes one sub-period migration broadcast. Every node records
-// the routing override; the old host additionally ships the group's state
-// to the new host (and will forward tuples that were already in flight
-// toward it); the new host starts buffering the group's tuples until the
-// state arrives and raises its barrier requirement by one — the old host
-// owes it an extra barrier once it can no longer forward anything.
-func (n *node) onHotMove(m hotMoveMsg) {
-	if m.period != n.period {
-		n.eng.events <- engEvent{kind: evError, node: n.id,
-			err: fmt.Errorf("engine: node %d got hot move for period %d during %d", n.id, m.period, n.period)}
+// onHotMove executes one sub-period migration broadcast. Every shard records
+// the routing override; the owning shard of the old host additionally ships
+// the group's state to the owning shard of the new host (and will forward
+// tuples that were already in flight toward it); that destination shard
+// starts buffering the group's tuples until the state arrives and raises its
+// barrier requirement by one — the old host's shard owes it an extra barrier
+// once it can no longer forward anything.
+func (s *shard) onHotMove(m hotMoveMsg) {
+	if m.period != s.period {
+		s.eng.events <- engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: node %d got hot move for period %d during %d", s.nid, m.period, s.period)}
 		return
 	}
 	for _, mv := range m.moves {
-		if n.hotDest == nil {
-			n.hotDest = map[int]int{}
+		if s.hotDest == nil {
+			s.hotDest = map[int]int{}
 		}
-		n.hotDest[mv.gid] = mv.to
-		switch n.id {
+		s.hotDest[mv.gid] = mv.to
+		if int(s.eng.shardIdx[mv.gid]) != s.sid {
+			continue // another shard of the from/to node owns the group
+		}
+		switch s.nid {
 		case mv.from:
+			destG := s.eng.gsidFor(mv.to, mv.gid)
 			var encoded []byte
-			if st := n.states[mv.gid]; st != nil {
+			if st := s.states[mv.gid]; st != nil {
 				encoded = st.Encode(nil)
-				delete(n.states, mv.gid)
+				delete(s.states, mv.gid)
 			}
-			n.stats.addMigUnits(float64(len(encoded)) * n.eng.cfg.SerCostPerByte)
+			s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
 			// Data staged toward the destination precedes the state message
 			// (uniform per-sender FIFO, as in onMigrateOut).
-			n.flushOut(mv.to)
-			n.eng.nodes[mv.to].mb.put(stateMsg{op: mv.op, kg: mv.kg, encoded: encoded})
-			n.eng.events <- engEvent{kind: evMigrated, node: n.id, bytes: len(encoded)}
-			if n.hotAway == nil {
-				n.hotAway = map[int]int{}
+			s.flushOut(destG)
+			s.eng.shardAt(destG).mb.put(stateMsg{op: mv.op, kg: mv.kg, encoded: encoded})
+			s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded)}
+			if s.hotAway == nil {
+				s.hotAway = map[int]int{}
 			}
-			n.hotAway[mv.gid] = mv.to
-			if n.hotBarrier == nil {
-				n.hotBarrier = map[int][]int{}
+			s.hotAway[mv.gid] = mv.to
+			if s.hotBarrier == nil {
+				s.hotBarrier = map[int][]int{}
 			}
-			n.hotBarrier[mv.op] = append(n.hotBarrier[mv.op], mv.to)
+			s.hotBarrier[mv.op] = append(s.hotBarrier[mv.op], destG)
 		case mv.to:
-			n.awaitIn[mv.gid] = true
-			n.awaitByOp[mv.op]++
-			if n.hotGained == nil {
-				n.hotGained = map[int][]int{}
+			s.awaitIn[mv.gid] = true
+			s.awaitByOp[mv.op]++
+			if s.hotGained == nil {
+				s.hotGained = map[int][]int{}
 			}
-			n.hotGained[mv.op] = append(n.hotGained[mv.op], mv.kg)
-			if n.extraNeed == nil {
-				n.extraNeed = map[int]int{}
+			s.hotGained[mv.op] = append(s.hotGained[mv.op], mv.kg)
+			if s.extraNeed == nil {
+				s.extraNeed = map[int]int{}
 			}
-			n.extraNeed[mv.op]++
+			s.extraNeed[mv.op]++
 		}
 	}
 }
 
-// onDataBatch decodes one cross-node frame and processes its tuples in
-// order, paying deserialization per record. Records decode into a reusable
-// TupleView over the frame bytes — nothing is materialized unless a key
-// group's state is still in flight (then the view is deep-copied into a
-// pooled Tuple and buffered). The frame buffer goes back to the codec pool
+// onDataBatch decodes one frame and processes its tuples in order. Frames
+// from other nodes pay deserialization per record; frames from a sibling
+// shard of the same node (m.local) decode identically but cost nothing in
+// the model — intra-node traffic never crosses the wire. Records decode into
+// a reusable TupleView over the frame bytes — nothing is materialized unless
+// a key group's state is still in flight (then the view is deep-copied into
+// a pooled Tuple and buffered). The frame buffer goes back to the codec pool
 // only after the whole batch is processed: raw views alias it until then.
-func (n *node) onDataBatch(m dataBatchMsg) {
-	err := decodeBatch(m.encoded, &n.rx, func(kg int, v *TupleView, wire int) {
-		gid := n.eng.topo.GID(m.op, kg)
-		n.stats.bytesIn += int64(wire)
-		n.stats.addUnits(gid, float64(wire)*n.eng.cfg.DeserCostPerByte)
-		if to, ok := n.hotAway[gid]; ok {
+func (s *shard) onDataBatch(m dataBatchMsg) {
+	err := decodeBatch(m.encoded, &s.rx, func(kg int, v *TupleView, wire int) {
+		gid := s.eng.topo.GID(m.op, kg)
+		if !m.local {
+			s.stats.bytesIn += int64(wire)
+			s.stats.addUnits(gid, float64(wire)*s.eng.cfg.DeserCostPerByte)
+		}
+		if to, ok := s.hotAway[gid]; ok {
 			// The group hot-moved away mid-period; this tuple was in flight
 			// from a sender that had not yet seen the move. Forward it.
-			n.forwardHot(m.op, kg, gid, to, v)
+			s.forwardHot(m.op, kg, gid, to, v)
 			return
 		}
-		if n.awaitIn[gid] {
+		if s.awaitIn[gid] {
 			// Direct state migration: the group's state has not arrived
 			// yet; materialize (the view dies with this callback) and
 			// replay on arrival.
-			n.pending[gid] = append(n.pending[gid], pendingTuple{t: v.Materialize(nil), owned: true})
+			s.pending[gid] = append(s.pending[gid], pendingTuple{t: v.Materialize(nil), owned: true})
 			return
 		}
-		n.process(m.op, kg, gid, v)
+		s.process(m.op, kg, gid, v)
 	})
 	if err != nil {
-		n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+		s.eng.events <- engEvent{kind: evError, node: s.nid, err: err}
 	}
 	codec.PutBuf(m.encoded)
 }
 
-// forwardHot re-stages a tuple for a hot-moved group toward its new host,
-// paying serialization like any cross-node send. It stages straight from
-// the view (raw value bytes are copied frame-to-frame, nothing interned or
-// materialized).
-func (n *node) forwardHot(op, kg, gid, to int, v *TupleView) {
-	ob := n.outFor(to)
+// forwardHot re-stages a tuple for a hot-moved group toward the owning shard
+// of its new host, paying serialization like any cross-node send (hot moves
+// are always cross-node). It stages straight from the view (raw value bytes
+// are copied frame-to-frame, nothing interned or materialized).
+func (s *shard) forwardHot(op, kg, gid, to int, v *TupleView) {
+	destG := s.eng.gsidFor(to, gid)
+	ob := s.outFor(destG)
 	if ob.count > 0 && ob.op != op {
-		n.flushOut(to)
+		s.flushOut(destG)
 	}
 	ob.op = op
-	wire := ob.stageView(kg, v, &n.scratch)
-	n.stats.bytesOut += int64(wire)
-	n.stats.addUnits(gid, float64(wire)*n.eng.cfg.SerCostPerByte)
+	wire := ob.stageView(kg, v, &s.scratch)
+	s.stats.bytesOut += int64(wire)
+	s.stats.addUnits(gid, float64(wire)*s.eng.cfg.SerCostPerByte)
 	if ob.full() {
-		n.flushOut(to)
+		s.flushOut(destG)
 	}
 }
 
-// wrapView pushes a wrap-view onto the node's view stack for a node-local
+// wrapView pushes a wrap-view onto the shard's view stack for a shard-local
 // delivery. Pair with releaseView once the synchronous process call returns.
-func (n *node) wrapView(t *Tuple) *TupleView {
-	if n.viewDepth == len(n.views) {
-		n.views = append(n.views, &TupleView{})
+func (s *shard) wrapView(t *Tuple) *TupleView {
+	if s.viewDepth == len(s.views) {
+		s.views = append(s.views, &TupleView{pool: &s.tp})
 	}
-	v := n.views[n.viewDepth]
-	n.viewDepth++
+	v := s.views[s.viewDepth]
+	s.viewDepth++
 	v.wrap(t)
 	return v
 }
 
-func (n *node) releaseView() { n.viewDepth-- }
+func (s *shard) releaseView() { s.viewDepth-- }
 
-func (n *node) process(op, kg, gid int, v *TupleView) {
-	o := n.eng.topo.ops[op]
-	st := n.states[gid]
+func (s *shard) process(op, kg, gid int, v *TupleView) {
+	o := s.eng.topo.ops[op]
+	st := s.states[gid]
 	if st == nil {
 		st = NewState()
-		n.states[gid] = st
+		s.states[gid] = st
 	}
-	n.stats.groupTuplesIn[gid]++
-	n.stats.addUnits(gid, o.Cost)
-	defer n.recoverOp(o.Name, "process")
-	o.Proc(v, st, n.emitFrom(op, gid))
+	s.stats.groupTuplesIn[gid]++
+	s.stats.addUnits(gid, o.Cost)
+	defer s.recoverOp(o.Name, "process")
+	o.Proc(v, st, s.emitFrom(op, gid))
 }
 
 // recoverOp contains a panicking user operator: the tuple (or flush) is
 // dropped and the error surfaces through RunPeriod instead of killing the
 // worker goroutine mid-period (which would hang the barrier protocol).
-func (n *node) recoverOp(opName, phase string) {
+func (s *shard) recoverOp(opName, phase string) {
 	if r := recover(); r != nil {
-		n.eng.events <- engEvent{kind: evError, node: n.id,
-			err: fmt.Errorf("engine: operator %q panicked in %s on node %d: %v", opName, phase, n.id, r)}
+		s.eng.events <- engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: operator %q panicked in %s on node %d: %v", opName, phase, s.nid, r)}
 	}
 }
 
-func (n *node) onBarrier(m barrierMsg) {
-	if m.period != n.period {
-		n.eng.events <- engEvent{kind: evError, node: n.id,
-			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", n.id, m.period, n.period)}
+func (s *shard) onBarrier(m barrierMsg) {
+	if m.period != s.period {
+		s.eng.events <- engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", s.nid, m.period, s.period)}
 		return
 	}
 	if m.hot {
-		if n.hotGot == nil {
-			n.hotGot = map[int]int{}
+		if s.hotGot == nil {
+			s.hotGot = map[int]int{}
 		}
-		n.hotGot[m.op]++
+		s.hotGot[m.op]++
 	} else {
-		n.barrierGot[m.op]++
-		if n.barrierGot[m.op] == n.barrierNeed[m.op] {
+		s.barrierGot[m.op]++
+		if s.barrierGot[m.op] == s.barrierNeed[m.op] {
 			// All upstream data for op has arrived (and was processed or
 			// forwarded in order): settle the extra barriers owed to
-			// hot-move destinations. This must not wait for this node's own
+			// hot-move destinations. This must not wait for this shard's own
 			// flush, which may itself depend on a peer's extra barrier.
-			n.sendHotBarriers(m.op)
+			s.sendHotBarriers(m.op)
 		}
 	}
-	n.maybeFlush(m.op)
+	s.maybeFlush(m.op)
 }
 
 // sendHotBarriers ships the forwarded backlog and the owed extra barrier to
-// every destination of this node's hot moves for op.
-func (n *node) sendHotBarriers(op int) {
-	dests := n.hotBarrier[op]
+// every destination shard of this shard's hot moves for op.
+func (s *shard) sendHotBarriers(op int) {
+	dests := s.hotBarrier[op]
 	if len(dests) == 0 {
 		return
 	}
-	delete(n.hotBarrier, op)
-	for _, dest := range dests {
-		n.flushOut(dest)
-		msg := barrierMsg{op: op, period: n.period, hot: true}
-		if dest == n.id {
-			n.mb.put(msg)
+	delete(s.hotBarrier, op)
+	for _, destG := range dests {
+		s.flushOut(destG)
+		msg := barrierMsg{op: op, period: s.period, hot: true}
+		if destG == s.gsid {
+			s.mb.put(msg)
 			continue
 		}
-		n.eng.nodes[dest].mb.put(msg)
+		s.eng.shardAt(destG).mb.put(msg)
 	}
 }
 
-func (n *node) onState(m stateMsg) {
-	gid := n.eng.topo.GID(m.op, m.kg)
+func (s *shard) onState(m stateMsg) {
+	gid := s.eng.topo.GID(m.op, m.kg)
 	var st *State
 	if m.delta {
 		// Checkpoint-assisted transfer: reconstruct the state by applying
 		// the shipped delta to the pre-copied checkpoint base.
-		pb := n.precopied[gid]
+		pb := s.precopied[gid]
 		if pb == nil || pb.version != m.baseVer || len(pb.buf) != pb.total {
-			n.eng.events <- engEvent{kind: evError, node: n.id,
-				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", n.id, gid)}
+			s.eng.events <- engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", s.nid, gid)}
 			return
 		}
 		base, err := statestore.DecodeState(pb.buf)
 		if err != nil {
-			n.eng.events <- engEvent{kind: evError, node: n.id,
-				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", n.id, gid, err)}
+			s.eng.events <- engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", s.nid, gid, err)}
 			return
 		}
 		d, rest, err := statestore.DecodeDelta(m.encoded)
 		if err != nil || len(rest) != 0 {
-			n.eng.events <- engEvent{kind: evError, node: n.id,
-				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", n.id, gid, err, len(rest))}
+			s.eng.events <- engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", s.nid, gid, err, len(rest))}
 			return
 		}
 		d.Apply(base)
 		st = base
 		// Only the delta is synchronous work; the base was deserialization
 		// paid in the background.
-		n.stats.addMigUnits(float64(len(m.encoded)) * n.eng.cfg.DeserCostPerByte)
+		s.stats.addMigUnits(float64(len(m.encoded)) * s.eng.cfg.DeserCostPerByte)
 	} else {
 		st = NewState()
 		if len(m.encoded) > 0 {
 			var err error
 			st, err = DecodeState(m.encoded)
 			if err != nil {
-				n.eng.events <- engEvent{kind: evError, node: n.id, err: err}
+				s.eng.events <- engEvent{kind: evError, node: s.nid, err: err}
 				return
 			}
-			n.stats.addMigUnits(float64(len(m.encoded)) * n.eng.cfg.DeserCostPerByte)
+			s.stats.addMigUnits(float64(len(m.encoded)) * s.eng.cfg.DeserCostPerByte)
 		}
 	}
-	delete(n.precopied, gid)
-	n.states[gid] = st
-	if n.awaitIn[gid] {
-		delete(n.awaitIn, gid)
-		n.awaitByOp[m.op]--
+	delete(s.precopied, gid)
+	s.states[gid] = st
+	if s.awaitIn[gid] {
+		delete(s.awaitIn, gid)
+		s.awaitByOp[m.op]--
 	}
 	// Replay buffered tuples in arrival order. Engine-materialized tuples
 	// go back to the pool once replayed; operator-emitted ones stay with
 	// their owner.
-	buf := n.pending[gid]
-	delete(n.pending, gid)
+	buf := s.pending[gid]
+	delete(s.pending, gid)
 	for _, p := range buf {
-		v := n.wrapView(p.t)
-		n.process(m.op, m.kg, gid, v)
-		n.releaseView()
+		v := s.wrapView(p.t)
+		s.process(m.op, m.kg, gid, v)
+		s.releaseView()
 		if p.owned {
 			putTuple(p.t)
 		}
 	}
-	n.maybeFlush(m.op)
+	s.maybeFlush(m.op)
 }
 
-// maybeFlush flushes operator op once all upstream barriers arrived, all
-// in-bound migrations for its local groups completed, and every hot-move
-// source settled its extra barrier (no forwarded tuple can still be in
-// flight toward this node).
-func (n *node) maybeFlush(op int) {
-	if n.barrierNeed == nil || n.flushed[op] {
+// maybeFlush flushes this shard's key groups of operator op once all
+// upstream barriers arrived, all in-bound migrations for its local groups
+// completed, and every hot-move source settled its extra barrier (no
+// forwarded tuple can still be in flight toward this shard). Every shard of
+// a hosting node participates in the barrier/flush protocol — barrier counts
+// scale with ShardsPerNode on both ends — even when the hash assigned it no
+// key groups of op.
+func (s *shard) maybeFlush(op int) {
+	if s.barrierNeed == nil || s.flushed[op] {
 		return
 	}
-	kgs := n.router.localKGs[n.id][op]
+	kgs := s.router.localKGs[s.nid][op]
 	if len(kgs) == 0 {
-		return // not a host of op this period (host sets never change mid-period)
+		return // node not a host of op this period (host sets never change mid-period)
 	}
-	if n.barrierGot[op] < n.barrierNeed[op] || n.awaitByOp[op] > 0 {
+	if s.barrierGot[op] < s.barrierNeed[op] || s.awaitByOp[op] > 0 {
 		return
 	}
-	if n.hotGot[op] < n.extraNeed[op] {
+	if s.hotGot[op] < s.extraNeed[op] {
 		return
 	}
-	o := n.eng.topo.ops[op]
+	o := s.eng.topo.ops[op]
 	if o.Flush != nil {
-		// Effective ownership this period: the period-start groups minus
-		// those hot-moved away, plus those hot-moved here.
-		eff := kgs
-		if n.hotAway != nil || len(n.hotGained[op]) > 0 {
-			eff = make([]int, 0, len(kgs)+len(n.hotGained[op]))
-			for _, kg := range kgs {
-				if _, gone := n.hotAway[n.eng.topo.GID(op, kg)]; !gone {
-					eff = append(eff, kg)
-				}
+		// Effective ownership this period: the period-start groups hashed to
+		// this shard, minus those hot-moved away, plus those hot-moved here.
+		eff := make([]int, 0, len(kgs)+len(s.hotGained[op]))
+		for _, kg := range kgs {
+			gid := s.eng.topo.GID(op, kg)
+			if int(s.eng.shardIdx[gid]) != s.sid {
+				continue
 			}
-			eff = append(eff, n.hotGained[op]...)
+			if _, gone := s.hotAway[gid]; gone {
+				continue
+			}
+			eff = append(eff, kg)
 		}
-		sorted := append([]int(nil), eff...)
-		sort.Ints(sorted)
-		for _, kg := range sorted {
-			gid := n.eng.topo.GID(op, kg)
-			st := n.states[gid]
+		eff = append(eff, s.hotGained[op]...)
+		sort.Ints(eff)
+		for _, kg := range eff {
+			gid := s.eng.topo.GID(op, kg)
+			st := s.states[gid]
 			if st == nil {
 				st = NewState()
-				n.states[gid] = st
+				s.states[gid] = st
 			}
 			func() {
-				defer n.recoverOp(o.Name, "flush")
-				o.Flush(kg, st, n.emitFrom(op, gid))
+				defer s.recoverOp(o.Name, "flush")
+				o.Flush(kg, st, s.emitFrom(op, gid))
 			}()
 		}
 	}
-	n.flushed[op] = true
+	s.flushed[op] = true
 	// Propagate barriers downstream: this instance is done for the period.
 	// Ship every buffered data batch first — a barrier must never overtake
-	// data this sender staged before it (per-sender FIFO invariant).
-	n.flushAllOut()
-	for _, e := range n.eng.topo.opEdges[op] {
-		for _, host := range n.router.hosts[e.op] {
-			n.sendBarrier(host, e.op)
+	// data this sender staged before it (per-sender FIFO invariant). Every
+	// shard of every downstream host expects one barrier from this shard.
+	s.flushAllOut()
+	spn := s.eng.spn
+	for _, e := range s.eng.topo.opEdges[op] {
+		for _, host := range s.router.hosts[e.op] {
+			for i := 0; i < spn; i++ {
+				s.sendBarrier(host*spn+i, e.op)
+			}
 		}
 	}
-	n.eng.events <- engEvent{kind: evCompletion, node: n.id, op: op}
+	s.eng.events <- engEvent{kind: evCompletion, node: s.nid, op: op}
 }
 
-func (n *node) sendBarrier(host, op int) {
-	msg := barrierMsg{op: op, period: n.period}
-	if host == n.id {
+func (s *shard) sendBarrier(destG, op int) {
+	msg := barrierMsg{op: op, period: s.period}
+	if destG == s.gsid {
 		// Self-delivery through the mailbox keeps FIFO with prior sends.
-		n.mb.put(msg)
+		s.mb.put(msg)
 		return
 	}
-	n.eng.nodes[host].mb.put(msg)
+	s.eng.shardAt(destG).mb.put(msg)
 }
 
 // emitFrom returns the Emit closure for (op, gid): it routes the tuple to
-// every downstream operator of op. Closures are cached per gid — the Emit
-// for a group is identical across tuples, so the hot path allocates none.
-func (n *node) emitFrom(op, fromGID int) Emit {
-	if e := n.emitters[fromGID]; e != nil {
+// every downstream operator of op, then recycles pooled tuples (NewTuple)
+// into the shard's free list. Closures are cached per gid — the Emit for a
+// group is identical across tuples, so the hot path allocates none.
+func (s *shard) emitFrom(op, fromGID int) Emit {
+	if e := s.emitters[fromGID]; e != nil {
 		return e
 	}
 	e := func(t *Tuple) {
-		n.stats.groupTuplesOut[fromGID]++
-		for _, e := range n.eng.topo.opEdges[op] {
-			n.routeTo(e, fromGID, t)
+		s.stats.groupTuplesOut[fromGID]++
+		for _, e := range s.eng.topo.opEdges[op] {
+			s.routeTo(e, fromGID, t)
+		}
+		if t.pooled {
+			// Engine-owned emit tuple: routing fully encoded (or cloned) it;
+			// nothing retains it past this point.
+			s.tp.put(t)
 		}
 	}
-	n.emitters[fromGID] = e
+	s.emitters[fromGID] = e
 	return e
 }
 
 // routeTo delivers t to downstream edge e.
-func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
-	rt := n.router
+func (s *shard) routeTo(e edge, fromGID int, t *Tuple) {
+	rt := s.router
 	key := t.Key
 	if e.keyBy != nil {
 		key = e.keyBy(t)
@@ -645,8 +723,8 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 		// downstream").
 		alt := rt.altKeyGroup(e.op, key)
 		if alt != kg {
-			g1, g2 := n.eng.topo.GID(e.op, kg), n.eng.topo.GID(e.op, alt)
-			if n.eng.hetero {
+			g1, g2 := s.eng.topo.GID(e.op, kg), s.eng.topo.GID(e.op, alt)
+			if s.eng.hetero {
 				// Heterogeneous cluster: each send is accounted below at
 				// 1/weight of the host that received it, so the counters
 				// already hold capacity-relative work (a group migrating
@@ -654,55 +732,67 @@ func (n *node) routeTo(e edge, fromGID int, t *Tuple) {
 				// rates that applied when it was sent). Break ties with the
 				// live capacity-normalized node load.
 				n1, n2 := rt.nodeOf(e.op, kg), rt.nodeOf(e.op, alt)
-				if s1, s2 := n.potcSent[g1], n.potcSent[g2]; s2 < s1 ||
+				if s1, s2 := s.potcSent[g1], s.potcSent[g2]; s2 < s1 ||
 					(s1 == s2 && n1 != n2 &&
-						n.eng.nodeLoadEstimate(n2) < n.eng.nodeLoadEstimate(n1)) {
+						s.eng.nodeLoadEstimate(n2) < s.eng.nodeLoadEstimate(n1)) {
 					kg = alt
 				}
-			} else if n.potcSent[g2] < n.potcSent[g1] {
+			} else if s.potcSent[g2] < s.potcSent[g1] {
 				kg = alt
 			}
 		}
-		chosen := n.eng.topo.GID(e.op, kg)
-		if n.eng.hetero {
-			n.potcSent[chosen] += n.eng.invWeights[rt.nodeOf(e.op, kg)]
+		chosen := s.eng.topo.GID(e.op, kg)
+		if s.eng.hetero {
+			s.potcSent[chosen] += s.eng.invWeights[rt.nodeOf(e.op, kg)]
 		} else {
-			n.potcSent[chosen]++
+			s.potcSent[chosen]++
 		}
 	}
 	dest := rt.nodeOf(e.op, kg)
-	toGID := n.eng.topo.GID(e.op, kg)
-	if n.hotDest != nil {
-		if d, ok := n.hotDest[toGID]; ok {
+	toGID := s.eng.topo.GID(e.op, kg)
+	if s.hotDest != nil {
+		if d, ok := s.hotDest[toGID]; ok {
 			dest = d // group hot-moved mid-period; route to its new host
 		}
 	}
-	n.stats.addComm(fromGID, toGID)
-	if dest == n.id {
-		// Node-local edge: no serialization. Deliver synchronously through
+	s.stats.addComm(fromGID, toGID)
+	if dest == s.nid && int(s.eng.shardIdx[toGID]) == s.sid {
+		// Shard-local edge: no serialization. Deliver synchronously through
 		// a wrap-view (operators always see TupleViews).
-		localKG := kg
-		if n.awaitIn[toGID] {
-			n.pending[toGID] = append(n.pending[toGID], pendingTuple{t: t})
+		if s.awaitIn[toGID] {
+			if t.pooled {
+				// The emitter recycles t right after routing; buffering it
+				// for replay needs an engine-owned deep copy.
+				cp := cloneTupleInto(s.tp.get(), t)
+				s.pending[toGID] = append(s.pending[toGID], pendingTuple{t: cp, owned: true})
+				return
+			}
+			s.pending[toGID] = append(s.pending[toGID], pendingTuple{t: t})
 			return
 		}
-		v := n.wrapView(t)
-		n.process(e.op, localKG, toGID, v)
-		n.releaseView()
+		v := s.wrapView(t)
+		s.process(e.op, kg, toGID, v)
+		s.releaseView()
 		return
 	}
-	// Cross-node edge: pay serialization, stage into the per-destination
-	// batch. Batches are per (dest, op): switching operators ships the
-	// previous batch so a frame never mixes operators.
-	ob := n.outFor(dest)
+	// Cross-shard edge: pay serialization and stage into the per-destination
+	// batch when the destination is another node; a sibling shard of this
+	// node rides the same encoded path (preserving per-sender FIFO through
+	// its mailbox) but costs nothing in the model. Batches are per
+	// (destShard, op): switching operators ships the previous batch so a
+	// frame never mixes operators.
+	destG := s.eng.gsidFor(dest, toGID)
+	ob := s.outFor(destG)
 	if ob.count > 0 && ob.op != e.op {
-		n.flushOut(dest)
+		s.flushOut(destG)
 	}
 	ob.op = e.op
-	wire := ob.stage(kg, t, &n.scratch)
-	n.stats.bytesOut += int64(wire)
-	n.stats.addUnits(fromGID, float64(wire)*n.eng.cfg.SerCostPerByte)
+	wire := ob.stage(kg, t, &s.scratch)
+	if !ob.local {
+		s.stats.bytesOut += int64(wire)
+		s.stats.addUnits(fromGID, float64(wire)*s.eng.cfg.SerCostPerByte)
+	}
 	if ob.full() {
-		n.flushOut(dest)
+		s.flushOut(destG)
 	}
 }

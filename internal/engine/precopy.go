@@ -70,7 +70,7 @@ func (e *Engine) dropPrecopy(s *precopySession) {
 		return
 	}
 	op, kg := e.topo.OpOf(s.gid)
-	e.nodes[s.dest].mb.put(precopyMsg{op: op, kg: kg, discard: true})
+	e.shardFor(s.dest, s.gid).mb.put(precopyMsg{op: op, kg: kg, discard: true})
 }
 
 // planTransfers decides, for every staged move of the period beginning now,
@@ -126,7 +126,7 @@ func (e *Engine) planTransfers(pr *periodRun, staged []core.Move) []stagedTransf
 		}
 		if chunk > 0 {
 			op, kg := e.topo.OpOf(mv.Group)
-			e.nodes[mv.To].mb.put(precopyMsg{
+			e.shardFor(mv.To, mv.Group).mb.put(precopyMsg{
 				op: op, kg: kg,
 				version: s.version,
 				total:   len(s.data),

@@ -97,8 +97,8 @@ func TestNodeLoadEstimateCapacityNormalized(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	e.nodes[0].stats.nodeUnits.Store(8000)
-	e.nodes[1].stats.nodeUnits.Store(8000)
+	e.nodes[0].shards[0].stats.nodeUnits.Store(8000)
+	e.nodes[1].shards[0].stats.nodeUnits.Store(8000)
 	l0, l1 := e.nodeLoadEstimate(0), e.nodeLoadEstimate(1)
 	if l0 != l1/2 {
 		t.Fatalf("nodeLoadEstimate = %v, %v; the 2x node must report half the load at equal units", l0, l1)

@@ -1,0 +1,36 @@
+package engine
+
+// Test-only conveniences over the sharded node layout: before ShardsPerNode,
+// a node held one states map; now each shard owns a slice of it. These merge
+// the shards back into the pre-sharding view tests were written against.
+
+// allStates merges every shard's resident states into one map.
+func (n *node) allStates() map[int]*State {
+	out := map[int]*State{}
+	for _, sh := range n.shards {
+		for gid, st := range sh.states {
+			out[gid] = st
+		}
+	}
+	return out
+}
+
+// stateOf returns the node's resident state for gid (nil if absent),
+// whichever shard holds it.
+func (n *node) stateOf(gid int) *State {
+	for _, sh := range n.shards {
+		if st, ok := sh.states[gid]; ok {
+			return st
+		}
+	}
+	return nil
+}
+
+// precopiedCount sums buffered pre-copy sessions across the node's shards.
+func (n *node) precopiedCount() int {
+	c := 0
+	for _, sh := range n.shards {
+		c += len(sh.precopied)
+	}
+	return c
+}

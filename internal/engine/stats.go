@@ -14,10 +14,12 @@ import (
 // sparse path.
 var denseCommGroupLimit = 362
 
-// nodeStats is written only by its owning node goroutine during a period and
-// read by the engine between periods (the completion channel provides the
-// happens-before edge). nodeUnits is atomic because the PoTC router reads it
-// concurrently from other nodes.
+// nodeStats is one shard's statistics: written only by its owning shard
+// goroutine during a period and read by the engine between periods (the
+// completion channel provides the happens-before edge); the engine merges
+// the shards of a node at the period barrier, so the hot path takes no
+// locks. nodeUnits is atomic because the PoTC router reads it concurrently
+// from other shards, and subMilli because SubSnapshot reads it mid-period.
 type nodeStats struct {
 	// groupUnits[gid] = cost units attributed to that key group this period
 	// (processing + serialization + deserialization). Dense per-gid slices,
@@ -46,23 +48,26 @@ type nodeStats struct {
 	// nodeUnits mirrors the sum of groupUnits in milli-units for concurrent
 	// readers (PoTC two-choice routing).
 	nodeUnits atomic.Int64
-	// subMilli, when non-nil, is the engine-level shared per-gid milli-unit
-	// matrix behind Engine.SubSnapshot: every addUnits also lands here so
-	// partial per-group loads are readable mid-period from any goroutine.
-	// nil unless the engine runs with Config.SubPeriods >= 2 — the extra
-	// atomic add per tuple is only paid when reactive reconfiguration is on.
+	// subMilli, when non-nil, is this shard's per-gid milli-unit matrix
+	// behind Engine.SubSnapshot: every addUnits also lands here so partial
+	// per-group loads are readable mid-period from any goroutine
+	// (SubSnapshot sums the shards). nil unless the engine runs with
+	// Config.SubPeriods >= 2 — the extra atomic add per tuple is only paid
+	// when reactive reconfiguration is on.
 	subMilli []atomic.Int64
 }
 
 func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
 
-func newNodeStats(numGroups int, subMilli []atomic.Int64) *nodeStats {
+func newNodeStats(numGroups int, subPeriods bool) *nodeStats {
 	s := &nodeStats{
 		groupUnits:     make([]float64, numGroups),
 		groupTuplesIn:  make([]int64, numGroups),
 		groupTuplesOut: make([]int64, numGroups),
 		numGroups:      numGroups,
-		subMilli:       subMilli,
+	}
+	if subPeriods {
+		s.subMilli = make([]atomic.Int64, numGroups)
 	}
 	if numGroups <= denseCommGroupLimit {
 		s.commDense = make([]float64, numGroups*numGroups)
@@ -123,6 +128,9 @@ func (s *nodeStats) reset() {
 	s.batchesOut = 0
 	s.migUnits = 0
 	s.nodeUnits.Store(0)
+	for i := range s.subMilli {
+		s.subMilli[i].Store(0)
+	}
 }
 
 // PeriodStats is the merged, engine-level view of one period.

@@ -59,15 +59,19 @@ func (e *Engine) SetSubObserver(fn SubObserver) {
 // lower than a full period's, but the ratios the trigger policy and the
 // hot mover consume are unaffected.
 func (e *Engine) SubSnapshot() (*core.Snapshot, error) {
-	if e.subMilli == nil {
+	if e.cfg.SubPeriods < 2 {
 		return nil, fmt.Errorf("engine: sub-period statistics disabled (Config.SubPeriods < 2)")
 	}
 	e.mu.Lock()
 	groupNode := append([]int(nil), e.groupNode...)
+	alive := make([]*node, 0, len(e.nodes))
 	kill := make([]bool, len(e.nodes))
 	hetero := false
 	for i := range e.nodes {
 		kill[i] = e.killed[i] || e.removed[i]
+		if !e.removed[i] {
+			alive = append(alive, e.nodes[i])
+		}
 		if e.weights[i] != 1 {
 			hetero = true
 		}
@@ -97,10 +101,20 @@ func (e *Engine) SubSnapshot() (*core.Snapshot, error) {
 		if stateBytes != nil {
 			st = float64(stateBytes[gid])
 		}
+		// A group's burned milli-units live in the per-shard counters of
+		// whichever shard(s) processed it this period (after a hot move,
+		// both the old and new host contributed); summing over alive shards
+		// yields the period-so-far total without any hot-path lock.
+		milli := int64(0)
+		for _, n := range alive {
+			for _, sh := range n.shards {
+				milli += sh.stats.subMilli[gid].Load()
+			}
+		}
 		s.Groups[gid] = core.GroupStat{
 			Op:        op,
 			Node:      groupNode[gid],
-			Load:      100 * float64(e.subMilli[gid].Load()) / 1000 / capacity,
+			Load:      100 * float64(milli) / 1000 / capacity,
 			StateSize: st,
 		}
 	}
@@ -164,7 +178,9 @@ func (e *Engine) quiesceToward(target int64) {
 		cur := int64(0)
 		for i, n := range e.nodes {
 			if !e.removed[i] {
-				cur += n.stats.nodeUnits.Load()
+				for _, sh := range n.shards {
+					cur += sh.stats.nodeUnits.Load()
+				}
 			}
 		}
 		if cur >= target {
@@ -241,21 +257,30 @@ func (e *Engine) applyHotMoves(pr *periodRun, moves []core.Move, flushSrc func()
 	// the engine's own sends stay FIFO with respect to the broadcast.
 	flushSrc()
 
-	// Broadcast: destinations strictly first. A destination's mailbox then
-	// holds the hotMoveMsg before the state message from the old host and
-	// before any tuple a sender re-routes after processing its own copy —
+	// Broadcast: destination shards strictly first. A destination's mailbox
+	// then holds the hotMoveMsg before the state message from the old host
+	// and before any tuple a sender re-routes after processing its own copy —
 	// both are enqueued by goroutines that act only after this loop ran.
+	// Every shard of every alive node gets the message (each keeps its own
+	// router overrides and may route toward the moved group), but only the
+	// owning shards of the from/to nodes participate in the state handoff.
 	msg := hotMoveMsg{period: pr.period, moves: batch}
-	sent := make([]bool, len(e.nodes))
+	sent := make([]bool, len(e.nodes)*e.spn)
 	for _, hm := range batch {
-		if !sent[hm.to] {
-			sent[hm.to] = true
-			e.nodes[hm.to].mb.put(msg)
+		g := e.gsidFor(hm.to, hm.gid)
+		if !sent[g] {
+			sent[g] = true
+			e.shardAt(g).mb.put(msg)
 		}
 	}
 	for i, n := range e.nodes {
-		if !sent[i] && !e.removed[i] {
-			n.mb.put(msg)
+		if e.removed[i] {
+			continue
+		}
+		for _, sh := range n.shards {
+			if !sent[sh.gsid] {
+				sh.mb.put(msg)
+			}
 		}
 	}
 	for _, hm := range batch {

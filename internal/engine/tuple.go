@@ -57,10 +57,30 @@ type Tuple struct {
 	// TS is the event timestamp. The engine processes out of order within a
 	// period (Section 3, Processing Order).
 	TS int64
+	// pooled marks engine-owned emit tuples obtained from NewTuple or
+	// TupleView.NewTuple: the engine recycles them as soon as Emit has
+	// routed them, so the producer must not retain, re-emit or mutate one
+	// after emitting it. Tuples built with &Tuple{} stay caller-owned.
+	pooled bool
 	// Inline backing for the first two fields of each kind. Tuples are
 	// always handled by pointer, so the slices never outlive the struct.
 	strs0 [2]strField
 	nums0 [2]numField
+}
+
+// NewTuple returns a pooled tuple with its key and timestamp set, ready for
+// WithStr/WithNum and Emit. Ownership transfers to the engine at Emit: the
+// tuple is recycled the moment routing completes, which makes operator
+// emissions allocation-free. The caller must not retain, re-emit or mutate
+// the tuple after emitting it; a tuple that is never emitted is simply
+// garbage collected. Inside a Proc callback prefer TupleView.NewTuple, which
+// draws from the processing shard's local free list.
+func NewTuple(key string, ts int64) *Tuple {
+	t := getTuple()
+	t.pooled = true
+	t.Key = key
+	t.TS = ts
+	return t
 }
 
 // tuplePool recycles Tuple structs on the receive path: TupleView.Materialize
@@ -74,18 +94,76 @@ var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
 
 func getTuple() *Tuple { return tuplePool.Get().(*Tuple) }
 
-func putTuple(t *Tuple) {
+// resetTuple clears a tuple for reuse, dropping string references held in
+// grown (heap-backed) field slices so a pool does not pin them.
+func resetTuple(t *Tuple) {
 	t.Key = ""
 	t.TS = 0
+	t.pooled = false
 	t.strs0 = [2]strField{}
 	t.nums0 = [2]numField{}
-	// Drop string references held in grown (heap-backed) field slices so the
-	// pool does not pin them.
 	clear(t.strs[:cap(t.strs)])
 	clear(t.nums[:cap(t.nums)])
 	t.strs = t.strs[:0]
 	t.nums = t.nums[:0]
+}
+
+func putTuple(t *Tuple) {
+	resetTuple(t)
 	tuplePool.Put(t)
+}
+
+// tupleFreeListMax bounds a shard's free list so a burst of in-flight emit
+// tuples cannot pin unbounded memory.
+const tupleFreeListMax = 1024
+
+// tupleFreeList is a shard-local LIFO of recycled emit tuples. Unlike the
+// global tuplePool it is touched only by the owning shard goroutine, so the
+// per-tuple get/put on the emit hot path is two plain slice operations —
+// no sync.Pool locking or GC interplay.
+type tupleFreeList struct {
+	free []*Tuple
+}
+
+func (l *tupleFreeList) get() *Tuple {
+	if n := len(l.free) - 1; n >= 0 {
+		t := l.free[n]
+		l.free[n] = nil
+		l.free = l.free[:n]
+		t.pooled = true
+		return t
+	}
+	t := new(Tuple)
+	t.pooled = true
+	return t
+}
+
+func (l *tupleFreeList) put(t *Tuple) {
+	resetTuple(t)
+	if len(l.free) < tupleFreeListMax {
+		l.free = append(l.free, t)
+	}
+}
+
+// cloneTupleInto deep-copies src into dst (fields included) and returns dst.
+// The engine uses it when a pooled emit tuple must outlive its Emit call
+// (buffering for an in-flight migration): the sender recycles the original
+// right after routing, so the buffered copy must be engine-owned.
+func cloneTupleInto(dst, src *Tuple) *Tuple {
+	dst.Key, dst.TS = src.Key, src.TS
+	if dst.strs == nil {
+		dst.strs = dst.strs0[:0]
+	} else {
+		dst.strs = dst.strs[:0]
+	}
+	if dst.nums == nil {
+		dst.nums = dst.nums0[:0]
+	} else {
+		dst.nums = dst.nums[:0]
+	}
+	dst.strs = append(dst.strs, src.strs...)
+	dst.nums = append(dst.nums, src.nums...)
+	return dst
 }
 
 // Str returns a string field ("" if absent).

@@ -37,6 +37,11 @@ type TupleView struct {
 	src *Tuple
 	// in resolves raw bytes to interned strings (raw mode).
 	in *codec.Interner
+	// pool, when non-nil, serves NewTuple from the receiving shard's local
+	// free list (the engine sets it on its reusable views; caller-built
+	// views fall back to the global tuple pool). It survives wrap/decodeV2
+	// resets — the view's shard never changes.
+	pool *tupleFreeList
 
 	keyRaw []byte
 	key    string
@@ -136,6 +141,22 @@ func (v *TupleView) decodeV2(b []byte, dict *codec.DictTable, in *codec.Interner
 		return fmt.Errorf("engine: decode v2: %d trailing bytes", len(b))
 	}
 	return nil
+}
+
+// NewTuple returns a pooled tuple with its key and timestamp set, for the
+// operator to fill and Emit — the allocation-free way to produce output from
+// a Proc callback. It draws from the processing shard's local free list, to
+// which the engine returns the tuple the moment Emit has routed it; the same
+// ownership rules as engine.NewTuple apply (do not retain, re-emit or mutate
+// after emitting).
+func (v *TupleView) NewTuple(key string, ts int64) *Tuple {
+	if v.pool != nil {
+		t := v.pool.get()
+		t.Key = key
+		t.TS = ts
+		return t
+	}
+	return NewTuple(key, ts)
 }
 
 // Key returns the tuple's partitioning key (interned and memoized in raw

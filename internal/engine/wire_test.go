@@ -359,11 +359,13 @@ func TestReceiveInternerStaysBounded(t *testing.T) {
 		}
 	}
 	for i, n := range e.nodes {
-		if got := n.rx.in.Len(); got > 1<<15 {
-			t.Fatalf("node %d interner grew to %d entries after %d periods", i, got, periods)
-		}
-		if got := n.rx.in.InternedBytes(); got > 1<<22 {
-			t.Fatalf("node %d interner holds %d payload bytes", i, got)
+		for _, sh := range n.shards {
+			if got := sh.rx.in.Len(); got > 1<<15 {
+				t.Fatalf("node %d interner grew to %d entries after %d periods", i, got, periods)
+			}
+			if got := sh.rx.in.InternedBytes(); got > 1<<22 {
+				t.Fatalf("node %d interner holds %d payload bytes", i, got)
+			}
 		}
 	}
 }

@@ -95,7 +95,7 @@ func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
 		n := int(float64(cfg.BaseRate) * drift * noise)
 		for i := 0; i < n; i++ {
 			article := articles.name(int(zipf.Uint64()))
-			t := &engine.Tuple{Key: article, TS: int64(period*1_000_000 + i)}
+			t := engine.NewTuple(article, int64(period*1_000_000+i))
 			t.WithStr("editor", editors.name(rng.Intn(5000)))
 			t.WithStr("geo", geos.name(rng.Intn(100)))
 			t.WithNum("bytes", float64(10+rng.Intn(2000)))
@@ -162,7 +162,7 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 			if rng.Intn(10) == 0 {
 				delay += rng.ExpFloat64() * 45
 			}
-			t := &engine.Tuple{Key: plane, TS: int64(period*1_000_000 + i)}
+			t := engine.NewTuple(plane, int64(period*1_000_000+i))
 			t.WithStr("route", routeName(o, d))
 			t.WithStr("origin", airports.name(o))
 			t.WithStr("dest", airports.name(d))
@@ -205,7 +205,7 @@ func Weather(cfg WeatherConfig) engine.SourceFunc {
 		rng := periodRNG(cfg.Seed, 0x33cc, period)
 		for i := 0; i < cfg.Rate; i++ {
 			st := rng.Intn(cfg.Stations)
-			t := &engine.Tuple{Key: stations.name(st), TS: int64(period*1_000_000 + i)}
+			t := engine.NewTuple(stations.name(st), int64(period*1_000_000+i))
 			t.WithStr("airport", airports.name(st%cfg.Airports))
 			precip := 0.0
 			if rng.Intn(3) == 0 { // rainy day

@@ -151,7 +151,7 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 		Cost:      1,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			st.Add("edits", 1)
-			out := (&engine.Tuple{Key: tu.Str("geo"), TS: tu.TS()}).
+			out := tu.NewTuple(tu.Str("geo"), tu.TS()).
 				WithStr("article", tu.Key()).
 				WithNum("bytes", tu.Num("bytes"))
 			emit(out)
@@ -172,7 +172,7 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 			p := int(st.Num("period"))
 			totals := windowTotals(st, p, window)
 			for _, article := range topKOf(totals, topk) {
-				emit((&engine.Tuple{Key: article, TS: int64(p)}).
+				emit(engine.NewTuple(article, int64(p)).
 					WithNum("count", totals[article]))
 			}
 			st.Add("period", 1)
@@ -265,7 +265,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 					score = 100
 				}
 			}
-			emit((&engine.Tuple{Key: tu.Str("airport"), TS: tu.TS()}).
+			emit(tu.NewTuple(tu.Str("airport"), tu.TS()).
 				WithNum("rainscore", score))
 		},
 	})
@@ -290,7 +290,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for bucket, sum := range st.Table("bucketSum") {
-				emit((&engine.Tuple{Key: bucket}).WithNum("delay", sum))
+				emit(engine.NewTuple(bucket, 0).WithNum("delay", sum))
 			}
 			st.ClearTable("bucketSum")
 		},
@@ -306,7 +306,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for bucket, sum := range st.Table("eff") {
-				emit((&engine.Tuple{Key: bucket}).WithNum("sum", sum))
+				emit(engine.NewTuple(bucket, 0).WithNum("sum", sum))
 			}
 		},
 	})
@@ -352,7 +352,7 @@ func addAirlineSourceAndExtract(t *engine.Topology, cfg JobConfig) {
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
-			out := (&engine.Tuple{Key: tu.Key(), TS: tu.TS()}).
+			out := tu.NewTuple(tu.Key(), tu.TS()).
 				WithStr("route", tu.Str("route")).
 				WithStr("origin", tu.Str("origin")).
 				WithNum("delay", tu.Num("delay")).
@@ -379,7 +379,7 @@ func addSumDelay(t *engine.Topology, cfg JobConfig) {
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
 			for plane := range st.Table("dirty") {
-				emit((&engine.Tuple{Key: plane}).WithNum("updates", st.Table("dirty")[plane]))
+				emit(engine.NewTuple(plane, 0).WithNum("updates", st.Table("dirty")[plane]))
 			}
 			st.ClearTable("dirty")
 		},

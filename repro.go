@@ -200,6 +200,13 @@ func NewEngine(t *Topology, cfg EngineConfig, initial []int) (*Engine, error) {
 // NewState returns an empty key-group state.
 func NewState() *State { return engine.NewState() }
 
+// NewTuple returns a pooled tuple with its key and timestamp set — the
+// allocation-free way for sources (and Flush callbacks) to build output.
+// Ownership transfers to the engine at emit; do not retain, mutate or
+// re-emit afterwards. Inside a Proc callback prefer TupleView.NewTuple,
+// which draws from the processing shard's local free list.
+func NewTuple(key string, ts int64) *Tuple { return engine.NewTuple(key, ts) }
+
 // Solve runs the anytime (or exact) solver on an allocation problem.
 func Solve(p *Problem, opt SolveOptions) (*Solution, error) { return assign.Solve(p, opt) }
 
