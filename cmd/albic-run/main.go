@@ -32,6 +32,7 @@
 //	albic-run -job rj1 -balancer potc       # two-choice routing, no migration
 //	albic-run -job rj3 -balancer cola
 //	albic-run -job rj2 -reactive -subperiods 4 -hot-budget 2
+//	albic-run -job rj2 -nodes 50 -groups 2000 -incremental   # 16k-group scale
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 	job := flag.String("job", "rj2", "job: rj1|rj2|rj3|rj4")
 	balancerName := flag.String("balancer", "albic", "policy: albic|milp|flux|cola|potc|none")
 	nodes := flag.Int("nodes", 10, "worker nodes")
+	groups := flag.Int("groups", 0, "key groups per keyed operator (0 = 5 per node)")
 	periods := flag.Int("periods", 40, "periods to run")
 	budget := flag.Int("budget", 10, "max key-group migrations per period (0 = unlimited)")
 	rate := flag.Int("rate", 0, "input tuples per period (0 = job default)")
@@ -70,6 +72,8 @@ func main() {
 	migrCost := flag.Float64("migr-cost", 0, "max migration cost per adaptation, in state bytes at alpha=1 (0 = unlimited)")
 	precopyChunk := flag.Int("precopy-chunk", 0, "checkpoint bytes pre-copied per group per period boundary (0 = default 256 KiB, negative = unlimited)")
 	shards := flag.Int("shards", 1, "worker shards per node (parallel operator execution; needs GOMAXPROCS > 1 to pay off)")
+	denseComm := flag.Int("dense-comm", 0, "group-count cutoff for the dense comm matrix (0 = built-in default, negative = always sparse); statistics are identical either way")
+	incremental := flag.Bool("incremental", false, "dirty-region incremental planning: only groups with material load/placement changes (plus their comm neighborhoods) are re-solved each period (albic and milp only)")
 	flag.Parse()
 	if *smooth <= 0 || *smooth > 1 {
 		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
@@ -85,6 +89,9 @@ func main() {
 	}
 
 	cfg := workload.JobConfig{KeyGroups: 5 * *nodes, Rate: *rate, Seed: *seed}
+	if *groups > 0 {
+		cfg.KeyGroups = *groups
+	}
 	if cfg.Rate == 0 {
 		cfg.Rate = 300 * *nodes
 	}
@@ -112,9 +119,9 @@ func main() {
 	var bal core.Balancer
 	switch *balancerName {
 	case "albic":
-		bal = &core.ALBIC{TimeLimit: 25 * time.Millisecond, Seed: *seed}
+		bal = &core.ALBIC{TimeLimit: 25 * time.Millisecond, Seed: *seed, Incremental: *incremental}
 	case "milp":
-		bal = &core.MILPBalancer{TimeLimit: 25 * time.Millisecond, Seed: *seed}
+		bal = &core.MILPBalancer{TimeLimit: 25 * time.Millisecond, Seed: *seed, Incremental: *incremental}
 	case "flux":
 		bal = core.AdaptBalancer(baseline.Flux{})
 	case "cola":
@@ -126,7 +133,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ecfg := repro.EngineConfig{Nodes: *nodes, PrecopyChunkBytes: *precopyChunk, ShardsPerNode: *shards}
+	ecfg := repro.EngineConfig{Nodes: *nodes, PrecopyChunkBytes: *precopyChunk, ShardsPerNode: *shards, DenseCommLimit: *denseComm}
 	if *reactive {
 		ecfg.SubPeriods = *subperiods
 	}

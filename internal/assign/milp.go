@@ -32,8 +32,12 @@ func BuildMILP(p *Problem) (*lp.Model, [][]int, error) {
 	du := m.AddVar("du", 0, lp.Inf, -W2)
 	dl := m.AddVar("dl", 0, lp.Inf, -W2)
 
-	// pinnedLoad[i] accumulates load fixed on node i by pins.
+	// pinnedLoad[i] accumulates load fixed on node i by pins and by the
+	// problem's frozen background load (incremental dirty-region planning).
 	pinnedLoad := make([]float64, p.NumNodes)
+	for i, f := range p.Fixed {
+		pinnedLoad[i] += f
+	}
 	x := make([][]int, len(p.Items))
 	for t := range p.Items {
 		it := &p.Items[t]

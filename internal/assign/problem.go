@@ -62,6 +62,12 @@ type Problem struct {
 	// never receive load (Lemma 1).
 	Kill  []bool
 	Items []Item
+	// Fixed holds per-node background load that is not up for reassignment
+	// (same units as Item.Load). Incremental planners freeze the groups
+	// outside the dirty region here instead of materializing them as pinned
+	// items, so solver work scales with the dirty region, not the topology.
+	// nil means no background load.
+	Fixed []float64
 	// MaxMigrCost bounds the total migration cost per invocation
 	// (constraint 2). <= 0 means unlimited.
 	MaxMigrCost float64
@@ -87,6 +93,14 @@ func (p *Problem) Validate() error {
 	}
 	if p.Kill != nil && len(p.Kill) != p.NumNodes {
 		return fmt.Errorf("assign: len(Kill) = %d, want %d", len(p.Kill), p.NumNodes)
+	}
+	if p.Fixed != nil && len(p.Fixed) != p.NumNodes {
+		return fmt.Errorf("assign: len(Fixed) = %d, want %d", len(p.Fixed), p.NumNodes)
+	}
+	for i, f := range p.Fixed {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("assign: node %d fixed load %g", i, f)
+		}
 	}
 	alive := p.NumNodes
 	for i := 0; i < p.NumNodes; i++ {
@@ -143,6 +157,13 @@ func (p *Problem) capacity(i int) float64 {
 
 func (p *Problem) killed(i int) bool { return p.Kill != nil && p.Kill[i] }
 
+func (p *Problem) fixed(i int) float64 {
+	if p.Fixed == nil {
+		return 0
+	}
+	return p.Fixed[i]
+}
+
 // AliveNodes returns the indices of nodes not marked for removal (the set A).
 func (p *Problem) AliveNodes() []int {
 	var a []int
@@ -161,6 +182,9 @@ func (p *Problem) Mean() float64 {
 	total := 0.0
 	for _, it := range p.Items {
 		total += it.Load
+	}
+	for _, f := range p.Fixed {
+		total += f
 	}
 	capA := 0.0
 	for i := 0; i < p.NumNodes; i++ {
@@ -223,6 +247,9 @@ type Eval struct {
 // (constraint 4 is disabled for kill-marked nodes).
 func (p *Problem) Evaluate(assignment []int) *Eval {
 	e := &Eval{Util: make([]float64, p.NumNodes), Mean: p.Mean()}
+	for i, f := range p.Fixed {
+		e.Util[i] = f
+	}
 	if len(p.AuxLimit) > 0 {
 		e.AuxUtil = make([][]float64, len(p.AuxLimit))
 		for r := range e.AuxUtil {

@@ -116,6 +116,9 @@ func (s *search) init() error {
 	p := s.p
 	s.assign = make([]int, len(p.Items))
 	s.util = make([]float64, p.NumNodes)
+	for i, f := range p.Fixed {
+		s.util[i] = f / p.capacity(i)
+	}
 	if len(p.AuxLimit) > 0 {
 		s.aux = make([][]float64, len(p.AuxLimit))
 		for r := range s.aux {

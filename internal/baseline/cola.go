@@ -60,11 +60,11 @@ func (c *COLA) Plan(s *core.Snapshot) (*core.Plan, error) {
 	for i, gs := range s.Groups {
 		g.SetVertexWeight(i, gs.Load)
 	}
-	for pair, rate := range s.Out {
+	s.ForEachComm(func(gi, gj int, rate float64) {
 		if rate > 0 {
-			g.AddEdge(pair[0], pair[1], rate)
+			g.AddEdge(gi, gj, rate)
 		}
-	}
+	})
 
 	var bestAssign []int
 	bestDist, bestCut := 0.0, 0.0

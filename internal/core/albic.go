@@ -38,7 +38,26 @@ type ALBIC struct {
 	// Seed drives tie-breaking; it is advanced on every invocation.
 	Seed int64
 
-	round int64
+	// Incremental enables dirty-region planning: only the groups whose load
+	// changed by more than DirtyLoadDelta since the previous invocation —
+	// plus groups on kill-marked nodes, groups whose host changed, and the
+	// communication out-neighborhoods of all of those — are candidate
+	// movers; everything else is frozen in place as fixed background load.
+	// The planner falls back to a full solve on the first invocation, after
+	// topology or cluster-size changes, and whenever the dirty region covers
+	// every group — in which case the plan is identical to the
+	// non-incremental one (same code path, same random stream).
+	Incremental bool
+	// DirtyLoadDelta is the relative load change marking a group dirty
+	// (default DefaultDirtyLoadDelta).
+	DirtyLoadDelta float64
+	// DirtyTopK caps the dirty-region size; beyond it only the top-K groups
+	// by load delta are kept (forced movers always stay). 0 means
+	// DefaultDirtyTopK, negative uncapped.
+	DirtyTopK int
+
+	round   int64
+	tracker dirtyTracker
 }
 
 // Name implements Balancer.
@@ -78,11 +97,16 @@ func (a *ALBIC) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 	a.round++
 	rng := rand.New(rand.NewSource(a.Seed + a.round*1_000_003))
 
-	colPairs, toBeCol := a.scorePairs(s, sf)
+	var dirty []bool
+	if a.Incremental {
+		dirty = a.tracker.region(s, s.OutCSR(), a.DirtyLoadDelta, a.DirtyTopK)
+		a.tracker.observe(s)
+	}
+	colPairs, toBeCol := a.scorePairs(s, sf, dirty)
 
 	var best *Plan
 	for {
-		plan, err := a.solveOnce(ctx, s, colPairs, toBeCol, maxPL, rng)
+		plan, err := a.solveOnce(ctx, s, colPairs, toBeCol, maxPL, rng, dirty)
 		if err != nil {
 			return nil, err
 		}
@@ -104,35 +128,55 @@ func (a *ALBIC) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 }
 
 // scorePairs implements step 1. It returns the high-scoring pairs that are
-// already collocated and those that are not yet.
-func (a *ALBIC) scorePairs(s *Snapshot, sf float64) (colPairs, toBeCol []scored) {
+// already collocated and those that are not yet. The scan is sparse: per
+// group it walks only the CSR row of observed edges (each rate read once —
+// the average and the threshold test share the scan), and the precomputed
+// row maximum skips the emission pass for rows that cannot clear avg·sf.
+// With a non-nil dirty mask only pairs with both endpoints dirty are
+// emitted; frozen groups cannot move, so scoring them is wasted work.
+func (a *ALBIC) scorePairs(s *Snapshot, sf float64, dirty []bool) (colPairs, toBeCol []scored) {
+	csr := s.OutCSR()
+	isDown := make([]bool, len(s.Ops))
 	for oi := range s.Ops {
 		op := &s.Ops[oi]
 		downGroups := 0
 		for _, d := range op.Downstream {
-			downGroups += len(s.Ops[d].Groups)
+			if !isDown[d] {
+				isDown[d] = true
+				downGroups += len(s.Ops[d].Groups)
+			}
 		}
-		if downGroups == 0 {
-			continue
-		}
-		for _, gk := range op.Groups {
-			output := 0.0
-			for _, d := range op.Downstream {
-				for _, gj := range s.Ops[d].Groups {
-					output += s.Out[Pair{gk, gj}]
+		if downGroups > 0 {
+			for _, gk := range op.Groups {
+				if dirty != nil && !dirty[gk] {
+					continue
 				}
-			}
-			if output == 0 {
-				continue
-			}
-			avg := output / float64(downGroups)
-			for _, d := range op.Downstream {
-				for _, gj := range s.Ops[d].Groups {
-					rate := s.Out[Pair{gk, gj}]
-					if rate <= avg*sf {
+				cols, rates := csr.Row(gk)
+				output := 0.0
+				for e, gj := range cols {
+					if isDown[s.Groups[gj].Op] {
+						output += rates[e]
+					}
+				}
+				if output == 0 {
+					continue
+				}
+				// avg(gk) is the group's output volume averaged over its
+				// downstream groups, including the unobserved (zero-rate)
+				// ones — same denominator as the dense enumeration used.
+				threshold := output / float64(downGroups) * sf
+				if csr.RowMax(gk) <= threshold {
+					continue
+				}
+				for e, gj := range cols {
+					rate := rates[e]
+					if rate <= threshold || !isDown[s.Groups[gj].Op] {
 						continue
 					}
-					p := scored{gi: gk, gj: gj, rate: rate}
+					if dirty != nil && !dirty[gj] {
+						continue
+					}
+					p := scored{gi: gk, gj: int(gj), rate: rate}
 					if s.Groups[gk].Node == s.Groups[gj].Node {
 						colPairs = append(colPairs, p)
 					} else {
@@ -141,12 +185,18 @@ func (a *ALBIC) scorePairs(s *Snapshot, sf float64) (colPairs, toBeCol []scored)
 				}
 			}
 		}
+		for _, d := range op.Downstream {
+			isDown[d] = false
+		}
 	}
 	return colPairs, toBeCol
 }
 
-// solveOnce implements steps 2-4 for a given maxPL.
-func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []scored, maxPL float64, rng *rand.Rand) (*Plan, error) {
+// solveOnce implements steps 2-4 for a given maxPL. With a non-nil dirty
+// mask, only dirty groups become solver items; the frozen remainder enters
+// the problem as per-node fixed background load, so the solve scales with
+// the dirty region.
+func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []scored, maxPL float64, rng *rand.Rand, dirty []bool) (*Plan, error) {
 	partitions := a.buildPartitions(s, colPairs, maxPL, rng)
 
 	// Map group -> partition index (-1 if standalone).
@@ -160,10 +210,13 @@ func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []
 		}
 	}
 
-	// Build items: one per partition, one per remaining group.
+	// Build items: one per partition, one per remaining movable group.
 	var items []assign.Item
 	itemOf := make([]int, len(s.Groups))
-	for pi, part := range partitions {
+	for k := range itemOf {
+		itemOf[k] = -1
+	}
+	for _, part := range partitions {
 		it := assign.Item{Cur: s.Groups[part[0]].Node, Pin: -1}
 		for _, g := range part {
 			it.Groups = append(it.Groups, g)
@@ -172,10 +225,17 @@ func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []
 			itemOf[g] = len(items)
 		}
 		items = append(items, it)
-		_ = pi
+	}
+	var fixed []float64
+	if dirty != nil {
+		fixed = make([]float64, s.NumNodes)
 	}
 	for k, g := range s.Groups {
 		if partOf[k] != -1 {
+			continue
+		}
+		if dirty != nil && !dirty[k] {
+			fixed[g.Node] += g.Load
 			continue
 		}
 		itemOf[k] = len(items)
@@ -192,6 +252,7 @@ func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []
 		Capacity:      cloneFloats(s.Capacity),
 		Kill:          cloneBools(s.Kill),
 		Items:         items,
+		Fixed:         fixed,
 		MaxMigrCost:   s.MaxMigrCost,
 		MaxMigrations: s.MaxMigrations,
 	}
@@ -210,7 +271,8 @@ func (a *ALBIC) solveOnce(ctx context.Context, s *Snapshot, colPairs, toBeCol []
 	if err != nil {
 		return nil, fmt.Errorf("albic: %w", err)
 	}
-	groupNode := make([]int, len(s.Groups))
+	// Frozen groups keep their current node; solver items overwrite theirs.
+	groupNode := currentAssignment(s)
 	for idx, node := range sol.ItemNode {
 		for _, g := range problem.Items[idx].Groups {
 			groupNode[g] = node
@@ -302,6 +364,7 @@ func (a *ALBIC) buildPartitions(s *Snapshot, colPairs []scored, maxPL float64, r
 		} else if s.MaxMigrCost > 0 && maxPL <= 0 {
 			useMC = true
 		}
+		csr := s.OutCSR()
 		g := graphpart.NewGraph(len(set))
 		for i, gi := range set {
 			if useMC {
@@ -311,7 +374,7 @@ func (a *ALBIC) buildPartitions(s *Snapshot, colPairs []scored, maxPL float64, r
 			}
 			for j := i + 1; j < len(set); j++ {
 				gj := set[j]
-				w := s.Out[Pair{gi, gj}] + s.Out[Pair{gj, gi}]
+				w := csr.Rate(gi, gj) + csr.Rate(gj, gi)
 				if w > 0 {
 					g.AddEdge(i, j, w)
 				}

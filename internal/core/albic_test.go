@@ -44,7 +44,7 @@ func TestALBICScorePairsThreshold(t *testing.T) {
 	}
 	s := pairSnapshot(2, rates, []int{0, 0, 0, 0, 0, 1, 1, 1}, nil)
 	a := &ALBIC{}
-	col, toBe := a.scorePairs(s, 1.5)
+	col, toBe := a.scorePairs(s, 1.5, nil)
 	// (0,4) is collocated (both node 0) and far above threshold.
 	if len(col) != 1 || col[0].gi != 0 || col[0].gj != 4 {
 		t.Fatalf("colPairs = %+v, want exactly (0,4)", col)
@@ -63,7 +63,7 @@ func TestALBICScoreSeparatedPairGoesToToBeCol(t *testing.T) {
 	rates := map[Pair]float64{{0, 4}: 40}
 	s := pairSnapshot(2, rates, []int{0, 0, 0, 0, 1, 1, 1, 1}, nil)
 	a := &ALBIC{}
-	col, toBe := a.scorePairs(s, 1.5)
+	col, toBe := a.scorePairs(s, 1.5, nil)
 	if len(col) != 0 {
 		t.Fatalf("colPairs = %+v, want none (0 and 4 are on different nodes)", col)
 	}
@@ -78,7 +78,7 @@ func TestALBICBuildPartitionsMergesChains(t *testing.T) {
 	rates := map[Pair]float64{{0, 4}: 40, {1, 4}: 40}
 	s := pairSnapshot(2, rates, []int{0, 0, 0, 0, 0, 1, 1, 1}, nil)
 	a := &ALBIC{}
-	col, _ := a.scorePairs(s, 1.5)
+	col, _ := a.scorePairs(s, 1.5, nil)
 	rng := rand.New(rand.NewSource(1))
 	parts := a.buildPartitions(s, col, 25, rng)
 	if len(parts) != 1 || len(parts[0]) != 3 {
@@ -103,7 +103,7 @@ func TestALBICBuildPartitionsSplitsOversized(t *testing.T) {
 	}
 	s := pairSnapshot(2, rates, groupNode, loads)
 	a := &ALBIC{}
-	col, _ := a.scorePairs(s, 1.5)
+	col, _ := a.scorePairs(s, 1.5, nil)
 	rng := rand.New(rand.NewSource(2))
 	parts := a.buildPartitions(s, col, 25, rng)
 	if len(parts) < 2 {
@@ -124,7 +124,7 @@ func TestALBICBuildPartitionsMaxPLZeroDegenerates(t *testing.T) {
 	rates := map[Pair]float64{{0, 4}: 40}
 	s := pairSnapshot(2, rates, []int{0, 0, 0, 0, 0, 1, 1, 1}, nil)
 	a := &ALBIC{}
-	col, _ := a.scorePairs(s, 1.5)
+	col, _ := a.scorePairs(s, 1.5, nil)
 	rng := rand.New(rand.NewSource(3))
 	parts := a.buildPartitions(s, col, 0, rng)
 	if len(parts) != 0 {

@@ -67,11 +67,22 @@ func TestSnapshotCloneIsDeep(t *testing.T) {
 	c.Groups[0].Node = 1
 	c.Kill[0] = true
 	c.Capacity[0] = 9
-	c.Out[Pair{0, 4}] = 99
 	c.Ops[0].Groups[0] = 77
 	if s.Groups[0].Node == 1 || s.Kill[0] || s.Capacity[0] == 9 ||
-		s.Out[Pair{0, 4}] == 99 || s.Ops[0].Groups[0] == 77 {
+		s.Ops[0].Groups[0] == 77 {
 		t.Fatal("Clone must be deep")
+	}
+	// Comm rates are shared as an immutable CSR instead of deep-copied: the
+	// clone sees the identical rates (and its legacy Out map is nil, so no
+	// mutable aliasing can exist).
+	if c.Out != nil {
+		t.Fatal("clone must not alias the legacy Out map")
+	}
+	if c.OutCSR() != s.OutCSR() {
+		t.Fatal("clone must share the immutable comm CSR")
+	}
+	if got := c.Rate(0, 4); got != s.Out[Pair{0, 4}] {
+		t.Fatalf("clone rate(0,4) = %v, want %v", got, s.Out[Pair{0, 4}])
 	}
 }
 

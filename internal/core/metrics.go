@@ -61,15 +61,15 @@ func (s *Snapshot) CollocationFactor() float64 {
 // CollocationOf computes the collocation factor for an arbitrary allocation.
 func CollocationOf(s *Snapshot, groupNode []int) float64 {
 	total, intra := 0.0, 0.0
-	for pair, rate := range s.Out {
+	s.ForEachComm(func(gi, gj int, rate float64) {
 		if rate <= 0 {
-			continue
+			return
 		}
 		total += rate
-		if groupNode[pair[0]] == groupNode[pair[1]] {
+		if groupNode[gi] == groupNode[gj] {
 			intra += rate
 		}
-	}
+	})
 	if total == 0 {
 		return 0
 	}
@@ -82,7 +82,7 @@ func CollocationOf(s *Snapshot, groupNode []int) float64 {
 // node, this bound is 100 whenever there is any traffic; it is kept for
 // reporting symmetry and future pattern-aware bounds.
 func MaxCollocationFactor(s *Snapshot) float64 {
-	if len(s.Out) == 0 {
+	if s.OutCSR().Edges() == 0 {
 		return 0
 	}
 	return 100

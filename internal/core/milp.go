@@ -19,6 +19,19 @@ type MILPBalancer struct {
 	Exact bool
 	// Seed drives the anytime solver's randomized phase.
 	Seed int64
+
+	// Incremental enables dirty-region planning (see ALBIC.Incremental):
+	// only groups with material load/placement changes since the previous
+	// invocation become solver items, the rest is frozen as fixed background
+	// load. Falls back to a full solve on the first invocation, on topology
+	// changes, and when the region covers every group.
+	Incremental bool
+	// DirtyLoadDelta and DirtyTopK tune the region; zero values use
+	// DefaultDirtyLoadDelta and DefaultDirtyTopK.
+	DirtyLoadDelta float64
+	DirtyTopK      int
+
+	tracker dirtyTracker
 }
 
 // Name implements Balancer.
@@ -32,7 +45,12 @@ func (b *MILPBalancer) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	p := s.Problem()
+	var dirty []bool
+	if b.Incremental {
+		dirty = b.tracker.region(s, s.OutCSR(), b.DirtyLoadDelta, b.DirtyTopK)
+		b.tracker.observe(s)
+	}
+	p := s.DirtyProblem(dirty)
 	sol, err := assign.SolveCtx(ctx, p, assign.Options{
 		TimeLimit: b.TimeLimit,
 		Exact:     b.Exact,
@@ -41,7 +59,8 @@ func (b *MILPBalancer) Plan(ctx context.Context, s *Snapshot) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	groupNode := make([]int, len(s.Groups))
+	// Frozen groups keep their current node; solver items overwrite theirs.
+	groupNode := currentAssignment(s)
 	for idx, node := range sol.ItemNode {
 		for _, g := range p.Items[idx].Groups {
 			groupNode[g] = node

@@ -63,8 +63,18 @@ type Snapshot struct {
 	Groups []GroupStat
 	Ops    []OpStat
 	// Out holds the observed communication rate between key-group pairs
-	// (tuples or bytes per SPL; any consistent unit works).
+	// (tuples or bytes per SPL; any consistent unit works). It is the
+	// construction-friendly input form: synthetic snapshots and tests fill
+	// it directly. Consumers go through OutCSR/Rate/ForEachComm, which build
+	// the canonical CSR from it once, lazily. Do not mutate Out after the
+	// first planner call on the snapshot.
 	Out map[Pair]float64
+	// Comm is the canonical sorted-CSR form of the communication rates. The
+	// engine publishes snapshots with Comm set directly (Out stays nil);
+	// when only Out is set, OutCSR builds and caches Comm on first use.
+	// A CommCSR is immutable, so Clone shares it in O(1) instead of
+	// deep-copying an edge map every period.
+	Comm *CommCSR
 
 	// MaxMigrCost bounds migration cost per adaptation (paper constraint 2);
 	// MaxMigrations is the count-based variant used when comparing against
@@ -143,6 +153,37 @@ func (s *Snapshot) Problem() *assign.Problem {
 	}
 }
 
+// DirtyProblem builds the assign.Problem restricted to the dirty groups:
+// only they become migration-unit items, while every frozen group
+// contributes its load to the per-node fixed background vector. The solver's
+// work then scales with the dirty region, not the topology. A nil mask
+// yields Problem() — the full solve.
+func (s *Snapshot) DirtyProblem(dirty []bool) *assign.Problem {
+	if dirty == nil {
+		return s.Problem()
+	}
+	fixed := make([]float64, s.NumNodes)
+	var items []assign.Item
+	for k, g := range s.Groups {
+		if !dirty[k] {
+			fixed[g.Node] += g.Load
+			continue
+		}
+		items = append(items, assign.Item{
+			Groups: []int{k}, Load: g.Load, MigCost: s.migCost(k), Cur: g.Node, Pin: -1,
+		})
+	}
+	return &assign.Problem{
+		NumNodes:      s.NumNodes,
+		Capacity:      cloneFloats(s.Capacity),
+		Kill:          cloneBools(s.Kill),
+		Items:         items,
+		Fixed:         fixed,
+		MaxMigrCost:   s.MaxMigrCost,
+		MaxMigrations: s.MaxMigrations,
+	}
+}
+
 // NodeLoads returns per-node load sums under the snapshot's current
 // allocation (utilization, i.e. divided by capacity).
 func (s *Snapshot) NodeLoads() []float64 {
@@ -165,7 +206,30 @@ func (s *Snapshot) capacity(i int) float64 {
 
 func (s *Snapshot) killed(i int) bool { return s.Kill != nil && s.Kill[i] }
 
-// Clone deep-copies the snapshot (plans must not mutate the caller's view).
+// OutCSR returns the snapshot's communication rates in canonical CSR form,
+// building it from the legacy Out map on first use. Not safe for concurrent
+// first use; the controller materializes it before handing a snapshot to the
+// pipelined planner, and synthetic callers are single-goroutine.
+func (s *Snapshot) OutCSR() *CommCSR {
+	if s.Comm == nil {
+		s.Comm = CommFromMap(len(s.Groups), s.Out)
+	}
+	return s.Comm
+}
+
+// Rate returns the observed communication rate for the edge gi→gj.
+func (s *Snapshot) Rate(gi, gj int) float64 { return s.OutCSR().Rate(gi, gj) }
+
+// ForEachComm calls fn for every observed key-group edge in row-major order.
+func (s *Snapshot) ForEachComm(fn func(gi, gj int, rate float64)) {
+	s.OutCSR().ForEach(fn)
+}
+
+// Clone copies the snapshot's mutable state (plans must not mutate the
+// caller's view). The communication rates are materialized as the immutable
+// CSR and shared — O(rows) once, O(1) per subsequent clone — instead of
+// deep-copying an edge map every period; the clone's legacy Out map is nil
+// so no mutable aliasing can occur.
 func (s *Snapshot) Clone() *Snapshot {
 	c := *s
 	c.Capacity = cloneFloats(s.Capacity)
@@ -179,12 +243,8 @@ func (s *Snapshot) Clone() *Snapshot {
 			Downstream: append([]int(nil), op.Downstream...),
 		}
 	}
-	if s.Out != nil {
-		c.Out = make(map[Pair]float64, len(s.Out))
-		for k, v := range s.Out {
-			c.Out[k] = v
-		}
-	}
+	c.Comm = s.OutCSR()
+	c.Out = nil
 	return &c
 }
 

@@ -1,24 +1,21 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // benchCommAccumulate hammers the per-tuple communication-matrix
 // accumulation path in isolation: one add per emitted tuple, over a
 // realistic edge distribution (each upstream group talks to a handful of
-// downstream groups).
+// downstream groups). denseLimit -1 forces the sparse open-addressed table,
+// numGroups selects the dense matrix.
 func benchCommAccumulate(b *testing.B, numGroups int, dense bool) {
-	old := denseCommGroupLimit
+	limit := -1
 	if dense {
-		denseCommGroupLimit = numGroups
-	} else {
-		denseCommGroupLimit = 0
+		limit = numGroups
 	}
-	defer func() { denseCommGroupLimit = old }()
-	s := newNodeStats(numGroups, false)
+	s := newNodeStats(numGroups, false, limit)
 	half := numGroups / 2
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -29,9 +26,9 @@ func benchCommAccumulate(b *testing.B, numGroups int, dense bool) {
 	}
 	b.StopTimer()
 	// The merge cost is part of the trade: dense pays a full-matrix sweep
-	// once per period instead of a map iteration.
+	// once per period instead of a table iteration.
 	total := 0.0
-	s.forEachComm(func(_ core.Pair, v float64) { total += v })
+	s.forEachComm(func(_, _ int, v float64) { total += v })
 	if total != float64(b.N) {
 		b.Fatalf("accumulated %v edges, want %d", total, b.N)
 	}
@@ -41,6 +38,14 @@ func benchCommAccumulate(b *testing.B, numGroups int, dense bool) {
 // topologies use (one slice index + add per tuple).
 func BenchmarkCommAccumulateDense(b *testing.B) { benchCommAccumulate(b, 128, true) }
 
-// BenchmarkCommAccumulateSparse measures the map fallback large topologies
-// use (one map lookup + store per tuple).
-func BenchmarkCommAccumulateSparse(b *testing.B) { benchCommAccumulate(b, 128, false) }
+// BenchmarkCommAccumulateSparse measures the open-addressed counting table
+// large topologies use (hash + linear probe + add per tuple, no per-tuple
+// allocation), at the paper-scale group count and at planner-scaling sizes
+// where the dense matrix would need 8 MB–2 GB per shard.
+func BenchmarkCommAccumulateSparse(b *testing.B) {
+	for _, groups := range []int{128, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			benchCommAccumulate(b, groups, false)
+		})
+	}
+}

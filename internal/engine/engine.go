@@ -70,6 +70,13 @@ type Config struct {
 	// traffic). 0 or 1 keeps the single-goroutine node of earlier versions;
 	// values above 256 are capped.
 	ShardsPerNode int
+	// DenseCommLimit selects the per-shard communication accumulator: group
+	// counts at or below the limit use a dense gid×gid matrix, larger
+	// topologies the open-addressed sparse table (see commtable.go). 0 takes
+	// the default (362, ≈1 MB of matrix per shard); a negative value forces
+	// the sparse path regardless of size. Both representations produce
+	// byte-identical statistics — this is purely a space/speed knob.
+	DenseCommLimit int
 }
 
 func (c *Config) defaults() {
@@ -119,6 +126,9 @@ type Engine struct {
 	// hetero is true when any capacity weight differs from 1; the
 	// homogeneous PoTC fast path skips the normalization entirely.
 	hetero bool
+	// commBuilder is the reusable staging area for the period-barrier merge
+	// of the shards' communication accumulators into a core.CommCSR.
+	commBuilder core.CommBuilder
 
 	// mu guards the allocation state (groupNode, baseAlloc) so that
 	// ApplyPlan may be invoked while a period is in flight: an asynchronous
@@ -651,7 +661,6 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 		GroupUnits: make([]float64, e.topo.NumGroups()),
 		GroupNode:  append([]int(nil), pr.alloc...),
 		StateBytes: make([]int, e.topo.NumGroups()),
-		Comm:       map[core.Pair]float64{},
 		NodeUnits:  make([]float64, len(e.nodes)),
 		Migrations: len(pr.staged) + pr.hotMoves,
 		HotMoves:   pr.hotMoves,
@@ -675,6 +684,12 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 		}
 	}
 	e.lastTotalMilli = totalMilli
+	// Merge the shards' communication accumulators into one CSR: every
+	// shard-local (from,to) count is staged into the reusable builder, which
+	// sums duplicates (several shards of a node — or several nodes — may
+	// have counted the same pair) and sorts rows once. Counts are unit
+	// increments, so the merge is exact regardless of shard order.
+	e.commBuilder.Reset(e.topo.NumGroups())
 	for i, n := range e.nodes {
 		if e.removed[i] {
 			continue
@@ -691,9 +706,7 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			for _, c := range sh.stats.groupTuplesOut {
 				ps.TuplesOut += c
 			}
-			sh.stats.forEachComm(func(p core.Pair, v float64) {
-				ps.Comm[p] += v
-			})
+			sh.stats.forEachComm(e.commBuilder.Add)
 			ps.BytesCrossNode += sh.stats.bytesOut
 			ps.BytesCrossNodeIn += sh.stats.bytesIn
 			ps.BatchesCrossNode += sh.stats.batchesOut
@@ -702,6 +715,7 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			}
 		}
 	}
+	ps.Comm = e.commBuilder.Build()
 	// Measure, per checkpointed group, the encoded delta between its live
 	// state and its last checkpoint — the synchronous cost a checkpoint-
 	// assisted move of the group would pay right now. This is the residency
@@ -916,7 +930,7 @@ func (e *Engine) Snapshot() (*core.Snapshot, error) {
 		Kill:     make([]bool, len(e.nodes)),
 		Groups:   make([]core.GroupStat, e.topo.NumGroups()),
 		Ops:      e.opStats(),
-		Out:      e.last.Comm,
+		Comm:     e.last.Comm,
 	}
 	hetero := false
 	for i := range e.nodes {

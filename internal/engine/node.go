@@ -175,7 +175,7 @@ func newShard(nid, sid int, eng *Engine) *shard {
 		awaitIn:  map[int]bool{},
 		potcSent: make([]float64, numGroups),
 		emitters: make([]Emit, numGroups),
-		stats:    newNodeStats(numGroups, eng.cfg.SubPeriods >= 2),
+		stats:    newNodeStats(numGroups, eng.cfg.SubPeriods >= 2, eng.cfg.DenseCommLimit),
 	}
 	s.rx.view.pool = &s.tp
 	return s

@@ -213,13 +213,14 @@ func TestShardingInvariantToCostModel(t *testing.T) {
 		t.Errorf("tuple counts differ: spn=1 (%v,%v) vs spn=4 (%v,%v)",
 			base.TuplesIn, base.TuplesOut, sharded.TuplesIn, sharded.TuplesOut)
 	}
-	for p, v := range base.Comm {
-		if sharded.Comm[p] != v {
-			t.Errorf("comm[%v] = %v under spn=4, want %v", p, sharded.Comm[p], v)
+	baseComm, shardedComm := base.Comm.ToMap(), sharded.Comm.ToMap()
+	for p, v := range baseComm {
+		if shardedComm[p] != v {
+			t.Errorf("comm[%v] = %v under spn=4, want %v", p, shardedComm[p], v)
 		}
 	}
-	for p, v := range sharded.Comm {
-		if _, ok := base.Comm[p]; !ok && v != 0 {
+	for p, v := range shardedComm {
+		if _, ok := baseComm[p]; !ok && v != 0 {
 			t.Errorf("comm[%v] = %v under spn=4, absent under spn=1", p, v)
 		}
 	}
@@ -280,9 +281,10 @@ func TestShardingDictionaryShiftBounded(t *testing.T) {
 				ps.BytesCrossNodeIn, ps.BytesCrossNode, ps.SrcBytesCrossNode)
 		}
 	}
-	for p, v := range base.Comm {
-		if sharded.Comm[p] != v {
-			t.Errorf("comm[%v] = %v under spn=4, want %v", p, sharded.Comm[p], v)
+	baseComm, shardedComm := base.Comm.ToMap(), sharded.Comm.ToMap()
+	for p, v := range baseComm {
+		if shardedComm[p] != v {
+			t.Errorf("comm[%v] = %v under spn=4, want %v", p, shardedComm[p], v)
 		}
 	}
 	delta := sharded.SrcBytesCrossNode - base.SrcBytesCrossNode

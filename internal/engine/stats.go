@@ -6,13 +6,13 @@ import (
 	"repro/internal/core"
 )
 
-// denseCommGroupLimit bounds the dense communication-matrix representation:
-// topologies with at most this many key groups accumulate out(gi, gj) in a
-// flat gid×gid []float64 (one add + one index per tuple on the hot path)
-// instead of a map. 362 groups ≈ 1 MB of matrix per node; larger topologies
-// fall back to sparse map accumulation. Variable so tests can force the
-// sparse path.
-var denseCommGroupLimit = 362
+// denseCommGroupLimit is the default for Config.DenseCommLimit: topologies
+// with at most this many key groups accumulate out(gi, gj) in a flat gid×gid
+// []float64 (one add + one index per tuple on the hot path). 362 groups
+// ≈ 1 MB of matrix per shard; larger topologies fall back to the sparse
+// open-addressed commTable. Tests and benchmarks override per engine via
+// Config.DenseCommLimit instead of mutating this.
+const denseCommGroupLimit = 362
 
 // nodeStats is one shard's statistics: written only by its owning shard
 // goroutine during a period and read by the engine between periods (the
@@ -30,11 +30,11 @@ type nodeStats struct {
 	groupTuplesOut []int64
 	// Communication matrix: tuples sent from key group `from` to key group
 	// `to`. Exactly one of the two representations is active — commDense
-	// (flat, indexed from*numGroups+to) for small topologies, comm (sparse)
-	// otherwise.
-	comm      map[core.Pair]float64
-	commDense []float64
-	numGroups int
+	// (flat, indexed from*numGroups+to) for small topologies, commSparse
+	// (open-addressed counting table, see commtable.go) otherwise.
+	commSparse *commTable
+	commDense  []float64
+	numGroups  int
 	// bytesOut / bytesIn count serialized bytes crossing node boundaries.
 	bytesOut, bytesIn int64
 	// batchesOut counts cross-node frames shipped (each amortizing one
@@ -57,9 +57,12 @@ type nodeStats struct {
 	subMilli []atomic.Int64
 }
 
-func pairOf(from, to int) core.Pair { return core.Pair{from, to} }
-
-func newNodeStats(numGroups int, subPeriods bool) *nodeStats {
+// newNodeStats builds one shard's statistics. denseLimit is the resolved
+// Config.DenseCommLimit: group counts at or below it use the dense flat
+// matrix, anything above the sparse commTable (a negative limit forces the
+// sparse path even for tiny topologies — the representation-agreement tests
+// rely on that).
+func newNodeStats(numGroups int, subPeriods bool, denseLimit int) *nodeStats {
 	s := &nodeStats{
 		groupUnits:     make([]float64, numGroups),
 		groupTuplesIn:  make([]int64, numGroups),
@@ -69,10 +72,14 @@ func newNodeStats(numGroups int, subPeriods bool) *nodeStats {
 	if subPeriods {
 		s.subMilli = make([]atomic.Int64, numGroups)
 	}
-	if numGroups <= denseCommGroupLimit {
+	if denseLimit == 0 {
+		denseLimit = denseCommGroupLimit
+	}
+	if numGroups <= denseLimit {
 		s.commDense = make([]float64, numGroups*numGroups)
 	} else {
-		s.comm = map[core.Pair]float64{}
+		s.commSparse = &commTable{}
+		s.commSparse.init(commTableMinBuckets)
 	}
 	return s
 }
@@ -83,23 +90,21 @@ func (s *nodeStats) addComm(from, to int) {
 		s.commDense[from*s.numGroups+to]++
 		return
 	}
-	s.comm[pairOf(from, to)]++
+	s.commSparse.add(from, to)
 }
 
 // forEachComm visits every non-zero communication edge recorded this period.
-func (s *nodeStats) forEachComm(fn func(core.Pair, float64)) {
+func (s *nodeStats) forEachComm(fn func(from, to int, rate float64)) {
 	if s.commDense != nil {
 		ng := s.numGroups
 		for i, v := range s.commDense {
 			if v != 0 {
-				fn(core.Pair{i / ng, i % ng}, v)
+				fn(i/ng, i%ng, v)
 			}
 		}
 		return
 	}
-	for p, v := range s.comm {
-		fn(p, v)
-	}
+	s.commSparse.forEach(fn)
 }
 
 func (s *nodeStats) addUnits(gid int, units float64) {
@@ -122,7 +127,7 @@ func (s *nodeStats) reset() {
 	if s.commDense != nil {
 		clear(s.commDense)
 	} else {
-		clear(s.comm)
+		s.commSparse.reset()
 	}
 	s.bytesOut, s.bytesIn = 0, 0
 	s.batchesOut = 0
@@ -141,8 +146,11 @@ type PeriodStats struct {
 	GroupNode  []int
 	// StateBytes is |σ_k| measured at period end.
 	StateBytes []int
-	// Comm is the out(gi, gj) matrix (tuples this period).
-	Comm map[core.Pair]float64
+	// Comm is the out(gi, gj) matrix (tuples this period), merged from the
+	// shards' dense/sparse accumulators into one immutable CSR at the period
+	// barrier. Snapshots share it without copying; ToMap() materializes the
+	// legacy map form for comparisons.
+	Comm *core.CommCSR
 	// NodeUnits per engine node id (includes removed slots as 0).
 	NodeUnits []float64
 	// TuplesIn / TuplesOut totals.

@@ -139,7 +139,7 @@ func TestRealJob1Runs(t *testing.T) {
 	}
 	// Full partitioning: geohash groups talk to many topk groups.
 	fanout := map[int]map[int]bool{}
-	for pair := range snap.Out {
+	for pair := range snap.OutCSR().ToMap() {
 		fromOp := snap.Groups[pair[0]].Op
 		toOp := snap.Groups[pair[1]].Op
 		if fromOp == 0 && toOp == 1 {
@@ -168,7 +168,7 @@ func TestRealJob2OneToOnePattern(t *testing.T) {
 	snap := runJob(t, topo, 4, 3)
 	// Every extract group must send to exactly one sumdelay group: its own
 	// index (identical key and key-group count).
-	for pair := range snap.Out {
+	for pair := range snap.OutCSR().ToMap() {
 		fromOp := snap.Groups[pair[0]].Op
 		toOp := snap.Groups[pair[1]].Op
 		if fromOp == 0 && toOp == 1 {
@@ -195,7 +195,7 @@ func TestRealJob3RouteStreamNotOneToOne(t *testing.T) {
 		}
 	}
 	fanout := map[int]map[int]bool{}
-	for pair := range snap.Out {
+	for pair := range snap.OutCSR().ToMap() {
 		if snap.Groups[pair[0]].Op == 0 && snap.Groups[pair[1]].Op == routeOp {
 			if fanout[pair[0]] == nil {
 				fanout[pair[0]] = map[int]bool{}
@@ -231,7 +231,7 @@ func TestRealJob4Runs(t *testing.T) {
 	}
 	// The courier pipeline must actually carry data.
 	seen := false
-	for pair := range snap.Out {
+	for pair := range snap.OutCSR().ToMap() {
 		if snap.Ops[snap.Groups[pair[1]].Op].Name == "courier" {
 			seen = true
 		}
