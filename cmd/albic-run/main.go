@@ -45,6 +45,7 @@ import (
 	"repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/engine"
 	"repro/internal/workload"
 )
@@ -74,6 +75,8 @@ func main() {
 	shards := flag.Int("shards", 1, "worker shards per node (parallel operator execution; needs GOMAXPROCS > 1 to pay off)")
 	denseComm := flag.Int("dense-comm", 0, "group-count cutoff for the dense comm matrix (0 = built-in default, negative = always sparse); statistics are identical either way")
 	incremental := flag.Bool("incremental", false, "dirty-region incremental planning: only groups with material load/placement changes (plus their comm neighborhoods) are re-solved each period (albic and milp only)")
+	listen := flag.String("listen", "", "run distributed: listen on this address and wait for -workers albic-node processes to join (empty = single-process)")
+	workers := flag.Int("workers", 2, "worker processes to wait for with -listen")
 	flag.Parse()
 	if *smooth <= 0 || *smooth > 1 {
 		fmt.Fprintf(os.Stderr, "albic-run: -smooth %g out of range (0,1]\n", *smooth)
@@ -137,7 +140,18 @@ func main() {
 	if *reactive {
 		ecfg.SubPeriods = *subperiods
 	}
-	e, err := repro.NewEngine(topo, ecfg, nil)
+	var e *repro.Engine
+	if *listen != "" {
+		fmt.Printf("listening on %s for %d workers...\n", *listen, *workers)
+		e, err = distrib.StartTCP(*listen, *workers, distrib.JobSpec{
+			Job:       *job,
+			Workload:  cfg,
+			Engine:    ecfg,
+			NodePeers: distrib.DefaultPeers(*nodes, *workers),
+		})
+	} else {
+		e, err = repro.NewEngine(topo, ecfg, nil)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "albic-run: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,55 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Chaos property: arbitrary per-link delay, jitter and bounded stalls must
+// not change a single statistic. The engine's protocols only assume
+// per-link FIFO — which the chaos wrapper preserves — so the full adaptive
+// script (migrations, pre-copy, hot moves, scale-out, checkpoints) under a
+// hostile delay schedule must be indistinguishable from the clean run:
+// identical per-period tuple counts per group, identical wire-byte
+// accounting, identical checkpoints.
+func TestChaosDelayEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos delays are wall-clock; skipping in -short")
+	}
+	spec := equivSpec()
+	clean, cleanCkpts := runMem(t, spec, nil)
+
+	for _, tc := range []struct {
+		name string
+		opt  func(peer int) transport.ChaosOptions
+	}{
+		{"delay-jitter", func(peer int) transport.ChaosOptions {
+			return transport.ChaosOptions{
+				Seed:   int64(100 + peer),
+				Delay:  200 * time.Microsecond,
+				Jitter: 800 * time.Microsecond,
+			}
+		}},
+		{"stalls", func(peer int) transport.ChaosOptions {
+			return transport.ChaosOptions{
+				Seed:       int64(200 + peer),
+				Jitter:     100 * time.Microsecond,
+				StallEvery: 50,
+				StallFor:   3 * time.Millisecond,
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			chaotic, chaoticCkpts := runMem(t, spec, func(peer int, ep transport.Endpoint) transport.Endpoint {
+				return transport.WithChaos(ep, tc.opt(peer))
+			})
+			comparePeriods(t, tc.name, chaotic, clean)
+			if !reflect.DeepEqual(chaoticCkpts, cleanCkpts) {
+				t.Errorf("checkpoints diverge under %s: got %+v want %+v", tc.name, chaoticCkpts, cleanCkpts)
+			}
+		})
+	}
+}

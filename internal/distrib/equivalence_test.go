@@ -1,0 +1,258 @@
+package distrib
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// The equivalence harness: one scripted adaptive run — periods, a staged
+// checkpoint-assisted migration whose pre-copy spans boundaries, sub-period
+// hot moves, weighted scale-out, checkpoints — executed over (a) the classic
+// single-process engine, (b) an in-memory transport cluster and (c) a real
+// TCP-loopback cluster. All three must produce bit-identical per-period
+// statistics: the distributed runtime is an implementation detail, not a
+// semantic change.
+
+// periodSummary is the comparable digest of one period's statistics. Every
+// field is copied out of the PeriodStats so summaries from different engines
+// never alias.
+type periodSummary struct {
+	Period             int
+	GroupUnits         []float64
+	GroupNode          []int
+	StateBytes         []int
+	Comm               map[core.Pair]float64
+	NodeUnits          []float64
+	TuplesIn           int64
+	TuplesOut          int64
+	BytesCrossNode     int64
+	SrcBytesCrossNode  int64
+	BytesCrossNodeIn   int64
+	BatchesCrossNode   int64
+	Migrations         int
+	MigrationLatency   float64
+	HotMoves           int
+	MigratedDeltaBytes int64
+	PrecopyBytes       int64
+	DeferredMoves      int
+	CkptDeltaBytes     []int
+}
+
+func summarize(ps *engine.PeriodStats) periodSummary {
+	s := periodSummary{
+		Period:             ps.Period,
+		GroupUnits:         append([]float64(nil), ps.GroupUnits...),
+		GroupNode:          append([]int(nil), ps.GroupNode...),
+		StateBytes:         append([]int(nil), ps.StateBytes...),
+		NodeUnits:          append([]float64(nil), ps.NodeUnits...),
+		TuplesIn:           ps.TuplesIn,
+		TuplesOut:          ps.TuplesOut,
+		BytesCrossNode:     ps.BytesCrossNode,
+		SrcBytesCrossNode:  ps.SrcBytesCrossNode,
+		BytesCrossNodeIn:   ps.BytesCrossNodeIn,
+		BatchesCrossNode:   ps.BatchesCrossNode,
+		Migrations:         ps.Migrations,
+		MigrationLatency:   ps.MigrationLatency,
+		HotMoves:           ps.HotMoves,
+		MigratedDeltaBytes: ps.MigratedDeltaBytes,
+		PrecopyBytes:       ps.PrecopyBytes,
+		DeferredMoves:      ps.DeferredMoves,
+		CkptDeltaBytes:     append([]int(nil), ps.CkptDeltaBytes...),
+	}
+	if ps.Comm != nil {
+		s.Comm = ps.Comm.ToMap()
+	}
+	return s
+}
+
+// equivSpec is the shared job: small enough to run three times in a unit
+// test, rich enough to exercise every reconfiguration path. The tiny
+// pre-copy chunk forces the staged migration to defer across period
+// boundaries before its delta executes.
+func equivSpec() JobSpec {
+	return JobSpec{
+		Job:       "rj2",
+		Workload:  workload.JobConfig{KeyGroups: 12, Rate: 400, Seed: 7},
+		Engine:    engine.Config{Nodes: 3, SubPeriods: 2, PrecopyChunkBytes: 512},
+		NodePeers: DefaultPeers(3, 2),
+	}
+}
+
+// driveAdaptiveScript runs the deterministic adaptation script against any
+// engine and returns the per-period digests plus the checkpoint statistics.
+// The script is a function of period numbers and the (deterministic)
+// observed allocation only, so every engine executes the exact same
+// reconfigurations.
+func driveAdaptiveScript(t *testing.T, e *engine.Engine) ([]periodSummary, []engine.CheckpointStats) {
+	t.Helper()
+	var periods []periodSummary
+	var ckpts []engine.CheckpointStats
+
+	// Sub-period hot moves: at period 4's first sub-boundary, rotate two
+	// groups one node forward. Disjoint from the staged groups below. The
+	// gids land in sumdelay (rj2's stateful operator: extract holds gids
+	// 0..11, sumdelay 12..23) so the moves carry real state.
+	e.SetSubObserver(func(snap *core.Snapshot, period, sub int) []core.Move {
+		if period != 4 || sub != 1 {
+			return nil
+		}
+		var mv []core.Move
+		for _, g := range []int{14, 17} {
+			from := snap.Groups[g].Node
+			mv = append(mv, core.Move{Group: g, From: from, To: (from + 1) % 3})
+		}
+		return mv
+	})
+
+	run := func() {
+		t.Helper()
+		ps, err := e.RunPeriod()
+		if err != nil {
+			t.Fatalf("period %d: %v", len(periods)+1, err)
+		}
+		if got, want := ps.BytesCrossNodeIn, ps.BytesCrossNode+ps.SrcBytesCrossNode; got != want {
+			t.Fatalf("period %d: BytesCrossNodeIn = %d, want BytesCrossNode+SrcBytesCrossNode = %d", ps.Period, got, want)
+		}
+		periods = append(periods, summarize(ps))
+	}
+
+	run() // 1
+	run() // 2
+	ckpts = append(ckpts, e.TakeCheckpoint())
+
+	// Staged checkpoint-assisted migration: two sumdelay groups move; their
+	// ~1 kB checkpoints pre-copy in 512 B chunks, spanning boundaries and
+	// deferring the move.
+	alloc := append([]int(nil), e.Allocation()...)
+	alloc[12] = (alloc[12] + 1) % 3
+	alloc[13] = (alloc[13] + 2) % 3
+	if err := e.ApplyPlan(alloc); err != nil {
+		t.Fatalf("plan 1: %v", err)
+	}
+	run() // 3: first pre-copy chunks ship
+	run() // 4: hot moves fire mid-period; pre-copy continues
+	run() // 5: deferred moves execute with delta transfers
+	ckpts = append(ckpts, e.TakeCheckpoint())
+
+	// Weighted scale-out, then drain two groups onto the new node.
+	ids, err := e.AddNodesWeighted([]float64{1.5})
+	if err != nil {
+		t.Fatalf("scale-out: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("scale-out ids = %v", ids)
+	}
+	alloc = append([]int(nil), e.Allocation()...)
+	alloc[18], alloc[19] = ids[0], ids[0]
+	if err := e.ApplyPlan(alloc); err != nil {
+		t.Fatalf("plan 2: %v", err)
+	}
+	run() // 6
+	run() // 7
+	ckpts = append(ckpts, e.TakeCheckpoint())
+	return periods, ckpts
+}
+
+func runClassic(t *testing.T, spec JobSpec) ([]periodSummary, []engine.CheckpointStats) {
+	t.Helper()
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(topo, spec.Engine, spec.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	return driveAdaptiveScript(t, e)
+}
+
+func runMem(t *testing.T, spec JobSpec, wrap func(peer int, ep transport.Endpoint) transport.Endpoint) ([]periodSummary, []engine.CheckpointStats) {
+	t.Helper()
+	e, stop, err := StartMem(spec, 2, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	return driveAdaptiveScript(t, e)
+}
+
+func runTCP(t *testing.T, spec JobSpec) ([]periodSummary, []engine.CheckpointStats) {
+	t.Helper()
+	host, err := transport.ListenCluster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if werr := RunWorker(host.Addr(), "127.0.0.1:0", 1); werr != nil {
+				t.Errorf("worker: %v", werr)
+			}
+		}()
+	}
+	e, err := StartHost(host, 2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods, ckpts := driveAdaptiveScript(t, e)
+	e.Close()
+	wg.Wait() // workers exit on the controller's bye
+	return periods, ckpts
+}
+
+func comparePeriods(t *testing.T, name string, got, want []periodSummary) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d periods, classic has %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s period %d diverges:\n  got  %+v\n  want %+v", name, want[i].Period, got[i], want[i])
+		}
+	}
+}
+
+// TestDistributedEquivalence is the PR's acceptance test: the same seeded
+// adaptive run over the classic engine, the in-memory cluster and a real
+// TCP-loopback cluster yields identical per-period statistics — including
+// the exact wire-byte accounting invariant — and identical checkpoints.
+func TestDistributedEquivalence(t *testing.T) {
+	spec := equivSpec()
+	classic, classicCkpts := runClassic(t, spec)
+
+	// Sanity: the script actually exercised every path it claims to.
+	var migr, hot, deferred int
+	var precopy, delta int64
+	for _, p := range classic {
+		migr += p.Migrations
+		hot += p.HotMoves
+		deferred += p.DeferredMoves
+		precopy += p.PrecopyBytes
+		delta += p.MigratedDeltaBytes
+	}
+	if migr == 0 || hot == 0 || deferred == 0 || precopy == 0 || delta == 0 {
+		t.Fatalf("script did not exercise all paths: migrations=%d hot=%d deferred=%d precopyB=%d deltaB=%d",
+			migr, hot, deferred, precopy, delta)
+	}
+
+	mem, memCkpts := runMem(t, spec, nil)
+	comparePeriods(t, "mem", mem, classic)
+	if !reflect.DeepEqual(memCkpts, classicCkpts) {
+		t.Errorf("mem checkpoints diverge: got %+v want %+v", memCkpts, classicCkpts)
+	}
+
+	tcp, tcpCkpts := runTCP(t, spec)
+	comparePeriods(t, "tcp", tcp, classic)
+	if !reflect.DeepEqual(tcpCkpts, classicCkpts) {
+		t.Errorf("tcp checkpoints diverge: got %+v want %+v", tcpCkpts, classicCkpts)
+	}
+}

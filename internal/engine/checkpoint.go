@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/statestore"
 )
 
@@ -53,13 +54,35 @@ func (e *Engine) TakeCheckpoint() CheckpointStats {
 	cs := CheckpointStats{Period: e.period}
 	var fresh []int
 	for i, n := range e.nodes {
-		if e.removed[i] {
+		if e.removed[i] || n == nil {
 			continue
 		}
 		for _, sh := range n.shards {
 			for gid, st := range sh.states {
 				cs.NewBytes += e.ckpt.Checkpoint(gid, e.period, st)
+				e.setTipNode(gid, i)
 				fresh = append(fresh, gid)
+			}
+		}
+	}
+	// Remote nodes: each worker encodes its groups (full for first-timers,
+	// delta against its tip mirror otherwise) and the controller replays them
+	// into the store — absorbCkptEntries keeps store tips and worker tip
+	// mirrors byte-identical. A worker that died mid-request is skipped; its
+	// groups keep their previous checkpoint until FailNode/Recover handle it.
+	if e.rig != nil {
+		for _, peer := range e.workerPeers() {
+			body, err := e.rig.request(peer, reqFrame{kind: rqCkpt, version: e.period})
+			if err != nil {
+				continue
+			}
+			entries, derr := decodeCkptReply(body)
+			codec.PutBuf(body)
+			if derr != nil {
+				continue
+			}
+			if aerr := e.absorbCkptEntries(entries, &cs, &fresh); aerr != nil {
+				e.emit(engEvent{kind: evError, err: aerr})
 			}
 		}
 	}
@@ -106,9 +129,31 @@ func (e *Engine) FailNode(id int) error {
 	}
 	e.removed[id] = true
 	e.killed[id] = true
-	e.nodes[id].closeMailboxes()
-	for _, sh := range e.nodes[id].shards {
-		sh.states = map[int]*State{}
+	if e.nodes[id] != nil {
+		e.nodes[id].closeMailboxes()
+		for _, sh := range e.nodes[id].shards {
+			sh.states = map[int]*State{}
+			sh.tips = map[int]*ckptTip{}
+		}
+	} else if e.rig != nil {
+		// Remote slot: the owning worker wipes the node's states and tip
+		// mirrors. Best-effort — when the whole peer process crashed (the
+		// usual reason FailNode is called), the request is skipped and the
+		// states are gone with the process anyway.
+		peer := e.peerFor(id)
+		if !e.rig.isDead(peer) {
+			if body, err := e.rig.request(peer, reqFrame{kind: rqFail, node: id}); err == nil {
+				codec.PutBuf(body)
+			}
+		}
+	}
+	// Any checkpoint tip resident on the failed node is lost with it.
+	if e.tipNode != nil {
+		for gid, n := range e.tipNode {
+			if n == id {
+				e.tipNode[gid] = -1
+			}
+		}
 	}
 	return nil
 }
@@ -161,13 +206,37 @@ func (e *Engine) Recover(onto []int) (int, error) {
 		}
 		dest := onto[next%len(onto)]
 		next++
-		st := NewState()
+		var enc []byte
+		tipVer := -1
 		if e.ckpt != nil {
-			if cst, _, ok := e.ckpt.Materialize(gid); ok {
-				st = cst
+			if b, ver, ok := e.ckpt.EncodedState(gid); ok {
+				enc, tipVer = b, ver
 			}
 		}
-		e.shardFor(dest, gid).states[gid] = st
+		if e.hostsNode(dest) {
+			st := NewState()
+			if tipVer >= 0 {
+				cst, _, _ := e.ckpt.Materialize(gid)
+				st = cst
+			}
+			sh := e.shardFor(dest, gid)
+			sh.states[gid] = st
+			if tipVer >= 0 {
+				sh.tips[gid] = &ckptTip{ver: tipVer, data: enc}
+			} else {
+				delete(sh.tips, gid)
+			}
+		} else {
+			op, kg := e.topo.OpOf(gid)
+			e.deliver(e.gsidFor(dest, gid), recoverMsg{op: op, kg: kg, encoded: enc, tipVer: tipVer})
+		}
+		// The restored state is the checkpoint tip (when one existed) and it
+		// now lives on dest.
+		if tipVer >= 0 {
+			e.setTipNode(gid, dest)
+		} else if e.tipNode != nil {
+			e.tipNode[gid] = -1
+		}
 		e.groupNode[gid] = dest
 		e.baseAlloc[gid] = dest
 		if s := e.precopy[gid]; s != nil {

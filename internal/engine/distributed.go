@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/statestore"
+	"repro/internal/transport"
+)
+
+// Distributed construction. The classic New builds a single-process engine:
+// every node is a local goroutine pool and no transport exists. The
+// distributed variants split the same engine across OS processes behind a
+// transport.Endpoint: NewDistributed builds the controller side (peer 0 —
+// runs the control loop, the sources, planning, checkpointing; hosts only
+// the node slots mapped to peer 0, normally none), NewWorker builds a worker
+// side (hosts the node slots mapped to its peer id and serves the
+// controller via ServeWorker). peerOf maps every node slot to the peer that
+// hosts it; it must be identical on every process (the bootstrap ships it in
+// the join handshake's metadata).
+
+// New builds an engine for a topology. The topology must have been Built.
+// Key groups start allocated round-robin across nodes unless initial is
+// given (len NumGroups).
+func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
+	return newEngine(topo, cfg, initial, nil, 0, nil)
+}
+
+// NewDistributed builds the controller engine of a multi-process cluster.
+// ep must be the controller endpoint (Self() == 0); peerOf[i] names the
+// peer hosting node slot i.
+func NewDistributed(topo *Topology, cfg Config, initial []int, ep transport.Endpoint, peerOf []int) (*Engine, error) {
+	if ep.Self() != 0 {
+		return nil, fmt.Errorf("engine: controller endpoint has peer id %d, want 0", ep.Self())
+	}
+	e, err := newEngine(topo, cfg, initial, ep, 0, peerOf)
+	if err != nil {
+		return nil, err
+	}
+	e.rig.runController()
+	return e, nil
+}
+
+// NewWorker builds a worker engine of a multi-process cluster. ep must be a
+// worker endpoint (Self() != 0). The caller runs ServeWorker.
+func NewWorker(topo *Topology, cfg Config, initial []int, ep transport.Endpoint, peerOf []int) (*Engine, error) {
+	if ep.Self() == 0 {
+		return nil, fmt.Errorf("engine: worker endpoint has peer id 0")
+	}
+	return newEngine(topo, cfg, initial, ep, ep.Self(), peerOf)
+}
+
+func newEngine(topo *Topology, cfg Config, initial []int, ep transport.Endpoint, self int, peerOf []int) (*Engine, error) {
+	if !topo.built {
+		if err := topo.Build(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.defaults()
+	e := &Engine{
+		topo:       topo,
+		cfg:        cfg,
+		removed:    make([]bool, cfg.Nodes),
+		killed:     make([]bool, cfg.Nodes),
+		weights:    make([]float64, cfg.Nodes),
+		invWeights: make([]float64, cfg.Nodes),
+		events:     make(chan engEvent, 16384),
+		self:       self,
+	}
+	if ep != nil {
+		if len(peerOf) != cfg.Nodes {
+			return nil, fmt.Errorf("engine: %d node-peer entries for %d nodes", len(peerOf), cfg.Nodes)
+		}
+		e.peerOf = append([]int(nil), peerOf...)
+	}
+	for i := range e.weights {
+		e.weights[i] = 1
+		e.invWeights[i] = 1
+	}
+	if cfg.CapacityWeights != nil {
+		if len(cfg.CapacityWeights) != cfg.Nodes {
+			return nil, fmt.Errorf("engine: %d capacity weights for %d nodes", len(cfg.CapacityWeights), cfg.Nodes)
+		}
+		for i, w := range cfg.CapacityWeights {
+			if w <= 0 {
+				return nil, fmt.Errorf("engine: node %d capacity weight %g", i, w)
+			}
+			e.weights[i] = w
+			e.invWeights[i] = 1 / w
+			if w != 1 {
+				e.hetero = true
+			}
+		}
+	}
+	if initial != nil {
+		if len(initial) != topo.NumGroups() {
+			return nil, fmt.Errorf("engine: initial allocation has %d entries, want %d", len(initial), topo.NumGroups())
+		}
+		for _, n := range initial {
+			if n < 0 || n >= cfg.Nodes {
+				return nil, fmt.Errorf("engine: initial allocation references node %d", n)
+			}
+		}
+		e.groupNode = append([]int(nil), initial...)
+	} else {
+		e.groupNode = make([]int, topo.NumGroups())
+		for g := range e.groupNode {
+			e.groupNode[g] = g % cfg.Nodes
+		}
+	}
+	e.baseAlloc = append([]int(nil), e.groupNode...)
+	e.spn = cfg.ShardsPerNode
+	e.shardIdx = make([]uint8, topo.NumGroups())
+	if e.spn > 1 {
+		// Hash, not gid % spn: the default allocation strides gids across
+		// nodes (gid % Nodes), and a modulo shard split would collapse all of
+		// a node's groups onto one shard whenever the two strides align.
+		for g := range e.shardIdx {
+			e.shardIdx[g] = uint8(mix64(uint64(g)) % uint64(e.spn))
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if !e.hostsNode(i) {
+			e.nodes = append(e.nodes, nil)
+			continue
+		}
+		n := newNode(i, e)
+		e.nodes = append(e.nodes, n)
+		n.start()
+	}
+	if ep != nil {
+		e.rig = newNetRig(e, ep)
+	}
+	return e, nil
+}
+
+// hostsNode reports whether node slot i runs in this process. In the classic
+// single-process engine every node is local.
+func (e *Engine) hostsNode(i int) bool {
+	if e.peerOf == nil {
+		return true
+	}
+	return i < len(e.peerOf) && e.peerOf[i] == e.self
+}
+
+// peerFor returns the peer hosting node slot i (e.self for local slots).
+func (e *Engine) peerFor(i int) int {
+	if e.peerOf == nil || i >= len(e.peerOf) {
+		return e.self
+	}
+	return e.peerOf[i]
+}
+
+// workerPeers returns the distinct non-controller peers hosting at least one
+// alive node, ascending.
+func (e *Engine) workerPeers() []int {
+	if e.rig == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var peers []int
+	for i := range e.nodes {
+		if e.removed[i] {
+			continue
+		}
+		p := e.peerFor(i)
+		if p != e.self && !seen[p] {
+			seen[p] = true
+			peers = append(peers, p)
+		}
+	}
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j] < peers[j-1]; j-- {
+			peers[j], peers[j-1] = peers[j-1], peers[j]
+		}
+	}
+	return peers
+}
+
+// deliver routes one mailbox message to shard gsid, wherever it runs: a
+// local shard takes it through its mailbox, a remote one through an encoded
+// frame that the owning process's dispatch loop re-enqueues — shard code
+// sees identical messages either way. Returns false when the shard is gone
+// (closed mailbox or dead peer), matching mailbox.put semantics.
+func (e *Engine) deliver(gsid int, msg message) bool {
+	node := gsid / e.spn
+	if e.hostsNode(node) {
+		return e.deliverLocal(gsid, msg, false)
+	}
+	peer := e.peerFor(node)
+	var err error
+	if e.rig.isDead(peer) {
+		err = fmt.Errorf("engine: peer %d is down", peer)
+	} else {
+		err = e.rig.sendMsg(peer, gsid, msg)
+	}
+	if m, ok := msg.(dataBatchMsg); ok {
+		// The frame copied the payload; the staged batch buffer is spent.
+		codec.PutBuf(m.encoded)
+	}
+	return err == nil
+}
+
+// emit reports one engine event: workers encode it toward the controller,
+// the controller (and the classic engine) consumes it in process.
+func (e *Engine) emit(ev engEvent) {
+	if e.rig != nil && e.self != 0 {
+		_ = e.rig.ep.Send(0, encodeEventFrame(ev))
+		return
+	}
+	e.events <- ev
+}
+
+// tipValid reports whether the controller-side checkpoint tip for gid is
+// resident in the process currently hosting the group — the precondition for
+// delta-based checkpointing and checkpoint-assisted migration from that
+// host. tipNode is maintained by TakeCheckpoint (tip lands where the group
+// lives), migrations (a full-state move leaves the tip behind; a delta move
+// carries it — the destination adopted the pre-copied base), Recover (the
+// restored state is the tip) and FailNode.
+func (e *Engine) tipValid(gid int) bool {
+	return e.tipNode != nil && e.tipNode[gid] >= 0 && e.tipNode[gid] == e.baseAlloc[gid]
+}
+
+func (e *Engine) setTipNode(gid, node int) {
+	if e.tipNode == nil {
+		e.tipNode = make([]int, e.topo.NumGroups())
+		for g := range e.tipNode {
+			e.tipNode[g] = -1
+		}
+	}
+	e.tipNode[gid] = node
+}
+
+// absorbCkptEntries merges one worker's checkpoint reply into the
+// controller's store: full payloads decode directly, deltas apply to the
+// store's materialized tip. The store's own Checkpoint call then measures
+// NewBytes exactly as the in-process path does (the delta it computes equals
+// the shipped one — worker tips mirror store tips byte-for-byte).
+func (e *Engine) absorbCkptEntries(entries []ckptEntryWire, cs *CheckpointStats, fresh *[]int) error {
+	for _, en := range entries {
+		var st *statestore.State
+		if en.full {
+			s, err := statestore.DecodeState(en.payload)
+			if err != nil {
+				return fmt.Errorf("engine: checkpoint state for group %d: %w", en.gid, err)
+			}
+			st = s
+		} else {
+			base, _, ok := e.ckpt.Materialize(en.gid)
+			if !ok {
+				return fmt.Errorf("engine: delta checkpoint for untracked group %d", en.gid)
+			}
+			d, rest, err := statestore.DecodeDelta(en.payload)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("engine: checkpoint delta for group %d: %v (%d trailing)", en.gid, err, len(rest))
+			}
+			d.Apply(base)
+			st = base
+		}
+		cs.NewBytes += e.ckpt.Checkpoint(en.gid, e.period, st)
+		e.setTipNode(en.gid, en.node)
+		*fresh = append(*fresh, en.gid)
+	}
+	return nil
+}

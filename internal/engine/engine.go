@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/statestore"
 )
@@ -176,79 +177,21 @@ type Engine struct {
 	period int
 
 	last *PeriodStats
-}
 
-// New builds an engine for a topology. The topology must have been Built.
-// Key groups start allocated round-robin across nodes unless initial is
-// given (len NumGroups).
-func New(topo *Topology, cfg Config, initial []int) (*Engine, error) {
-	if !topo.built {
-		if err := topo.Build(); err != nil {
-			return nil, err
-		}
-	}
-	cfg.defaults()
-	e := &Engine{
-		topo:       topo,
-		cfg:        cfg,
-		removed:    make([]bool, cfg.Nodes),
-		killed:     make([]bool, cfg.Nodes),
-		weights:    make([]float64, cfg.Nodes),
-		invWeights: make([]float64, cfg.Nodes),
-		events:     make(chan engEvent, 4096),
-	}
-	for i := range e.weights {
-		e.weights[i] = 1
-		e.invWeights[i] = 1
-	}
-	if cfg.CapacityWeights != nil {
-		if len(cfg.CapacityWeights) != cfg.Nodes {
-			return nil, fmt.Errorf("engine: %d capacity weights for %d nodes", len(cfg.CapacityWeights), cfg.Nodes)
-		}
-		for i, w := range cfg.CapacityWeights {
-			if w <= 0 {
-				return nil, fmt.Errorf("engine: node %d capacity weight %g", i, w)
-			}
-			e.weights[i] = w
-			e.invWeights[i] = 1 / w
-			if w != 1 {
-				e.hetero = true
-			}
-		}
-	}
-	if initial != nil {
-		if len(initial) != topo.NumGroups() {
-			return nil, fmt.Errorf("engine: initial allocation has %d entries, want %d", len(initial), topo.NumGroups())
-		}
-		for _, n := range initial {
-			if n < 0 || n >= cfg.Nodes {
-				return nil, fmt.Errorf("engine: initial allocation references node %d", n)
-			}
-		}
-		e.groupNode = append([]int(nil), initial...)
-	} else {
-		e.groupNode = make([]int, topo.NumGroups())
-		for g := range e.groupNode {
-			e.groupNode[g] = g % cfg.Nodes
-		}
-	}
-	e.baseAlloc = append([]int(nil), e.groupNode...)
-	e.spn = cfg.ShardsPerNode
-	e.shardIdx = make([]uint8, topo.NumGroups())
-	if e.spn > 1 {
-		// Hash, not gid % spn: the default allocation strides gids across
-		// nodes (gid % Nodes), and a modulo shard split would collapse all of
-		// a node's groups onto one shard whenever the two strides align.
-		for g := range e.shardIdx {
-			e.shardIdx[g] = uint8(mix64(uint64(g)) % uint64(e.spn))
-		}
-	}
-	for i := 0; i < cfg.Nodes; i++ {
-		n := newNode(i, e)
-		e.nodes = append(e.nodes, n)
-		n.start()
-	}
-	return e, nil
+	// Distribution state (zero/nil in the classic single-process engine; see
+	// distributed.go): self is this process's peer id (0 = controller),
+	// peerOf maps node slot -> hosting peer, rig is the transport attachment.
+	// e.nodes holds nil for slots hosted by other processes.
+	self   int
+	peerOf []int
+	rig    *netRig
+
+	// tipNode tracks, per key group, the node whose hosting process retains
+	// the group's checkpoint tip (-1 = none; nil until the first checkpoint).
+	// A group's tip is usable for delta checkpoints and checkpoint-assisted
+	// migration only while the group still physically lives on that node —
+	// see Engine.tipValid.
+	tipNode []int
 }
 
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed integer hash
@@ -298,11 +241,23 @@ func (e *Engine) nodeLoadEstimate(id int) float64 {
 	if e.removed[id] {
 		return math.Inf(1)
 	}
+	if e.nodes[id] == nil {
+		// Remote node: its live counters are not visible here. Reporting 0
+		// biases PoTC ties toward remote hosts; the homogeneous fast path
+		// (every equivalence-tested configuration) never reads this.
+		return 0
+	}
 	total := int64(0)
 	for _, sh := range e.nodes[id].shards {
 		total += sh.stats.nodeUnits.Load()
 	}
 	return float64(total) / 1000 * e.invWeights[id]
+}
+
+// ckptDeltaEntry is one remote (node, gid, delta-size) measurement from a
+// worker's stats reply, pending the controller's tip-residency gate.
+type ckptDeltaEntry struct {
+	node, gid, size int
 }
 
 // periodRun carries one period's coordination state across the
@@ -356,6 +311,18 @@ type periodRun struct {
 // runs concurrently with the period's data flow; destinations buffer).
 func (e *Engine) beginPeriod() *periodRun {
 	e.period++
+
+	// Drain events stranded by an aborted previous period (a worker death
+	// makes finishPeriod return early; acks or completions that were already
+	// in flight must not be miscounted against this period's arm phase).
+	for {
+		select {
+		case <-e.events:
+			continue
+		default:
+		}
+		break
+	}
 
 	e.mu.Lock()
 	alloc := append([]int(nil), e.groupNode...)
@@ -415,9 +382,10 @@ func (e *Engine) beginPeriod() *periodRun {
 	}
 
 	// Reset per-period stats, including the shards' mid-period sub-interval
-	// counters (shards are quiescent between periods).
+	// counters (shards are quiescent between periods). Remote nodes reset in
+	// their own process when the arm frame arrives.
 	for i, n := range e.nodes {
-		if !e.removed[i] {
+		if n != nil && !e.removed[i] {
 			for _, sh := range n.shards {
 				sh.stats.reset()
 			}
@@ -460,10 +428,13 @@ func (e *Engine) beginPeriod() *periodRun {
 	// yet — can never ack, and neither can one that reports an error instead
 	// of arming; both count toward the loop's exit so the control goroutine
 	// cannot wedge. Either case aborts the period (armFailed) and surfaces
-	// from RunPeriod/Run.
+	// from RunPeriod/Run. Remote nodes arm through one frame per worker peer
+	// (the worker re-enqueues the identical periodStartMsg per shard and the
+	// shards ack through the event path); a peer death during the wait also
+	// aborts the period instead of wedging the ack count.
 	active := 0
 	for i, n := range e.nodes {
-		if e.removed[i] {
+		if n == nil || e.removed[i] {
 			continue
 		}
 		for _, sh := range n.shards {
@@ -481,12 +452,55 @@ func (e *Engine) beginPeriod() *periodRun {
 			active++
 		}
 	}
+	if e.rig != nil {
+		for _, peer := range e.workerPeers() {
+			var peerGids []int
+			remoteNodes := 0
+			for i := range e.nodes {
+				if e.removed[i] || e.peerFor(i) != peer {
+					continue
+				}
+				remoteNodes++
+			}
+			for _, mv := range pr.staged {
+				if e.peerFor(mv.To) == peer {
+					peerGids = append(peerGids, mv.Group)
+				}
+			}
+			err := e.rig.ep.Send(peer, encodeArmFrame(armFrame{
+				period:      pr.period,
+				numNodes:    len(e.nodes),
+				alloc:       pr.alloc,
+				barrierNeed: senders,
+				awaitIn:     peerGids,
+			}))
+			if err != nil {
+				pr.errs = append(pr.errs, fmt.Errorf("engine: peer %d failed during arm phase: %w", peer, err))
+				pr.armFailed = true
+				continue
+			}
+			active += remoteNodes * e.spn
+		}
+	}
 	for op := range e.topo.ops {
 		pr.expectedCompletions += len(pr.rt.hosts[op]) * e.spn
 	}
 	acks, errored := 0, 0
 	for acks+errored < active {
-		ev := <-e.events
+		var ev engEvent
+		if e.rig != nil {
+			select {
+			case ev = <-e.events:
+			case <-e.rig.deadSignal():
+				pr.errs = append(pr.errs, fmt.Errorf("engine: worker died during arm phase of period %d", pr.period))
+				pr.armFailed = true
+				// Outstanding acks can never complete; stale ones drain at
+				// the next beginPeriod.
+				return pr
+			}
+		} else {
+			ev = <-e.events
+		}
 		switch ev.kind {
 		case evAck:
 			acks++
@@ -504,10 +518,12 @@ func (e *Engine) beginPeriod() *periodRun {
 
 	// Issue staged migrations (full-state, or delta against the pre-copied
 	// checkpoint version for checkpoint-assisted transfers) to the shard
-	// owning each group on its old host.
+	// owning each group on its old host. deliver routes to remote sources;
+	// the destination (remote or not) was armed above, so its shard awaits
+	// the state before flushing.
 	for _, tr := range pr.transfers {
 		op, kg := e.topo.OpOf(tr.mv.Group)
-		e.shardFor(tr.mv.From, tr.mv.Group).mb.put(migrateOutMsg{op: op, kg: kg, dest: tr.mv.To, deltaBase: tr.deltaBase})
+		e.deliver(e.gsidFor(tr.mv.From, tr.mv.Group), migrateOutMsg{op: op, kg: kg, dest: tr.mv.To, deltaBase: tr.deltaBase})
 	}
 	return pr
 }
@@ -528,7 +544,7 @@ func (e *Engine) generate(pr *periodRun) error {
 		}
 		if m, ok := srcOuts[destG].take(pr.period); ok {
 			srcBatches++
-			e.shardAt(destG).mb.put(m)
+			e.deliver(destG, m)
 		}
 	}
 	flushAllSrc := func() {
@@ -604,8 +620,8 @@ func (e *Engine) generate(pr *periodRun) error {
 	for si := range e.topo.sources {
 		for _, op := range e.topo.srcEdges[si] {
 			for _, host := range pr.rt.hosts[op] {
-				for _, sh := range e.nodes[host].shards {
-					sh.mb.put(barrierMsg{op: op, period: pr.period})
+				for i := 0; i < e.spn; i++ {
+					e.deliver(host*e.spn+i, barrierMsg{op: op, period: pr.period})
 				}
 			}
 		}
@@ -613,8 +629,8 @@ func (e *Engine) generate(pr *periodRun) error {
 	for op, syn := range pr.synthetic {
 		if syn {
 			for _, host := range pr.rt.hosts[op] {
-				for _, sh := range e.nodes[host].shards {
-					sh.mb.put(barrierMsg{op: op, period: pr.period})
+				for i := 0; i < e.spn; i++ {
+					e.deliver(host*e.spn+i, barrierMsg{op: op, period: pr.period})
 				}
 			}
 		}
@@ -630,7 +646,24 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	completions, migs := 0, 0
 	migratedBytes, deltaBytes := 0, 0
 	errs := pr.errs
+	// Delta transfers carry the checkpoint tip to their destination (the
+	// pre-copied base the destination adopted IS the tip); anything else
+	// that migrates invalidates its group's tip residency.
+	transferDest := map[int]int{}
+	for _, tr := range pr.transfers {
+		if tr.deltaBase >= 0 {
+			transferDest[tr.mv.Group] = tr.mv.To
+		}
+	}
 	for completions < pr.expectedCompletions || migs < len(pr.staged) || gen != nil {
+		// A worker death mid-period means expected completions can never
+		// arrive; abort the period instead of wedging the barrier wait. The
+		// caller recovers via FailNode + Recover (dead channel is nil — never
+		// ready — for the single-process engine).
+		var dead <-chan struct{}
+		if e.rig != nil {
+			dead = e.rig.deadSignal()
+		}
 		select {
 		case ev := <-e.events:
 			switch ev.kind {
@@ -641,6 +674,11 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 				migratedBytes += ev.bytes
 				if ev.delta {
 					deltaBytes += ev.bytes
+					if dest, ok := transferDest[ev.gid]; ok {
+						e.setTipNode(ev.gid, dest)
+					}
+				} else if ev.gid >= 0 && e.tipNode != nil {
+					e.tipNode[ev.gid] = -1
 				}
 			case evError:
 				errs = append(errs, ev.err)
@@ -650,6 +688,8 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 				return nil, err
 			}
 			gen = nil
+		case <-dead:
+			return nil, fmt.Errorf("engine: worker died during period %d", pr.period)
 		}
 	}
 	if len(errs) > 0 {
@@ -675,30 +715,25 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 		SrcBytesCrossNode:  pr.srcBytes,
 	}
 	e.lastSrcTuples = pr.srcEmitted
-	totalMilli := int64(0)
+	// Merge statistics. Loads accumulate as integer milli-units and convert
+	// to float units exactly once per group/node — float addition order would
+	// otherwise make the merged statistics depend on which process measured
+	// which shard, and the in-memory vs TCP equivalence guarantee is exact
+	// equality. The communication merge is exact for the same reason: unit
+	// counts, summed by the builder regardless of arrival order.
+	ng := e.topo.NumGroups()
+	groupMilli := make([]int64, ng)
+	nodeMilli := make([]int64, len(e.nodes))
+	e.commBuilder.Reset(ng)
 	for i, n := range e.nodes {
-		if !e.removed[i] {
-			for _, sh := range n.shards {
-				totalMilli += sh.stats.nodeUnits.Load()
-			}
-		}
-	}
-	e.lastTotalMilli = totalMilli
-	// Merge the shards' communication accumulators into one CSR: every
-	// shard-local (from,to) count is staged into the reusable builder, which
-	// sums duplicates (several shards of a node — or several nodes — may
-	// have counted the same pair) and sorts rows once. Counts are unit
-	// increments, so the merge is exact regardless of shard order.
-	e.commBuilder.Reset(e.topo.NumGroups())
-	for i, n := range e.nodes {
-		if e.removed[i] {
+		if n == nil || e.removed[i] {
 			continue
 		}
 		for _, sh := range n.shards {
-			ps.NodeUnits[i] += sh.stats.migUnits
-			for gid, u := range sh.stats.groupUnits {
-				ps.GroupUnits[gid] += u
-				ps.NodeUnits[i] += u
+			nodeMilli[i] += sh.stats.migMilli
+			for gid, m := range sh.stats.groupMilli {
+				groupMilli[gid] += m
+				nodeMilli[i] += m
 			}
 			for _, c := range sh.stats.groupTuplesIn {
 				ps.TuplesIn += c
@@ -715,16 +750,75 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			}
 		}
 	}
+	// Remote nodes: one stats round trip per worker peer (workers are
+	// quiescent — their shards' completions all arrived above — and the
+	// request pings their shards for the happens-before edge).
+	var remoteDeltas []ckptDeltaEntry
+	if e.rig != nil {
+		for _, peer := range e.workerPeers() {
+			body, err := e.rig.request(peer, reqFrame{kind: rqStats, version: pr.period})
+			if err != nil {
+				return nil, fmt.Errorf("engine: stats from peer %d: %w", peer, err)
+			}
+			nodes, derr := decodeStatsReply(body)
+			if derr != nil {
+				return nil, derr
+			}
+			for _, nw := range nodes {
+				if nw.node < 0 || nw.node >= len(e.nodes) {
+					continue
+				}
+				nodeMilli[nw.node] += nw.migMilli
+				for _, gv := range nw.groupMilli {
+					if gv.gid < ng {
+						groupMilli[gv.gid] += gv.val
+						nodeMilli[nw.node] += gv.val
+					}
+				}
+				ps.TuplesIn += nw.tuplesIn
+				ps.TuplesOut += nw.tuplesOut
+				ps.BytesCrossNode += nw.bytesOut
+				ps.BytesCrossNodeIn += nw.bytesIn
+				ps.BatchesCrossNode += nw.batchesOut
+				for j := range nw.commN {
+					e.commBuilder.Add(int(nw.commFrom[j]), int(nw.commTo[j]), float64(nw.commN[j]))
+				}
+				for _, gv := range nw.stateBytes {
+					if gv.gid < ng {
+						ps.StateBytes[gv.gid] = int(gv.val)
+					}
+				}
+				for _, gv := range nw.ckptDelta {
+					if gv.gid < ng {
+						remoteDeltas = append(remoteDeltas, ckptDeltaEntry{node: nw.node, gid: gv.gid, size: int(gv.val)})
+					}
+				}
+			}
+		}
+	}
+	totalMilli := int64(0)
+	for i, m := range nodeMilli {
+		ps.NodeUnits[i] = float64(m) / 1000
+		totalMilli += m
+	}
+	for gid, m := range groupMilli {
+		ps.GroupUnits[gid] = float64(m) / 1000
+	}
+	e.lastTotalMilli = totalMilli
 	ps.Comm = e.commBuilder.Build()
 	// Measure, per checkpointed group, the encoded delta between its live
 	// state and its last checkpoint — the synchronous cost a checkpoint-
 	// assisted move of the group would pay right now. This is the residency
 	// signal the planner's cost model consumes (see core.GroupStat). Nodes
-	// are quiescent here, exactly like for the statistics merge above.
+	// are quiescent here, exactly like for the statistics merge above. A
+	// delta is only meaningful while the group's checkpoint tip is resident
+	// where the group physically lives (Engine.tipNode): a group that moved
+	// full-state since its checkpoint reports -1 (and migrates full) until
+	// the next checkpoint re-establishes residency.
 	if e.ckpt != nil && e.ckpt.Len() > 0 {
-		live := make(map[int]*State, e.topo.NumGroups())
+		live := make(map[int]*State, ng)
 		for i, n := range e.nodes {
-			if e.removed[i] {
+			if n == nil || e.removed[i] {
 				continue
 			}
 			for _, sh := range n.shards {
@@ -733,13 +827,24 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 				}
 			}
 		}
-		ps.CkptDeltaBytes = make([]int, e.topo.NumGroups())
+		ps.CkptDeltaBytes = make([]int, ng)
 		for gid := range ps.CkptDeltaBytes {
 			ps.CkptDeltaBytes[gid] = -1
 		}
 		for _, gid := range e.ckpt.Groups() {
+			if e.tipNode == nil || e.tipNode[gid] < 0 || e.tipNode[gid] != pr.alloc[gid] {
+				continue
+			}
+			if !e.hostsNode(pr.alloc[gid]) {
+				continue // measured by its worker, merged below
+			}
 			if sz, ok := e.ckpt.DeltaSize(gid, live[gid]); ok {
 				ps.CkptDeltaBytes[gid] = sz
+			}
+		}
+		for _, rd := range remoteDeltas {
+			if e.tipNode != nil && e.tipNode[rd.gid] == rd.node && rd.node == pr.alloc[rd.gid] {
+				ps.CkptDeltaBytes[rd.gid] = rd.size
 			}
 		}
 	}
@@ -854,19 +959,71 @@ func (e *Engine) AddNodesWeighted(weights []float64) ([]int, error) {
 			return nil, fmt.Errorf("engine: added node weight %d is %v, want > 0", i, w)
 		}
 	}
+	// Distributed: each new slot lands on the worker peer currently hosting
+	// the fewest nodes (ties to the lowest peer id), and the provision
+	// broadcast goes to EVERY worker — all processes must extend their node
+	// tables before any arm frame can reference the new slots. The awaited
+	// replies provide that causality.
+	var owners []int
+	if e.rig != nil {
+		peers := e.rig.alivePeers()
+		if len(peers) == 0 {
+			return nil, fmt.Errorf("engine: no worker peers to provision onto")
+		}
+		hosted := map[int]int{}
+		for i := range e.nodes {
+			if !e.removed[i] {
+				hosted[e.peerFor(i)]++
+			}
+		}
+		for range weights {
+			best := peers[0]
+			for _, p := range peers[1:] {
+				if hosted[p] < hosted[best] {
+					best = p
+				}
+			}
+			hosted[best]++
+			owners = append(owners, best)
+		}
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	var ids []int
-	for _, w := range weights {
+	for k, w := range weights {
 		id := len(e.nodes)
-		n := newNode(id, e)
-		e.nodes = append(e.nodes, n)
+		if e.rig != nil {
+			e.nodes = append(e.nodes, nil)
+			e.peerOf = append(e.peerOf, owners[k])
+		} else {
+			n := newNode(id, e)
+			e.nodes = append(e.nodes, n)
+			n.start()
+		}
 		e.removed = append(e.removed, false)
 		e.killed = append(e.killed, false)
 		e.weights = append(e.weights, w)
 		e.invWeights = append(e.invWeights, 1/w)
-		n.start()
+		if w != 1 {
+			e.hetero = true
+		}
 		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+	if e.rig != nil {
+		q := reqFrame{kind: rqProvision, provW: weights}
+		q.provIDs = ids
+		q.provOwner = owners
+		for _, peer := range e.rig.alivePeers() {
+			body, err := e.rig.request(peer, q)
+			if err != nil {
+				return ids, fmt.Errorf("engine: provision on peer %d: %w", peer, err)
+			}
+			rerr := decodeOKReply(body)
+			codec.PutBuf(body)
+			if rerr != nil {
+				return ids, fmt.Errorf("engine: provision on peer %d: %w", peer, rerr)
+			}
+		}
 	}
 	return ids, nil
 }
@@ -903,16 +1060,35 @@ func (e *Engine) TerminateNode(id int) error {
 		}
 	}
 	e.removed[id] = true
-	e.nodes[id].closeMailboxes()
+	if e.nodes[id] != nil {
+		e.nodes[id].closeMailboxes()
+	} else if e.rig != nil {
+		// Remote slot: tell the owning worker to close its mailboxes. The
+		// validation above already ran against the controller's authoritative
+		// allocation tables. Best-effort — a dead peer's nodes are gone anyway.
+		peer := e.peerFor(id)
+		if !e.rig.isDead(peer) {
+			if body, err := e.rig.request(peer, reqFrame{kind: rqTerminate, node: id}); err == nil {
+				codec.PutBuf(body)
+			}
+		}
+	}
 	return nil
 }
 
-// Close stops all node goroutines.
+// Close stops all node goroutines. On the controller of a distributed
+// cluster it also tells every worker to shut down and closes the endpoint.
 func (e *Engine) Close() {
 	for i, n := range e.nodes {
-		if !e.removed[i] {
+		if !e.removed[i] && n != nil {
 			n.closeMailboxes()
 		}
+	}
+	if e.rig != nil && e.self == 0 {
+		for _, peer := range e.rig.alivePeers() {
+			_ = e.rig.ep.Send(peer, encodeByeFrame())
+		}
+		e.rig.ep.Close()
 	}
 }
 

@@ -44,7 +44,11 @@ type engEvent struct {
 	// delta marks an evMigrated whose bytes are a checkpoint-assisted
 	// delta transfer (not a full state).
 	delta bool
-	err   error
+	// gid is the migrated key group of an evMigrated (the controller tracks
+	// where each group's checkpoint tip physically lives); meaningless (0)
+	// for other kinds.
+	gid int
+	err error
 }
 
 // node is one worker node: a pool of shard goroutines that partition the
@@ -94,6 +98,12 @@ type shard struct {
 	states  map[int]*State         // gid -> state
 	pending map[int][]pendingTuple // gid -> tuples buffered awaiting migration
 	awaitIn map[int]bool           // gid awaiting a stateMsg
+	// tips mirrors, per locally-hosted gid, the controller store's checkpoint
+	// tip (version + encoded state) so a worker can source delta migrations
+	// and delta checkpoints without a round trip. Written by the worker's
+	// control loop (rqCkpt, quiescent — see worker.go) and by the shard
+	// itself (delta state adoption, recovery, departure).
+	tips map[int]*ckptTip
 	// precopied accumulates checkpoint bytes background-copied toward this
 	// shard ahead of a planned migration (checkpoint-assisted transfer); the
 	// delta stateMsg at the barrier reconstructs the state from it.
@@ -173,6 +183,7 @@ func newShard(nid, sid int, eng *Engine) *shard {
 		states:   map[int]*State{},
 		pending:  map[int][]pendingTuple{},
 		awaitIn:  map[int]bool{},
+		tips:     map[int]*ckptTip{},
 		potcSent: make([]float64, numGroups),
 		emitters: make([]Emit, numGroups),
 		stats:    newNodeStats(numGroups, eng.cfg.SubPeriods >= 2, eng.cfg.DenseCommLimit),
@@ -210,6 +221,10 @@ func (s *shard) run() {
 				s.onPrecopy(m)
 			case hotMoveMsg:
 				s.onHotMove(m)
+			case recoverMsg:
+				s.onRecover(m)
+			case pingMsg:
+				m.ch <- struct{}{}
 			}
 		}
 	}
@@ -236,7 +251,7 @@ func (s *shard) flushOut(g int) {
 		if !m.local {
 			s.stats.batchesOut++
 		}
-		s.eng.shardAt(g).mb.put(m)
+		s.eng.deliver(g, m)
 	}
 }
 
@@ -267,7 +282,7 @@ func (s *shard) startPeriod(m periodStartMsg) {
 	// Flushing is triggered exclusively by barriers (the engine sends
 	// synthetic barriers to hosts of input-less operators after all shards
 	// acked, so emissions never race a peer's period start).
-	s.eng.events <- engEvent{kind: evAck, node: s.nid}
+	s.eng.emit(engEvent{kind: evAck, node: s.nid})
 }
 
 // onMigrateOut serializes and ships (op, kg)'s state to the owning shard of
@@ -281,24 +296,35 @@ func (s *shard) onMigrateOut(m migrateOutMsg) {
 	destG := s.eng.gsidFor(m.dest, gid)
 	st := s.states[gid]
 	if m.deltaBase >= 0 {
-		if ps := s.eng.precopySource(gid); ps != nil && ps.version == m.deltaBase {
-			base, err := statestore.DecodeState(ps.data)
+		// The delta base is the checkpoint tip at version deltaBase: the
+		// shard's own tip mirror serves it locally (workers — the controller's
+		// session buffer is a process away), with the controller's pre-copy
+		// session as the in-process fallback.
+		var baseEnc []byte
+		if tip := s.tips[gid]; tip != nil && tip.ver == m.deltaBase {
+			baseEnc = tip.data
+		} else if ps := s.eng.precopySource(gid); ps != nil && ps.version == m.deltaBase {
+			baseEnc = ps.data
+		}
+		if baseEnc != nil {
+			base, err := statestore.DecodeState(baseEnc)
 			if err != nil {
-				s.eng.events <- engEvent{kind: evError, node: s.nid,
-					err: fmt.Errorf("engine: node %d delta base for group %d: %w", s.nid, gid, err)}
+				s.eng.emit(engEvent{kind: evError, node: s.nid,
+					err: fmt.Errorf("engine: node %d delta base for group %d: %w", s.nid, gid, err)})
 				return
 			}
 			d := statestore.Diff(base, st)
 			if encoded := d.Encode(nil); st == nil || len(encoded) < st.Size() {
 				delete(s.states, gid)
+				delete(s.tips, gid) // the tip travels with the group
 				s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
 				s.flushOut(destG)
-				s.eng.shardAt(destG).mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: ps.version})
-				s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded), delta: true}
+				s.eng.deliver(destG, stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: m.deltaBase})
+				s.eng.emit(engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded), delta: true, gid: gid})
 				return
 			}
 		}
-		// Session vanished or the delta is no cheaper: fall through to a
+		// Base unavailable or the delta is no cheaper: fall through to a
 		// full-state transfer (the destination drops its pre-copied base).
 	}
 	var encoded []byte
@@ -306,14 +332,15 @@ func (s *shard) onMigrateOut(m migrateOutMsg) {
 		encoded = st.Encode(nil)
 		delete(s.states, gid)
 	}
+	delete(s.tips, gid) // a full move strands the tip; the controller forgets it
 	s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
 	// Flush buffered data for the destination first so every message this
 	// sender ever enqueues there stays in send order (uniform FIFO, not
 	// strictly needed by the awaitIn protocol but what the documented
 	// invariant promises).
 	s.flushOut(destG)
-	s.eng.shardAt(destG).mb.put(stateMsg{op: m.op, kg: m.kg, encoded: encoded})
-	s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded)}
+	s.eng.deliver(destG, stateMsg{op: m.op, kg: m.kg, encoded: encoded})
+	s.eng.emit(engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded), gid: gid})
 }
 
 // precopyBuf accumulates one group's pre-copied checkpoint bytes.
@@ -342,9 +369,9 @@ func (s *shard) onPrecopy(m precopyMsg) {
 		s.precopied[gid] = pb
 	}
 	if pb.version != m.version || pb.total != m.total || len(pb.buf) != m.off {
-		s.eng.events <- engEvent{kind: evError, node: s.nid,
+		s.eng.emit(engEvent{kind: evError, node: s.nid,
 			err: fmt.Errorf("engine: node %d pre-copy chunk for group %d out of order (have %d, chunk at %d, version %d vs %d)",
-				s.nid, gid, len(pb.buf), m.off, pb.version, m.version)}
+				s.nid, gid, len(pb.buf), m.off, pb.version, m.version)})
 		delete(s.precopied, gid)
 		return
 	}
@@ -360,8 +387,8 @@ func (s *shard) onPrecopy(m precopyMsg) {
 // once it can no longer forward anything.
 func (s *shard) onHotMove(m hotMoveMsg) {
 	if m.period != s.period {
-		s.eng.events <- engEvent{kind: evError, node: s.nid,
-			err: fmt.Errorf("engine: node %d got hot move for period %d during %d", s.nid, m.period, s.period)}
+		s.eng.emit(engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: node %d got hot move for period %d during %d", s.nid, m.period, s.period)})
 		return
 	}
 	for _, mv := range m.moves {
@@ -380,12 +407,13 @@ func (s *shard) onHotMove(m hotMoveMsg) {
 				encoded = st.Encode(nil)
 				delete(s.states, mv.gid)
 			}
+			delete(s.tips, mv.gid) // hot moves always ship full state
 			s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
 			// Data staged toward the destination precedes the state message
 			// (uniform per-sender FIFO, as in onMigrateOut).
 			s.flushOut(destG)
-			s.eng.shardAt(destG).mb.put(stateMsg{op: mv.op, kg: mv.kg, encoded: encoded})
-			s.eng.events <- engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded)}
+			s.eng.deliver(destG, stateMsg{op: mv.op, kg: mv.kg, encoded: encoded})
+			s.eng.emit(engEvent{kind: evMigrated, node: s.nid, bytes: len(encoded), gid: mv.gid})
 			if s.hotAway == nil {
 				s.hotAway = map[int]int{}
 			}
@@ -440,7 +468,7 @@ func (s *shard) onDataBatch(m dataBatchMsg) {
 		s.process(m.op, kg, gid, v)
 	})
 	if err != nil {
-		s.eng.events <- engEvent{kind: evError, node: s.nid, err: err}
+		s.eng.emit(engEvent{kind: evError, node: s.nid, err: err})
 	}
 	codec.PutBuf(m.encoded)
 }
@@ -496,15 +524,15 @@ func (s *shard) process(op, kg, gid int, v *TupleView) {
 // worker goroutine mid-period (which would hang the barrier protocol).
 func (s *shard) recoverOp(opName, phase string) {
 	if r := recover(); r != nil {
-		s.eng.events <- engEvent{kind: evError, node: s.nid,
-			err: fmt.Errorf("engine: operator %q panicked in %s on node %d: %v", opName, phase, s.nid, r)}
+		s.eng.emit(engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: operator %q panicked in %s on node %d: %v", opName, phase, s.nid, r)})
 	}
 }
 
 func (s *shard) onBarrier(m barrierMsg) {
 	if m.period != s.period {
-		s.eng.events <- engEvent{kind: evError, node: s.nid,
-			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", s.nid, m.period, s.period)}
+		s.eng.emit(engEvent{kind: evError, node: s.nid,
+			err: fmt.Errorf("engine: node %d got barrier for period %d during %d", s.nid, m.period, s.period)})
 		return
 	}
 	if m.hot {
@@ -540,7 +568,7 @@ func (s *shard) sendHotBarriers(op int) {
 			s.mb.put(msg)
 			continue
 		}
-		s.eng.shardAt(destG).mb.put(msg)
+		s.eng.deliver(destG, msg)
 	}
 }
 
@@ -552,24 +580,28 @@ func (s *shard) onState(m stateMsg) {
 		// the shipped delta to the pre-copied checkpoint base.
 		pb := s.precopied[gid]
 		if pb == nil || pb.version != m.baseVer || len(pb.buf) != pb.total {
-			s.eng.events <- engEvent{kind: evError, node: s.nid,
-				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", s.nid, gid)}
+			s.eng.emit(engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", s.nid, gid)})
 			return
 		}
 		base, err := statestore.DecodeState(pb.buf)
 		if err != nil {
-			s.eng.events <- engEvent{kind: evError, node: s.nid,
-				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", s.nid, gid, err)}
+			s.eng.emit(engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", s.nid, gid, err)})
 			return
 		}
 		d, rest, err := statestore.DecodeDelta(m.encoded)
 		if err != nil || len(rest) != 0 {
-			s.eng.events <- engEvent{kind: evError, node: s.nid,
-				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", s.nid, gid, err, len(rest))}
+			s.eng.emit(engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", s.nid, gid, err, len(rest))})
 			return
 		}
 		d.Apply(base)
 		st = base
+		// The pre-copied base WAS the checkpoint tip at baseVer: this shard
+		// now holds it, so adopt it as the local tip mirror (the controller
+		// records tipNode = this node for the same reason).
+		s.tips[gid] = &ckptTip{ver: m.baseVer, data: pb.buf}
 		// Only the delta is synchronous work; the base was deserialization
 		// paid in the background.
 		s.stats.addMigUnits(float64(len(m.encoded)) * s.eng.cfg.DeserCostPerByte)
@@ -579,11 +611,12 @@ func (s *shard) onState(m stateMsg) {
 			var err error
 			st, err = DecodeState(m.encoded)
 			if err != nil {
-				s.eng.events <- engEvent{kind: evError, node: s.nid, err: err}
+				s.eng.emit(engEvent{kind: evError, node: s.nid, err: err})
 				return
 			}
 			s.stats.addMigUnits(float64(len(m.encoded)) * s.eng.cfg.DeserCostPerByte)
 		}
+		delete(s.tips, gid) // a full move arrives tipless
 	}
 	delete(s.precopied, gid)
 	s.states[gid] = st
@@ -672,7 +705,7 @@ func (s *shard) maybeFlush(op int) {
 			}
 		}
 	}
-	s.eng.events <- engEvent{kind: evCompletion, node: s.nid, op: op}
+	s.eng.emit(engEvent{kind: evCompletion, node: s.nid, op: op})
 }
 
 func (s *shard) sendBarrier(destG, op int) {
@@ -682,7 +715,41 @@ func (s *shard) sendBarrier(destG, op int) {
 		s.mb.put(msg)
 		return
 	}
-	s.eng.shardAt(destG).mb.put(msg)
+	s.eng.deliver(destG, msg)
+}
+
+// onRecover installs a recovered state (shipped by the controller after a
+// node failure): the checkpointed encoding when one existed, a fresh empty
+// state otherwise. Any stale in-flight bookkeeping for the group is dropped —
+// recovery happens between periods, after the failed node's groups were
+// reassigned.
+func (s *shard) onRecover(m recoverMsg) {
+	gid := s.eng.topo.GID(m.op, m.kg)
+	st := NewState()
+	if len(m.encoded) > 0 {
+		var err error
+		st, err = DecodeState(m.encoded)
+		if err != nil {
+			s.eng.emit(engEvent{kind: evError, node: s.nid,
+				err: fmt.Errorf("engine: node %d recovered state for group %d: %w", s.nid, gid, err)})
+			return
+		}
+	}
+	s.states[gid] = st
+	if m.tipVer >= 0 {
+		// The restored state IS the checkpoint tip.
+		s.tips[gid] = &ckptTip{ver: m.tipVer, data: m.encoded}
+	} else {
+		delete(s.tips, gid)
+	}
+	delete(s.precopied, gid)
+	delete(s.pending, gid)
+	if s.awaitIn[gid] {
+		delete(s.awaitIn, gid)
+		if s.awaitByOp != nil {
+			s.awaitByOp[m.op]--
+		}
+	}
 }
 
 // emitFrom returns the Emit closure for (op, gid): it routes the tuple to

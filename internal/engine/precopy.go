@@ -70,7 +70,7 @@ func (e *Engine) dropPrecopy(s *precopySession) {
 		return
 	}
 	op, kg := e.topo.OpOf(s.gid)
-	e.shardFor(s.dest, s.gid).mb.put(precopyMsg{op: op, kg: kg, discard: true})
+	e.deliver(e.gsidFor(s.dest, s.gid), precopyMsg{op: op, kg: kg, discard: true})
 }
 
 // planTransfers decides, for every staged move of the period beginning now,
@@ -98,14 +98,24 @@ func (e *Engine) planTransfers(pr *periodRun, staged []core.Move) []stagedTransf
 	transfers := make([]stagedTransfer, 0, len(staged))
 	for _, mv := range staged {
 		s := e.precopy[mv.Group]
-		if s != nil && (s.dest != mv.To || s.consumedAt > 0) {
-			// The plan re-targeted the group (or a consumed session lingered
-			// from this very boundary — impossible by the cleanup above, but
-			// cheap to guard): start over.
+		if s != nil && (s.dest != mv.To || s.consumedAt > 0 || e.ckpt == nil || s.version != e.ckpt.Version(s.gid)) {
+			// The plan re-targeted the group, a consumed session lingered
+			// from this very boundary (impossible by the cleanup above, but
+			// cheap to guard), or a checkpoint advanced the store tip past the
+			// captured snapshot mid-pre-copy. Start over — executing against a
+			// stale base would leave the destination's adopted tip out of sync
+			// with the store's, corrupting every later delta checkpoint.
 			e.dropPrecopy(s)
 			s = nil
 		}
-		if s == nil && e.ckpt != nil && e.cfg.CheckpointAssistBytes > 0 && e.ckpt.Has(mv.Group) {
+		if s == nil && e.ckpt != nil && e.cfg.CheckpointAssistBytes > 0 && e.ckpt.Has(mv.Group) &&
+			e.tipNode != nil && e.tipNode[mv.Group] == mv.From {
+			// The tip-residency gate: the source can only compute a delta
+			// against a base it physically holds (its tip mirror, or — in the
+			// single-process engine — the session buffer; either way the tip
+			// must still live where the group does). A group that full-moved
+			// since its last checkpoint migrates full until the next
+			// checkpoint re-seats its tip.
 			if enc, ver, ok := e.ckpt.EncodedState(mv.Group); ok && len(enc) >= e.cfg.CheckpointAssistBytes {
 				if e.precopy == nil {
 					e.precopy = map[int]*precopySession{}
@@ -126,7 +136,7 @@ func (e *Engine) planTransfers(pr *periodRun, staged []core.Move) []stagedTransf
 		}
 		if chunk > 0 {
 			op, kg := e.topo.OpOf(mv.Group)
-			e.shardFor(mv.To, mv.Group).mb.put(precopyMsg{
+			e.deliver(e.gsidFor(mv.To, mv.Group), precopyMsg{
 				op: op, kg: kg,
 				version: s.version,
 				total:   len(s.data),

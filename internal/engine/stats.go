@@ -21,10 +21,14 @@ const denseCommGroupLimit = 362
 // locks. nodeUnits is atomic because the PoTC router reads it concurrently
 // from other shards, and subMilli because SubSnapshot reads it mid-period.
 type nodeStats struct {
-	// groupUnits[gid] = cost units attributed to that key group this period
-	// (processing + serialization + deserialization). Dense per-gid slices,
-	// not maps: these are incremented for every tuple on the hot path.
-	groupUnits []float64
+	// groupMilli[gid] = cost milli-units attributed to that key group this
+	// period (processing + serialization + deserialization). Dense per-gid
+	// slices, not maps: these are incremented for every tuple on the hot
+	// path. Integer milli-units, not float64: period merges sum shard (and,
+	// distributed, per-process) contributions in whatever order they arrive,
+	// and integer addition is order-independent where float addition is not —
+	// the in-memory and TCP runs must produce bit-identical PeriodStats.
+	groupMilli []int64
 	// groupTuplesIn / Out count tuples per key group.
 	groupTuplesIn  []int64
 	groupTuplesOut []int64
@@ -40,12 +44,12 @@ type nodeStats struct {
 	// batchesOut counts cross-node frames shipped (each amortizing one
 	// allocation and one mailbox lock over its tuples).
 	batchesOut int64
-	// migUnits is the CPU spent serializing/deserializing migrated state.
-	// It counts toward node load (the paper's load-index measurements
-	// include migration overhead — COLA's weakness) but not toward any key
-	// group's gLoad, so planning inputs stay steady-state.
-	migUnits float64
-	// nodeUnits mirrors the sum of groupUnits in milli-units for concurrent
+	// migMilli is the CPU spent serializing/deserializing migrated state, in
+	// milli-units. It counts toward node load (the paper's load-index
+	// measurements include migration overhead — COLA's weakness) but not
+	// toward any key group's gLoad, so planning inputs stay steady-state.
+	migMilli int64
+	// nodeUnits mirrors the sum of groupMilli in milli-units for concurrent
 	// readers (PoTC two-choice routing).
 	nodeUnits atomic.Int64
 	// subMilli, when non-nil, is this shard's per-gid milli-unit matrix
@@ -64,7 +68,7 @@ type nodeStats struct {
 // rely on that).
 func newNodeStats(numGroups int, subPeriods bool, denseLimit int) *nodeStats {
 	s := &nodeStats{
-		groupUnits:     make([]float64, numGroups),
+		groupMilli:     make([]int64, numGroups),
 		groupTuplesIn:  make([]int64, numGroups),
 		groupTuplesOut: make([]int64, numGroups),
 		numGroups:      numGroups,
@@ -108,20 +112,22 @@ func (s *nodeStats) forEachComm(fn func(from, to int, rate float64)) {
 }
 
 func (s *nodeStats) addUnits(gid int, units float64) {
-	s.groupUnits[gid] += units
-	s.nodeUnits.Add(int64(units * 1000))
+	m := int64(units * 1000)
+	s.groupMilli[gid] += m
+	s.nodeUnits.Add(m)
 	if s.subMilli != nil {
-		s.subMilli[gid].Add(int64(units * 1000))
+		s.subMilli[gid].Add(m)
 	}
 }
 
 func (s *nodeStats) addMigUnits(units float64) {
-	s.migUnits += units
-	s.nodeUnits.Add(int64(units * 1000))
+	m := int64(units * 1000)
+	s.migMilli += m
+	s.nodeUnits.Add(m)
 }
 
 func (s *nodeStats) reset() {
-	clear(s.groupUnits)
+	clear(s.groupMilli)
 	clear(s.groupTuplesIn)
 	clear(s.groupTuplesOut)
 	if s.commDense != nil {
@@ -131,7 +137,7 @@ func (s *nodeStats) reset() {
 	}
 	s.bytesOut, s.bytesIn = 0, 0
 	s.batchesOut = 0
-	s.migUnits = 0
+	s.migMilli = 0
 	s.nodeUnits.Store(0)
 	for i := range s.subMilli {
 		s.subMilli[i].Store(0)

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 )
 
@@ -69,7 +70,7 @@ func (e *Engine) SubSnapshot() (*core.Snapshot, error) {
 	hetero := false
 	for i := range e.nodes {
 		kill[i] = e.killed[i] || e.removed[i]
-		if !e.removed[i] {
+		if !e.removed[i] && e.nodes[i] != nil {
 			alive = append(alive, e.nodes[i])
 		}
 		if e.weights[i] != 1 {
@@ -95,26 +96,47 @@ func (e *Engine) SubSnapshot() (*core.Snapshot, error) {
 		Groups:   make([]core.GroupStat, e.topo.NumGroups()),
 		Ops:      e.opStats(),
 	}
+	// A group's burned milli-units live in the per-shard counters of
+	// whichever shard(s) processed it this period (after a hot move, both the
+	// old and new host contributed); summing over alive shards — and, in a
+	// distributed cluster, over the workers' sparse mid-period readings —
+	// yields the period-so-far total without any hot-path lock.
+	milli := make([]int64, e.topo.NumGroups())
+	for _, n := range alive {
+		for _, sh := range n.shards {
+			for gid := range milli {
+				milli[gid] += sh.stats.subMilli[gid].Load()
+			}
+		}
+	}
+	if e.rig != nil {
+		for _, peer := range e.workerPeers() {
+			body, err := e.rig.request(peer, reqFrame{kind: rqSub})
+			if err != nil {
+				continue // a dead worker contributes nothing mid-period
+			}
+			vals, derr := decodeSubReply(body)
+			codec.PutBuf(body)
+			if derr != nil {
+				continue
+			}
+			for _, v := range vals {
+				if v.gid < len(milli) {
+					milli[v.gid] += v.val
+				}
+			}
+		}
+	}
 	for gid := range s.Groups {
 		op, _ := e.topo.OpOf(gid)
 		st := 0.0
 		if stateBytes != nil {
 			st = float64(stateBytes[gid])
 		}
-		// A group's burned milli-units live in the per-shard counters of
-		// whichever shard(s) processed it this period (after a hot move,
-		// both the old and new host contributed); summing over alive shards
-		// yields the period-so-far total without any hot-path lock.
-		milli := int64(0)
-		for _, n := range alive {
-			for _, sh := range n.shards {
-				milli += sh.stats.subMilli[gid].Load()
-			}
-		}
 		s.Groups[gid] = core.GroupStat{
 			Op:        op,
 			Node:      groupNode[gid],
-			Load:      100 * float64(milli) / 1000 / capacity,
+			Load:      100 * float64(milli[gid]) / 1000 / capacity,
 			StateSize: st,
 		}
 	}
@@ -177,9 +199,22 @@ func (e *Engine) quiesceToward(target int64) {
 	for {
 		cur := int64(0)
 		for i, n := range e.nodes {
-			if !e.removed[i] {
+			if !e.removed[i] && n != nil {
 				for _, sh := range n.shards {
 					cur += sh.stats.nodeUnits.Load()
+				}
+			}
+		}
+		if e.rig != nil {
+			for _, peer := range e.workerPeers() {
+				body, err := e.rig.request(peer, reqFrame{kind: rqProgress})
+				if err != nil {
+					continue // dead worker: counts as no progress; stalls exit
+				}
+				m, derr := decodeProgressReply(body)
+				codec.PutBuf(body)
+				if derr == nil {
+					cur += m
 				}
 			}
 		}
@@ -264,17 +299,54 @@ func (e *Engine) applyHotMoves(pr *periodRun, moves []core.Move, flushSrc func()
 	// Every shard of every alive node gets the message (each keeps its own
 	// router overrides and may route toward the moved group), but only the
 	// owning shards of the from/to nodes participate in the state handoff.
+	//
+	// Distributed, "strictly first" needs an explicit edge: a remote
+	// destination's frame is sent with an ack request, and the second-phase
+	// broadcast waits for every ack — the worker's dispatch loop acks after
+	// enqueuing, and the destination's per-link FIFO then orders the
+	// hotMoveMsg ahead of anything the from-side ships once phase two runs.
 	msg := hotMoveMsg{period: pr.period, moves: batch}
 	sent := make([]bool, len(e.nodes)*e.spn)
+	awaiting := 0
 	for _, hm := range batch {
 		g := e.gsidFor(hm.to, hm.gid)
-		if !sent[g] {
-			sent[g] = true
+		if sent[g] {
+			continue
+		}
+		sent[g] = true
+		if e.hostsNode(hm.to) {
 			e.shardAt(g).mb.put(msg)
+			continue
+		}
+		if err := e.rig.sendHotMove(e.peerFor(hm.to), g, msg, true); err == nil {
+			awaiting++
+		}
+	}
+	for awaiting > 0 {
+		select {
+		case ack := <-e.rig.hotAcks:
+			if ack.period == pr.period {
+				awaiting--
+			}
+		case <-e.rig.deadSignal():
+			// A worker died mid-broadcast; the period is doomed (finishPeriod
+			// aborts on the same signal). Do not wedge the generator here.
+			awaiting = 0
 		}
 	}
 	for i, n := range e.nodes {
 		if e.removed[i] {
+			continue
+		}
+		if n == nil {
+			peer := e.peerFor(i)
+			for sidx := 0; sidx < e.spn; sidx++ {
+				g := i*e.spn + sidx
+				if !sent[g] {
+					sent[g] = true
+					_ = e.rig.sendHotMove(peer, g, msg, false)
+				}
+			}
 			continue
 		}
 		for _, sh := range n.shards {
