@@ -345,7 +345,7 @@ func BenchmarkTupleBatchCodec(b *testing.B) {
 func BenchmarkStateMigration(b *testing.B) {
 	st := engine.NewState()
 	for i := 0; i < 500; i++ {
-		st.Table("t")[string(rune('a'+i%26))+string(rune('0'+i%10))] = float64(i)
+		st.Table("t").Set(string(rune('a'+i%26))+string(rune('0'+i%10)), float64(i))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -368,11 +368,11 @@ func BenchmarkStateMigration(b *testing.B) {
 func BenchmarkMigrationDelta(b *testing.B) {
 	ckpt := statestore.NewState()
 	for i := 0; i < 2000; i++ {
-		ckpt.Table("w")[fmt.Sprintf("key-%06d", i)] = float64(i)
+		ckpt.Table("w").Set(fmt.Sprintf("key-%06d", i), float64(i))
 	}
 	live := ckpt.Clone()
 	for i := 0; i < 20; i++ {
-		live.Table("w")[fmt.Sprintf("key-%06d", i*97)] += 1
+		live.Table("w").Add(fmt.Sprintf("key-%06d", i*97), 1)
 	}
 	// The destination's pre-copied base exists before the barrier; cloning
 	// it is background work, not part of the synchronous path measured
@@ -399,7 +399,7 @@ func BenchmarkMigrationDelta(b *testing.B) {
 func BenchmarkMigrationFull(b *testing.B) {
 	live := statestore.NewState()
 	for i := 0; i < 2000; i++ {
-		live.Table("w")[fmt.Sprintf("key-%06d", i)] = float64(i)
+		live.Table("w").Set(fmt.Sprintf("key-%06d", i), float64(i))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

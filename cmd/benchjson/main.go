@@ -11,14 +11,22 @@
 // regressions are visible at review time):
 //
 //	go run ./cmd/benchjson -compare base.json head.json
+//
+// Gate (CI fails the PR when allocs/op on the allocation-critical paths
+// regresses past the threshold; base-only or head-only benchmarks are
+// skipped, so adding or renaming a benchmark never trips it):
+//
+//	go run ./cmd/benchjson -gate -match 'EngineThroughput|StateStore' -max-regress 10 base.json head.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -182,8 +190,79 @@ func metricCells(base, head map[string]float64) string {
 	return strings.Join(parts, "<br>")
 }
 
+// gate compares allocs/op on benchmarks matching re and returns the names
+// that regressed by more than maxPct percent. Benchmarks missing on either
+// side, or with zero allocations on the base, are skipped.
+func gate(basePath, headPath string, re *regexp.Regexp, maxPct float64, w io.Writer) ([]string, error) {
+	base, _, err := load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	head, order, err := load(headPath)
+	if err != nil {
+		return nil, err
+	}
+	var failed []string
+	checked := 0
+	for _, name := range order {
+		if !re.MatchString(name) {
+			continue
+		}
+		h := head[name]
+		b, ok := base[name]
+		if !ok || b.AllocsOp == 0 {
+			continue
+		}
+		checked++
+		pct := (h.AllocsOp - b.AllocsOp) / b.AllocsOp * 100
+		verdict := "ok"
+		if pct > maxPct {
+			verdict = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "%-4s %s: %.0f -> %.0f allocs/op (%+.1f%%, limit %+.1f%%)\n",
+			verdict, name, b.AllocsOp, h.AllocsOp, pct, maxPct)
+	}
+	if checked == 0 {
+		// An empty gate passes vacuously — say so rather than silently
+		// green-lighting a filter typo.
+		fmt.Fprintf(w, "warning: no benchmarks matched %q on both sides; nothing gated\n", re)
+	}
+	return failed, nil
+}
+
+func runGate(args []string) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	match := fs.String("match", "EngineThroughput|StateStore", "regexp of benchmark names to gate on allocs/op")
+	maxPct := fs.Float64("max-regress", 10, "maximum allowed allocs/op regression in percent")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -gate [-match re] [-max-regress pct] base.json head.json")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	failed, err := gate(fs.Arg(0), fs.Arg(1), re, *maxPct, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op regressed past %.1f%% on: %s\n",
+			*maxPct, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
 func main() {
 	args := os.Args[1:]
+	if len(args) >= 1 && args[0] == "-gate" {
+		runGate(args[1:])
+		return
+	}
 	if len(args) == 3 && args[0] == "-compare" {
 		if err := compare(args[1], args[2], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -201,7 +280,7 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if len(args) != 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt] | benchjson -compare base.json head.json")
+		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt] | benchjson -compare base.json head.json | benchjson -gate [-match re] [-max-regress pct] base.json head.json")
 		os.Exit(2)
 	}
 	rs, err := parse(in)

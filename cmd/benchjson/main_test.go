@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeResults(t *testing.T, dir, name string, rs []Result) string {
+	t.Helper()
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseStripsProcSuffixAndReadsMetrics(t *testing.T) {
+	out := `goos: linux
+BenchmarkEngineThroughput-8   	     200	  27803939 ns/op	   1476147 tuples/s	  380799 B/op	    3491 allocs/op
+BenchmarkStateStoreDiff 	   10000	      1200 ns/op	      96 B/op	       8 allocs/op
+`
+	rs, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	if rs[0].Name != "BenchmarkEngineThroughput" {
+		t.Fatalf("proc suffix not stripped: %q", rs[0].Name)
+	}
+	if rs[0].AllocsOp != 3491 || rs[0].Metrics["tuples/s"] != 1476147 {
+		t.Fatalf("wrong values: %+v", rs[0])
+	}
+}
+
+func TestGateFailsOnlyOnMatchedRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeResults(t, dir, "base.json", []Result{
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1000},
+		{Name: "BenchmarkStateStoreDiff", NsOp: 10, AllocsOp: 8},
+		{Name: "BenchmarkUnrelated", NsOp: 10, AllocsOp: 10},
+	})
+	re := regexp.MustCompile("EngineThroughput|StateStore")
+
+	// Within threshold on gated benches; wild regression on an ungated one.
+	head := writeResults(t, dir, "head-ok.json", []Result{
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1050},
+		{Name: "BenchmarkStateStoreDiff", NsOp: 10, AllocsOp: 8},
+		{Name: "BenchmarkUnrelated", NsOp: 10, AllocsOp: 500},
+	})
+	failed, err := gate(base, head, re, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("gate failed on %v, want pass", failed)
+	}
+
+	// Past threshold on a gated bench.
+	head = writeResults(t, dir, "head-bad.json", []Result{
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1200},
+		{Name: "BenchmarkStateStoreDiff", NsOp: 10, AllocsOp: 8},
+	})
+	failed, err = gate(base, head, re, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != "BenchmarkEngineThroughput" {
+		t.Fatalf("failed = %v, want the regressed benchmark only", failed)
+	}
+
+	// New benchmarks (no base entry) never trip the gate.
+	head = writeResults(t, dir, "head-new.json", []Result{
+		{Name: "BenchmarkStateStoreNew", NsOp: 10, AllocsOp: 9999},
+	})
+	failed, err = gate(base, head, re, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("gate failed on new-only benchmark: %v", failed)
+	}
+}

@@ -36,7 +36,7 @@ func main() {
 		Proc: func(t *repro.TupleView, st *repro.State, emit repro.Emit) {
 			st.Add("revenue", t.Num("amount"))
 			st.Add("orders", 1)
-			st.Table("by-cust")[t.Key()] += t.Num("amount")
+			st.Table("by-cust").Add(t.Key(), t.Num("amount"))
 		},
 	})
 	topo.Connect("orders", "revenue")

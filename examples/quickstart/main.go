@@ -31,10 +31,10 @@ func main() {
 		Name:      "count",
 		KeyGroups: 16,
 		Proc: func(t *repro.TupleView, st *repro.State, emit repro.Emit) {
-			st.Table("counts")[t.Key()]++
+			st.Table("counts").Add(t.Key(), 1)
 		},
 		Flush: func(kg int, st *repro.State, emit repro.Emit) {
-			for w, c := range st.Table("counts") {
+			for w, c := range st.Table("counts").All() {
 				emit((&repro.Tuple{Key: w}).WithNum("count", c))
 			}
 			st.ClearTable("counts")

@@ -32,10 +32,19 @@ var bufPool = sync.Pool{
 	},
 }
 
+// boxPool recycles the *[]byte boxes bufPool requires, so PutBuf does not
+// allocate a fresh box (an escaping &b) on every call — with both pools
+// warm, GetBuf/PutBuf cycles are allocation-free.
+var boxPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // GetBuf returns an empty byte buffer from the pool. Pair with PutBuf once
 // every slice derived from the buffer has been consumed or copied.
 func GetBuf() []byte {
-	return (*bufPool.Get().(*[]byte))[:0]
+	box := bufPool.Get().(*[]byte)
+	b := (*box)[:0]
+	*box = nil
+	boxPool.Put(box)
+	return b
 }
 
 // PutBuf returns a buffer to the pool. The caller must not retain any slice
@@ -46,7 +55,9 @@ func PutBuf(b []byte) {
 		return
 	}
 	b = b[:0]
-	bufPool.Put(&b)
+	box := boxPool.Get().(*[]byte)
+	*box = b
+	bufPool.Put(box)
 }
 
 // AppendBatchItem appends one length-prefixed item to a batch frame under

@@ -37,7 +37,7 @@ func TestOutOfOrderProcessing(t *testing.T) {
 		},
 		Flush: func(kg int, st *State, emit Emit) {
 			emit((&Tuple{Key: "out"}).WithNum("sum", st.Num("sum")))
-			st.Nums["sum"] = 0
+			st.SetNum("sum", 0)
 		},
 	})
 	tp.AddOperator(&Operator{
@@ -95,7 +95,7 @@ func TestConnectByKeying(t *testing.T) {
 		Proc: func(tu *TupleView, st *State, emit Emit) {
 			// Record which key group each route value landed on; kg is not
 			// directly visible here so stash it via state key below.
-			st.Table("routes")[tu.Str("route")]++
+			st.Table("routes").Add(tu.Str("route"), 1)
 		},
 	})
 	tp.Connect("src", "fwd")
@@ -117,7 +117,7 @@ func TestConnectByKeying(t *testing.T) {
 			if e.topo.OpName(op) != "byroute" {
 				continue
 			}
-			for route := range st.Table("routes") {
+			for route := range st.Table("routes").All() {
 				if prev, ok := routeKG[route]; ok && prev != kg {
 					t.Fatalf("route %s split across kgs %d and %d", route, prev, kg)
 				}

@@ -52,7 +52,7 @@ func (e *Engine) TakeCheckpoint() CheckpointStats {
 		e.ckpt = statestore.New()
 	}
 	cs := CheckpointStats{Period: e.period}
-	var fresh []int
+	fresh := e.freshScratch[:0]
 	for i, n := range e.nodes {
 		if e.removed[i] || n == nil {
 			continue
@@ -104,6 +104,7 @@ func (e *Engine) TakeCheckpoint() CheckpointStats {
 		e.ckptDeltas[gid] = emptyDelta
 	}
 	e.mu.Unlock()
+	e.freshScratch = fresh[:0]
 	return cs
 }
 

@@ -55,7 +55,7 @@ func growingTopology(perPeriod, kgs int) *Topology {
 		KeyGroups: kgs,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
 			st.Add("total", 1)
-			st.Table("seen")[fmt.Sprintf("p%d-t%d", tu.TS()/1000, tu.TS())] = 1
+			st.Table("seen").Set(fmt.Sprintf("p%d-t%d", tu.TS()/1000, tu.TS()), 1)
 		},
 	})
 	tp.Connect("src", "grow")

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/metrics"
 	"sync"
 
 	"repro/internal/codec"
@@ -192,6 +193,21 @@ type Engine struct {
 	// migration only while the group still physically lives on that node —
 	// see Engine.tipValid.
 	tipNode []int
+
+	// liveStates is finishPeriod's reusable gid -> live-state scratch for the
+	// checkpoint-delta measurement (indexed by gid, cleared between periods).
+	liveStates []*State
+	// freshScratch is TakeCheckpoint's reusable list of gids checkpointed for
+	// the first time this cadence.
+	freshScratch []int
+	// Allocation telemetry: finishPeriod samples the runtime's cumulative
+	// heap-allocation counters at each period barrier and reports the
+	// barrier-to-barrier delta in PeriodStats.Allocs/AllocBytes. Sampling is
+	// two runtime/metrics reads per period — nothing on the hot path.
+	allocSamples   [2]metrics.Sample
+	prevAllocObjs  uint64
+	prevAllocBytes uint64
+	allocSampled   bool
 }
 
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed integer hash
@@ -816,7 +832,11 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	// full-state since its checkpoint reports -1 (and migrates full) until
 	// the next checkpoint re-establishes residency.
 	if e.ckpt != nil && e.ckpt.Len() > 0 {
-		live := make(map[int]*State, ng)
+		if len(e.liveStates) < ng {
+			e.liveStates = make([]*State, ng)
+		}
+		live := e.liveStates[:ng]
+		clear(live)
 		for i, n := range e.nodes {
 			if n == nil || e.removed[i] {
 				continue
@@ -848,6 +868,22 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 			}
 		}
 	}
+	// Allocation telemetry: the delta of the runtime's cumulative allocation
+	// counters since the previous period barrier. The first period reports 0
+	// (no previous barrier to diff against).
+	if e.allocSamples[0].Name == "" {
+		e.allocSamples[0].Name = "/gc/heap/allocs:objects"
+		e.allocSamples[1].Name = "/gc/heap/allocs:bytes"
+	}
+	metrics.Read(e.allocSamples[:])
+	objs := e.allocSamples[0].Value.Uint64()
+	bytes := e.allocSamples[1].Value.Uint64()
+	if e.allocSampled {
+		ps.Allocs = objs - e.prevAllocObjs
+		ps.AllocBytes = bytes - e.prevAllocBytes
+	}
+	e.prevAllocObjs, e.prevAllocBytes = objs, bytes
+	e.allocSampled = true
 	// The period installed pr.alloc, not necessarily the current target:
 	// a plan staged mid-period diffs against what is physically in place.
 	e.mu.Lock()

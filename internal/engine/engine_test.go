@@ -50,10 +50,10 @@ func wordCountTopology(words []string, perPeriod int, kgs int, col *collector) *
 		Name:      "count",
 		KeyGroups: kgs,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
-			st.Table("counts")[tu.Key()]++
+			st.Table("counts").Add(tu.Key(), 1)
 		},
 		Flush: func(kg int, st *State, emit Emit) {
-			for w, c := range st.Table("counts") {
+			for w, c := range st.Table("counts").All() {
 				emit((&Tuple{Key: w}).WithNum("count", c))
 			}
 			st.ClearTable("counts")
@@ -216,6 +216,36 @@ func TestStatsAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestAllocTelemetryAtPeriodBarriers(t *testing.T) {
+	col := newCollector()
+	tp := wordCountTopology([]string{"a", "b", "c", "d"}, 200, 8, col)
+	e, err := New(tp, Config{Nodes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// The first period has no previous barrier sample to delta against.
+	ps, err := e.RunPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Allocs != 0 || ps.AllocBytes != 0 {
+		t.Fatalf("first period must report zero alloc telemetry, got %d objs / %d bytes", ps.Allocs, ps.AllocBytes)
+	}
+	// Later periods report barrier-to-barrier deltas; a period that
+	// processed tuples allocated *something* (the counters are cumulative,
+	// so deltas are also monotone-safe — never negative by construction).
+	for p := 0; p < 3; p++ {
+		ps, err = e.RunPeriod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Allocs == 0 || ps.AllocBytes == 0 {
+			t.Fatalf("period %d: expected nonzero alloc telemetry, got %d objs / %d bytes", p+2, ps.Allocs, ps.AllocBytes)
+		}
+	}
+}
+
 func TestCollocationEliminatesSerialization(t *testing.T) {
 	// Two operators with IDENTICAL key-group counts form a One-To-One
 	// pattern: count kg k only ever sends to sink kg k. Collocating pairs
@@ -231,10 +261,10 @@ func TestCollocationEliminatesSerialization(t *testing.T) {
 			Name:      "count",
 			KeyGroups: 8,
 			Proc: func(tu *TupleView, st *State, emit Emit) {
-				st.Table("c")[tu.Key()]++
+				st.Table("c").Add(tu.Key(), 1)
 			},
 			Flush: func(kg int, st *State, emit Emit) {
-				for w, c := range st.Table("c") {
+				for w, c := range st.Table("c").All() {
 					emit((&Tuple{Key: w}).WithNum("count", c))
 				}
 				st.ClearTable("c")
@@ -513,13 +543,13 @@ func TestStateRoundTripAndMerge(t *testing.T) {
 	s := NewState()
 	s.Add("count", 7)
 	s.SetStr("last", "x")
-	s.Table("win")["a"] = 2
+	s.Table("win").Set("a", 2)
 	b := s.Encode(nil)
 	got, err := DecodeState(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Num("count") != 7 || got.Str("last") != "x" || got.Table("win")["a"] != 2 {
+	if got.Num("count") != 7 || got.Str("last") != "x" || got.Table("win").Get("a") != 2 {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 	if s.Size() != len(b) {
@@ -527,10 +557,10 @@ func TestStateRoundTripAndMerge(t *testing.T) {
 	}
 	other := NewState()
 	other.Add("count", 3)
-	other.Table("win")["a"] = 1
-	other.Table("win")["b"] = 5
+	other.Table("win").Set("a", 1)
+	other.Table("win").Set("b", 5)
 	got.Merge(other)
-	if got.Num("count") != 10 || got.Table("win")["a"] != 3 || got.Table("win")["b"] != 5 {
+	if got.Num("count") != 10 || got.Table("win").Get("a") != 3 || got.Table("win").Get("b") != 5 {
 		t.Fatalf("merge mismatch: %+v", got)
 	}
 }

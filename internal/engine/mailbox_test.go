@@ -239,10 +239,10 @@ func TestBarrierOrderingUnderMigration(t *testing.T) {
 		Name:      "count",
 		KeyGroups: keyGroups,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
-			st.Table("c")[tu.Key()]++
+			st.Table("c").Add(tu.Key(), 1)
 		},
 		Flush: func(kg int, st *State, emit Emit) {
-			for k, v := range st.Table("c") {
+			for k, v := range st.Table("c").All() {
 				emit((&Tuple{Key: k}).WithNum("n", v))
 			}
 			st.ClearTable("c")

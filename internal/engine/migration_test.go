@@ -25,7 +25,7 @@ func buildGrowTopology(build, trickle, buildPeriods, kgs int) *Topology {
 		KeyGroups: kgs,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
 			st.Add("total", 1)
-			st.Table("seen")[tu.Key()] = 1
+			st.Table("seen").Set(tu.Key(), 1)
 		},
 	})
 	tp.Connect("src", "grow")
@@ -154,13 +154,13 @@ func TestCheckpointAssistedMigration(t *testing.T) {
 	cells := 0
 	for _, n := range e.nodes {
 		for _, st := range n.allStates() {
-			cells += len(st.Table("seen"))
+			cells += st.Table("seen").Len()
 		}
 	}
 	if cells != emitted {
 		t.Fatalf("state holds %d cells, emitted %d unique keys", cells, emitted)
 	}
-	if st := e.nodes[1].stateOf(0); st == nil || len(st.Table("seen")) == 0 {
+	if st := e.nodes[1].stateOf(0); st == nil || st.Table("seen").Len() == 0 {
 		t.Fatal("group 0 state not resident on destination node 1")
 	}
 }
@@ -346,7 +346,7 @@ func TestFailureDuringPrecopy(t *testing.T) {
 	}
 	// Recovery restores exactly the checkpoint (post-checkpoint progress is
 	// lost; nothing applied twice).
-	if d := len(recovered.Table("seen")) - len(ckptState.Table("seen")); d != 0 {
+	if d := recovered.Table("seen").Len() - ckptState.Table("seen").Len(); d != 0 {
 		t.Fatalf("recovered state differs from checkpoint by %d cells", d)
 	}
 

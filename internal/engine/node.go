@@ -126,6 +126,12 @@ type shard struct {
 	// tp recycles pooled emit tuples (NewTuple) shard-locally: plain slice
 	// ops on the owning goroutine, no sync.Pool traffic on the emit path.
 	tp tupleFreeList
+	// pool recycles State arenas shard-locally: a migrated-out group's state
+	// (symbol table, tables, backing arrays) is reused by the next group
+	// created or received here. diff is the shard's reusable Delta scratch
+	// for delta migrations (encode) and delta adoption (decode).
+	pool statestore.Pool
+	diff statestore.Delta
 
 	period      int
 	router      *routerTable
@@ -299,24 +305,37 @@ func (s *shard) onMigrateOut(m migrateOutMsg) {
 		// The delta base is the checkpoint tip at version deltaBase: the
 		// shard's own tip mirror serves it locally (workers — the controller's
 		// session buffer is a process away), with the controller's pre-copy
-		// session as the in-process fallback.
-		var baseEnc []byte
+		// session as the in-process fallback. The mirror's decoded form is
+		// cached on the tip so repeated delta operations decode once.
+		var base *State
 		if tip := s.tips[gid]; tip != nil && tip.ver == m.deltaBase {
-			baseEnc = tip.data
+			if tip.st == nil {
+				dec, err := statestore.DecodeState(tip.data)
+				if err != nil {
+					s.eng.emit(engEvent{kind: evError, node: s.nid,
+						err: fmt.Errorf("engine: node %d delta base for group %d: %w", s.nid, gid, err)})
+					return
+				}
+				tip.st = dec
+			}
+			base = tip.st
 		} else if ps := s.eng.precopySource(gid); ps != nil && ps.version == m.deltaBase {
-			baseEnc = ps.data
-		}
-		if baseEnc != nil {
-			base, err := statestore.DecodeState(baseEnc)
+			dec, err := statestore.DecodeState(ps.data)
 			if err != nil {
 				s.eng.emit(engEvent{kind: evError, node: s.nid,
 					err: fmt.Errorf("engine: node %d delta base for group %d: %w", s.nid, gid, err)})
 				return
 			}
-			d := statestore.Diff(base, st)
-			if encoded := d.Encode(nil); st == nil || len(encoded) < st.Size() {
+			base = dec
+		}
+		if base != nil {
+			d := &s.diff
+			statestore.DiffInto(d, base, st)
+			if sz := d.Size(); st == nil || sz < st.Size() {
+				encoded := d.Encode(make([]byte, 0, sz))
 				delete(s.states, gid)
 				delete(s.tips, gid) // the tip travels with the group
+				s.pool.Put(st)
 				s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
 				s.flushOut(destG)
 				s.eng.deliver(destG, stateMsg{op: m.op, kg: m.kg, encoded: encoded, delta: true, baseVer: m.deltaBase})
@@ -329,8 +348,9 @@ func (s *shard) onMigrateOut(m migrateOutMsg) {
 	}
 	var encoded []byte
 	if st != nil {
-		encoded = st.Encode(nil)
+		encoded = st.Encode(make([]byte, 0, st.Size()))
 		delete(s.states, gid)
+		s.pool.Put(st)
 	}
 	delete(s.tips, gid) // a full move strands the tip; the controller forgets it
 	s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
@@ -404,8 +424,9 @@ func (s *shard) onHotMove(m hotMoveMsg) {
 			destG := s.eng.gsidFor(mv.to, mv.gid)
 			var encoded []byte
 			if st := s.states[mv.gid]; st != nil {
-				encoded = st.Encode(nil)
+				encoded = st.Encode(make([]byte, 0, st.Size()))
 				delete(s.states, mv.gid)
+				s.pool.Put(st)
 			}
 			delete(s.tips, mv.gid) // hot moves always ship full state
 			s.stats.addMigUnits(float64(len(encoded)) * s.eng.cfg.SerCostPerByte)
@@ -510,7 +531,7 @@ func (s *shard) process(op, kg, gid int, v *TupleView) {
 	o := s.eng.topo.ops[op]
 	st := s.states[gid]
 	if st == nil {
-		st = NewState()
+		st = s.pool.Get()
 		s.states[gid] = st
 	}
 	s.stats.groupTuplesIn[gid]++
@@ -584,19 +605,21 @@ func (s *shard) onState(m stateMsg) {
 				err: fmt.Errorf("engine: node %d delta state for group %d without complete pre-copied base", s.nid, gid)})
 			return
 		}
-		base, err := statestore.DecodeState(pb.buf)
-		if err != nil {
+		base := s.pool.Get()
+		if err := statestore.DecodeStateInto(pb.buf, base); err != nil {
+			s.pool.Put(base)
 			s.eng.emit(engEvent{kind: evError, node: s.nid,
 				err: fmt.Errorf("engine: node %d pre-copied base for group %d: %w", s.nid, gid, err)})
 			return
 		}
-		d, rest, err := statestore.DecodeDelta(m.encoded)
+		rest, err := statestore.DecodeDeltaInto(m.encoded, &s.diff)
 		if err != nil || len(rest) != 0 {
+			s.pool.Put(base)
 			s.eng.emit(engEvent{kind: evError, node: s.nid,
 				err: fmt.Errorf("engine: node %d state delta for group %d: %v (%d trailing)", s.nid, gid, err, len(rest))})
 			return
 		}
-		d.Apply(base)
+		s.diff.Apply(base)
 		st = base
 		// The pre-copied base WAS the checkpoint tip at baseVer: this shard
 		// now holds it, so adopt it as the local tip mirror (the controller
@@ -606,11 +629,10 @@ func (s *shard) onState(m stateMsg) {
 		// paid in the background.
 		s.stats.addMigUnits(float64(len(m.encoded)) * s.eng.cfg.DeserCostPerByte)
 	} else {
-		st = NewState()
+		st = s.pool.Get()
 		if len(m.encoded) > 0 {
-			var err error
-			st, err = DecodeState(m.encoded)
-			if err != nil {
+			if err := statestore.DecodeStateInto(m.encoded, st); err != nil {
+				s.pool.Put(st)
 				s.eng.emit(engEvent{kind: evError, node: s.nid, err: err})
 				return
 			}
@@ -619,6 +641,9 @@ func (s *shard) onState(m stateMsg) {
 		delete(s.tips, gid) // a full move arrives tipless
 	}
 	delete(s.precopied, gid)
+	if old := s.states[gid]; old != nil && old != st {
+		s.pool.Put(old)
+	}
 	s.states[gid] = st
 	if s.awaitIn[gid] {
 		delete(s.awaitIn, gid)
@@ -682,7 +707,7 @@ func (s *shard) maybeFlush(op int) {
 			gid := s.eng.topo.GID(op, kg)
 			st := s.states[gid]
 			if st == nil {
-				st = NewState()
+				st = s.pool.Get()
 				s.states[gid] = st
 			}
 			func() {
@@ -725,15 +750,17 @@ func (s *shard) sendBarrier(destG, op int) {
 // reassigned.
 func (s *shard) onRecover(m recoverMsg) {
 	gid := s.eng.topo.GID(m.op, m.kg)
-	st := NewState()
+	st := s.pool.Get()
 	if len(m.encoded) > 0 {
-		var err error
-		st, err = DecodeState(m.encoded)
-		if err != nil {
+		if err := statestore.DecodeStateInto(m.encoded, st); err != nil {
+			s.pool.Put(st)
 			s.eng.emit(engEvent{kind: evError, node: s.nid,
 				err: fmt.Errorf("engine: node %d recovered state for group %d: %w", s.nid, gid, err)})
 			return
 		}
+	}
+	if old := s.states[gid]; old != nil && old != st {
+		s.pool.Put(old)
 	}
 	s.states[gid] = st
 	if m.tipVer >= 0 {

@@ -54,7 +54,7 @@ func TestShardedExactnessUnderMoves(t *testing.T) {
 		Name:      "A",
 		KeyGroups: kgsA,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
-			st.Table("seen")[tu.Key()]++
+			st.Table("seen").Add(tu.Key(), 1)
 			emit(tu.NewTuple(tu.Key(), tu.TS()).WithNum("seq", tu.Num("seq")))
 		},
 	})
@@ -62,7 +62,7 @@ func TestShardedExactnessUnderMoves(t *testing.T) {
 		Name:      "B",
 		KeyGroups: kgsB,
 		Proc: func(tu *TupleView, st *State, emit Emit) {
-			st.Table("seen")[tu.Key()]++
+			st.Table("seen").Add(tu.Key(), 1)
 			k, s := tu.Key(), tu.Num("seq")
 			fifoMu.Lock()
 			if s <= lastSeq[k] {
@@ -148,7 +148,7 @@ func TestShardedExactnessUnderMoves(t *testing.T) {
 			if e.topo.OpName(op) == "B" {
 				dst = gotB
 			}
-			for k, v := range st.Table("seen") {
+			for k, v := range st.Table("seen").All() {
 				dst[k] += v
 			}
 		}
@@ -250,7 +250,7 @@ func TestShardingDictionaryShiftBounded(t *testing.T) {
 			Name:      "agg",
 			KeyGroups: 12,
 			Proc: func(tu *TupleView, st *State, emit Emit) {
-				st.Table("sum")[tu.Key()] += tu.Num("delay")
+				st.Table("sum").Add(tu.Key(), tu.Num("delay"))
 			},
 		})
 		tp.Connect("src", "agg")

@@ -11,6 +11,10 @@ import "repro/internal/statestore"
 // serializes and ships, and what the checkpoint store versions.
 type State = statestore.State
 
+// Table is one named table of a State: an open-addressed hash from cell key
+// to float64 (see statestore.Table).
+type Table = statestore.Table
+
 // NewState returns an empty state.
 func NewState() *State { return statestore.NewState() }
 

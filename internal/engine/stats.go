@@ -203,6 +203,14 @@ type PeriodStats struct {
 	// groups without a checkpoint; nil when the engine has never
 	// checkpointed). It feeds the planner's delta-cost model.
 	CkptDeltaBytes []int
+	// Allocs / AllocBytes are the heap allocations (objects / bytes) this
+	// process performed between the previous period barrier and this one,
+	// sampled via runtime/metrics deltas off the hot path. They make the
+	// allocation budget an observable, regression-gated metric like
+	// tuples/s. Zero for the first period (no previous barrier to diff
+	// against); process-wide, so excluded from cross-run equivalence
+	// comparisons.
+	Allocs, AllocBytes uint64
 }
 
 // LoadPercent converts cost units to percentage points of node capacity.

@@ -28,6 +28,12 @@ import (
 type ckptTip struct {
 	ver  int
 	data []byte
+	// st caches the decoded form of the tip, built lazily by the first delta
+	// operation that needs it and then advanced in place by later checkpoint
+	// deltas — repeated delta checkpoints and migrations decode the tip at
+	// most once instead of once per use. When st is current, data may be nil
+	// (the encoding is only re-derivable, never shipped).
+	st *State
 }
 
 // pingMsg flushes a shard's mailbox: the shard replies on ch once every
@@ -255,9 +261,13 @@ func (e *Engine) statsReplyBody() []byte {
 			for gid, st := range sh.states {
 				stateBytes[gid] = int64(st.Size())
 				if tip := sh.tips[gid]; tip != nil {
-					base, err := statestore.DecodeState(tip.data)
-					if err == nil {
-						ckptDelta[gid] = int64(statestore.DiffSize(base, st))
+					if tip.st == nil {
+						if dec, err := statestore.DecodeState(tip.data); err == nil {
+							tip.st = dec
+						}
+					}
+					if tip.st != nil {
+						ckptDelta[gid] = int64(statestore.DiffSize(tip.st, st))
 					}
 				}
 			}
@@ -306,20 +316,33 @@ func (e *Engine) ckptReplyBody(version int) []byte {
 			sort.Ints(gids)
 			for _, gid := range gids {
 				st := sh.states[gid]
-				enc := st.Encode(nil)
-				entry := ckptEntryWire{node: i, gid: gid, full: true, payload: enc}
-				if tip := sh.tips[gid]; tip != nil {
-					if base, err := statestore.DecodeState(tip.data); err == nil {
-						d := statestore.Diff(base, st)
-						entry.full = false
-						entry.payload = d.Encode(nil)
+				tip := sh.tips[gid]
+				if tip != nil && tip.st == nil {
+					if dec, err := statestore.DecodeState(tip.data); err == nil {
+						tip.st = dec
 					}
 				}
+				if tip != nil && tip.st != nil {
+					// Delta checkpoint: diff against the decoded mirror, ship
+					// the delta, and advance the mirror by applying it — the
+					// same in-place tip advance the controller's store
+					// performs, so mirror and store tip stay in lockstep
+					// without a full encode per cadence.
+					d := &sh.diff
+					statestore.DiffInto(d, tip.st, st)
+					payload := d.Encode(make([]byte, 0, d.Size()))
+					d.Apply(tip.st)
+					tip.ver = version
+					tip.data = nil
+					entries = append(entries, ckptEntryWire{node: i, gid: gid, payload: payload})
+					continue
+				}
+				enc := st.Encode(make([]byte, 0, st.Size()))
 				if sh.tips == nil {
 					sh.tips = map[int]*ckptTip{}
 				}
 				sh.tips[gid] = &ckptTip{ver: version, data: enc}
-				entries = append(entries, entry)
+				entries = append(entries, ckptEntryWire{node: i, gid: gid, full: true, payload: enc})
 			}
 		}
 	}

@@ -12,7 +12,7 @@ func bigState(cells int) *State {
 	st.Add("total", float64(cells))
 	t := st.Table("seen")
 	for i := 0; i < cells; i++ {
-		t[fmt.Sprintf("key-%06d", i)] = float64(i)
+		t.Set(fmt.Sprintf("key-%06d", i), float64(i))
 	}
 	return st
 }
@@ -22,7 +22,7 @@ func bigState(cells int) *State {
 func touch(st *State, dirty, salt int) {
 	t := st.Table("seen")
 	for i := 0; i < dirty; i++ {
-		t[fmt.Sprintf("key-%06d", (salt*dirty+i)%2000)] += 1
+		t.Add(fmt.Sprintf("key-%06d", (salt*dirty+i)%2000), 1)
 	}
 	st.Add("total", float64(dirty))
 }

@@ -2,10 +2,35 @@ package statestore
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/codec"
 )
+
+// numEntry / strEntry are one key/value pair of a delta section.
+type numEntry struct {
+	k string
+	v float64
+}
+
+type strEntry struct {
+	k, v string
+}
+
+// tabSetEntry is one table's changed cells; tabDelEntry one table's removed
+// cells. Their inner slices are retained across Reset so a pooled Delta
+// reaches zero-alloc steady state.
+type tabSetEntry struct {
+	name  string
+	cells []numEntry
+}
+
+type tabDelEntry struct {
+	name string
+	keys []string
+}
 
 // Delta is the exact semantic difference between two States: applying a
 // Delta produced by Diff(old, new) to (a clone of) old yields a state equal
@@ -14,134 +39,209 @@ import (
 // represented explicitly, which plain Merge-style combination cannot
 // express. Deltas are what the incremental store chains and what
 // checkpoint-assisted migration ships synchronously.
+//
+// A Delta is flat storage, not maps: each section is a dense slice that
+// Reset truncates in place, so one Delta reused across checkpoint cadences
+// (DiffInto) computes, encodes, and applies without allocating. The zero
+// value is an empty delta.
 type Delta struct {
-	// NumSet holds counters added or changed (absolute new values); NumDel
-	// lists counters removed.
-	NumSet map[string]float64
-	NumDel []string
-	// StrSet / StrDel mirror the same for string registers.
-	StrSet map[string]string
-	StrDel []string
-	// TabSet holds, per table, the cells added or changed (absolute values);
-	// TabCellDel the cells removed from tables that survive; TabDel the
-	// tables dropped entirely.
-	TabSet     map[string]map[string]float64
-	TabCellDel map[string][]string
-	TabDel     []string
+	numSet     []numEntry
+	numDel     []string
+	strSet     []strEntry
+	strDel     []string
+	tabSet     []tabSetEntry
+	tabCellDel []tabDelEntry
+	tabDel     []string
+}
+
+// Reset empties the delta for reuse, keeping every backing slice (including
+// the per-table inner slices).
+func (d *Delta) Reset() {
+	for i := range d.numSet {
+		d.numSet[i] = numEntry{}
+	}
+	d.numSet = d.numSet[:0]
+	clearStrings(d.numDel)
+	d.numDel = d.numDel[:0]
+	for i := range d.strSet {
+		d.strSet[i] = strEntry{}
+	}
+	d.strSet = d.strSet[:0]
+	clearStrings(d.strDel)
+	d.strDel = d.strDel[:0]
+	for i := range d.tabSet {
+		e := &d.tabSet[i]
+		e.name = ""
+		for j := range e.cells {
+			e.cells[j] = numEntry{}
+		}
+		e.cells = e.cells[:0]
+	}
+	d.tabSet = d.tabSet[:0]
+	for i := range d.tabCellDel {
+		e := &d.tabCellDel[i]
+		e.name = ""
+		clearStrings(e.keys)
+		e.keys = e.keys[:0]
+	}
+	d.tabCellDel = d.tabCellDel[:0]
+	clearStrings(d.tabDel)
+	d.tabDel = d.tabDel[:0]
+}
+
+func clearStrings(s []string) {
+	for i := range s {
+		s[i] = ""
+	}
+}
+
+// growTabSet appends a tabSet entry for name, reusing a retained inner
+// slice when the backing array has one.
+func (d *Delta) growTabSet(name string) *tabSetEntry {
+	if len(d.tabSet) < cap(d.tabSet) {
+		d.tabSet = d.tabSet[:len(d.tabSet)+1]
+	} else {
+		d.tabSet = append(d.tabSet, tabSetEntry{})
+	}
+	e := &d.tabSet[len(d.tabSet)-1]
+	e.name = name
+	e.cells = e.cells[:0]
+	return e
+}
+
+func (d *Delta) growTabCellDel(name string) *tabDelEntry {
+	if len(d.tabCellDel) < cap(d.tabCellDel) {
+		d.tabCellDel = d.tabCellDel[:len(d.tabCellDel)+1]
+	} else {
+		d.tabCellDel = append(d.tabCellDel, tabDelEntry{})
+	}
+	e := &d.tabCellDel[len(d.tabCellDel)-1]
+	e.name = name
+	e.keys = e.keys[:0]
+	return e
 }
 
 // Empty reports whether the delta changes nothing.
 func (d *Delta) Empty() bool {
-	return len(d.NumSet) == 0 && len(d.NumDel) == 0 &&
-		len(d.StrSet) == 0 && len(d.StrDel) == 0 &&
-		len(d.TabSet) == 0 && len(d.TabCellDel) == 0 && len(d.TabDel) == 0
+	return len(d.numSet) == 0 && len(d.numDel) == 0 &&
+		len(d.strSet) == 0 && len(d.strDel) == 0 &&
+		len(d.tabSet) == 0 && len(d.tabCellDel) == 0 && len(d.tabDel) == 0
 }
 
 // Diff computes new − old. Neither argument is mutated; nil arguments are
 // treated as empty states.
 func Diff(old, new *State) *Delta {
-	if old == nil {
-		old = &State{}
-	}
-	if new == nil {
-		new = &State{}
-	}
 	d := &Delta{}
-	for k, v := range new.Nums {
-		if ov, ok := old.Nums[k]; !ok || ov != v {
-			if d.NumSet == nil {
-				d.NumSet = map[string]float64{}
-			}
-			d.NumSet[k] = v
-		}
-	}
-	for k := range old.Nums {
-		if _, ok := new.Nums[k]; !ok {
-			d.NumDel = append(d.NumDel, k)
-		}
-	}
-	for k, v := range new.Strs {
-		if ov, ok := old.Strs[k]; !ok || ov != v {
-			if d.StrSet == nil {
-				d.StrSet = map[string]string{}
-			}
-			d.StrSet[k] = v
-		}
-	}
-	for k := range old.Strs {
-		if _, ok := new.Strs[k]; !ok {
-			d.StrDel = append(d.StrDel, k)
-		}
-	}
-	for name, nt := range new.Tables {
-		ot := old.Tables[name]
-		var set map[string]float64
-		for k, v := range nt {
-			if ov, ok := ot[k]; !ok || ov != v {
-				if set == nil {
-					set = map[string]float64{}
-				}
-				set[k] = v
-			}
-		}
-		if set != nil {
-			if d.TabSet == nil {
-				d.TabSet = map[string]map[string]float64{}
-			}
-			d.TabSet[name] = set
-		}
-		var dels []string
-		for k := range ot {
-			if _, ok := nt[k]; !ok {
-				dels = append(dels, k)
-			}
-		}
-		if dels != nil {
-			if d.TabCellDel == nil {
-				d.TabCellDel = map[string][]string{}
-			}
-			d.TabCellDel[name] = dels
-		}
-	}
-	for name := range old.Tables {
-		if _, ok := new.Tables[name]; !ok {
-			d.TabDel = append(d.TabDel, name)
-		}
-	}
+	DiffInto(d, old, new)
 	return d
 }
 
-// Apply mutates st so that Apply(Diff(old, new)) on a clone of old produces
-// a state equal to new.
-func (d *Delta) Apply(st *State) {
-	for k, v := range d.NumSet {
-		if st.Nums == nil {
-			st.Nums = map[string]float64{}
+var emptyState State
+
+// DiffInto computes new − old into d (d is Reset first). With a reused d
+// this is the zero-alloc form Diff and the store's checkpoint path build
+// on. Neither state is mutated; nil states are treated as empty.
+func DiffInto(d *Delta, old, new *State) {
+	d.Reset()
+	if old == nil {
+		old = &emptyState
+	}
+	if new == nil {
+		new = &emptyState
+	}
+	for sym, k := range new.kind {
+		name := new.names[sym]
+		if k&kNum != 0 {
+			if ov, ok := old.LookupNum(name); !ok || ov != new.numVal[sym] {
+				d.numSet = append(d.numSet, numEntry{name, new.numVal[sym]})
+			}
 		}
-		st.Nums[k] = v
+		if k&kStr != 0 {
+			if ov, ok := old.LookupStr(name); !ok || ov != new.strVal[sym] {
+				d.strSet = append(d.strSet, strEntry{name, new.strVal[sym]})
+			}
+		}
+		if k&kTab != 0 {
+			nt := new.tabs[sym]
+			ot := old.LookupTable(name)
+			var se *tabSetEntry
+			for i, ck := range nt.keys {
+				if ov, ok := ot.Lookup(ck); !ok || ov != nt.vals[i] {
+					if se == nil {
+						se = d.growTabSet(name)
+					}
+					se.cells = append(se.cells, numEntry{ck, nt.vals[i]})
+				}
+			}
+			if se == nil && ot == nil {
+				// The table is new but has no cells. Empty tables are
+				// serialized, so the delta must still create it — a
+				// zero-cell entry does exactly that on Apply.
+				d.growTabSet(name)
+			}
+			if ot != nil {
+				var de *tabDelEntry
+				for _, ck := range ot.keys {
+					if !nt.Has(ck) {
+						if de == nil {
+							de = d.growTabCellDel(name)
+						}
+						de.keys = append(de.keys, ck)
+					}
+				}
+			}
+		}
 	}
-	for _, k := range d.NumDel {
-		delete(st.Nums, k)
+	for sym, k := range old.kind {
+		name := old.names[sym]
+		if k&kNum != 0 {
+			if _, ok := new.LookupNum(name); !ok {
+				d.numDel = append(d.numDel, name)
+			}
+		}
+		if k&kStr != 0 {
+			if _, ok := new.LookupStr(name); !ok {
+				d.strDel = append(d.strDel, name)
+			}
+		}
+		if k&kTab != 0 && new.LookupTable(name) == nil {
+			d.tabDel = append(d.tabDel, name)
+		}
 	}
-	for k, v := range d.StrSet {
-		st.SetStr(k, v)
+}
+
+// Apply mutates st so that Apply(Diff(old, new)) on a clone of old produces
+// a state equal to new. It writes into st's existing storage — applying a
+// steady-state delta to a warm state allocates nothing.
+func (d *Delta) Apply(st *State) {
+	for _, e := range d.numSet {
+		st.SetNum(e.k, e.v)
 	}
-	for _, k := range d.StrDel {
-		delete(st.Strs, k)
+	for _, k := range d.numDel {
+		st.DelNum(k)
 	}
-	for _, name := range d.TabDel {
+	for _, e := range d.strSet {
+		st.SetStr(e.k, e.v)
+	}
+	for _, k := range d.strDel {
+		st.DelStr(k)
+	}
+	for _, name := range d.tabDel {
 		st.ClearTable(name)
 	}
-	for name, set := range d.TabSet {
-		t := st.Table(name)
-		for k, v := range set {
-			t[k] = v
+	for i := range d.tabSet {
+		e := &d.tabSet[i]
+		t := st.Table(e.name)
+		for _, c := range e.cells {
+			t.Set(c.k, c.v)
 		}
 	}
-	for name, dels := range d.TabCellDel {
-		t := st.Tables[name]
-		for _, k := range dels {
-			delete(t, k)
+	for i := range d.tabCellDel {
+		e := &d.tabCellDel[i]
+		if t := st.LookupTable(e.name); t != nil {
+			for _, k := range e.keys {
+				t.Delete(k)
+			}
 		}
 	}
 }
@@ -155,88 +255,113 @@ func sizeStringSlice(v []string) int {
 	return n
 }
 
-// Size returns the encoded length of the delta without building bytes:
-// Size() == len(Encode(nil)) always.
-func (d *Delta) Size() int {
-	n := codec.SizeFloatMap(d.NumSet) + sizeStringSlice(d.NumDel) +
-		codec.SizeStringMap(d.StrSet) + sizeStringSlice(d.StrDel) +
-		codec.SizeNestedFloatMap(d.TabSet) + sizeStringSlice(d.TabDel)
-	n += codec.SizeUvarint(uint64(len(d.TabCellDel)))
-	for name, dels := range d.TabCellDel {
-		n += codec.SizeString(name) + sizeStringSlice(dels)
+func sizeNumEntries(v []numEntry) int {
+	n := codec.SizeUvarint(uint64(len(v)))
+	for _, e := range v {
+		n += codec.SizeString(e.k) + 8
 	}
 	return n
 }
 
+// Size returns the encoded length of the delta without building bytes:
+// Size() == len(Encode(nil)) always.
+func (d *Delta) Size() int {
+	n := sizeNumEntries(d.numSet) + sizeStringSlice(d.numDel)
+	n += codec.SizeUvarint(uint64(len(d.strSet)))
+	for _, e := range d.strSet {
+		n += codec.SizeString(e.k) + codec.SizeString(e.v)
+	}
+	n += sizeStringSlice(d.strDel)
+	n += codec.SizeUvarint(uint64(len(d.tabSet)))
+	for i := range d.tabSet {
+		n += codec.SizeString(d.tabSet[i].name) + sizeNumEntries(d.tabSet[i].cells)
+	}
+	n += codec.SizeUvarint(uint64(len(d.tabCellDel)))
+	for i := range d.tabCellDel {
+		n += codec.SizeString(d.tabCellDel[i].name) + sizeStringSlice(d.tabCellDel[i].keys)
+	}
+	n += sizeStringSlice(d.tabDel)
+	return n
+}
+
 // DiffSize returns Diff(old, new).Size() without building the delta — no
-// maps, no slices, one pass over both states. It is the per-period
+// scratch, no sorting, one pass over both states. It is the per-period
 // residency signal's cost: the engine calls it for every checkpointed
 // group at every period boundary.
 func DiffSize(old, new *State) int {
 	if old == nil {
-		old = &State{}
+		old = &emptyState
 	}
 	if new == nil {
-		new = &State{}
+		new = &emptyState
 	}
 	numSetN, numSetB := 0, 0
-	for k, v := range new.Nums {
-		if ov, ok := old.Nums[k]; !ok || ov != v {
-			numSetN++
-			numSetB += codec.SizeString(k) + 8
+	strSetN, strSetB := 0, 0
+	tabSetN, tabSetB := 0, 0
+	cellDelN, cellDelB := 0, 0
+	for sym, k := range new.kind {
+		name := new.names[sym]
+		if k&kNum != 0 {
+			if ov, ok := old.LookupNum(name); !ok || ov != new.numVal[sym] {
+				numSetN++
+				numSetB += codec.SizeString(name) + 8
+			}
+		}
+		if k&kStr != 0 {
+			if ov, ok := old.LookupStr(name); !ok || ov != new.strVal[sym] {
+				strSetN++
+				strSetB += codec.SizeString(name) + codec.SizeString(new.strVal[sym])
+			}
+		}
+		if k&kTab != 0 {
+			nt := new.tabs[sym]
+			ot := old.LookupTable(name)
+			setN, setB := 0, 0
+			for i, ck := range nt.keys {
+				if ov, ok := ot.Lookup(ck); !ok || ov != nt.vals[i] {
+					setN++
+					setB += codec.SizeString(ck) + 8
+				}
+			}
+			if setN > 0 || ot == nil {
+				// A table new to `new` ships even with zero changed cells
+				// (see DiffInto) — its entry is the name plus a zero count.
+				tabSetN++
+				tabSetB += codec.SizeString(name) + codec.SizeUvarint(uint64(setN)) + setB
+			}
+			if ot != nil {
+				delN, delB := 0, 0
+				for _, ck := range ot.keys {
+					if !nt.Has(ck) {
+						delN++
+						delB += codec.SizeString(ck)
+					}
+				}
+				if delN > 0 {
+					cellDelN++
+					cellDelB += codec.SizeString(name) + codec.SizeUvarint(uint64(delN)) + delB
+				}
+			}
 		}
 	}
 	numDelN, numDelB := 0, 0
-	for k := range old.Nums {
-		if _, ok := new.Nums[k]; !ok {
-			numDelN++
-			numDelB += codec.SizeString(k)
-		}
-	}
-	strSetN, strSetB := 0, 0
-	for k, v := range new.Strs {
-		if ov, ok := old.Strs[k]; !ok || ov != v {
-			strSetN++
-			strSetB += codec.SizeString(k) + codec.SizeString(v)
-		}
-	}
 	strDelN, strDelB := 0, 0
-	for k := range old.Strs {
-		if _, ok := new.Strs[k]; !ok {
-			strDelN++
-			strDelB += codec.SizeString(k)
-		}
-	}
-	tabSetN, tabSetB := 0, 0
-	cellDelN, cellDelB := 0, 0
-	for name, nt := range new.Tables {
-		ot := old.Tables[name]
-		setN, setB := 0, 0
-		for k, v := range nt {
-			if ov, ok := ot[k]; !ok || ov != v {
-				setN++
-				setB += codec.SizeString(k) + 8
-			}
-		}
-		if setN > 0 {
-			tabSetN++
-			tabSetB += codec.SizeString(name) + codec.SizeUvarint(uint64(setN)) + setB
-		}
-		delN, delB := 0, 0
-		for k := range ot {
-			if _, ok := nt[k]; !ok {
-				delN++
-				delB += codec.SizeString(k)
-			}
-		}
-		if delN > 0 {
-			cellDelN++
-			cellDelB += codec.SizeString(name) + codec.SizeUvarint(uint64(delN)) + delB
-		}
-	}
 	tabDelN, tabDelB := 0, 0
-	for name := range old.Tables {
-		if _, ok := new.Tables[name]; !ok {
+	for sym, k := range old.kind {
+		name := old.names[sym]
+		if k&kNum != 0 {
+			if _, ok := new.LookupNum(name); !ok {
+				numDelN++
+				numDelB += codec.SizeString(name)
+			}
+		}
+		if k&kStr != 0 {
+			if _, ok := new.LookupStr(name); !ok {
+				strDelN++
+				strDelB += codec.SizeString(name)
+			}
+		}
+		if k&kTab != 0 && new.LookupTable(name) == nil {
 			tabDelN++
 			tabDelB += codec.SizeString(name)
 		}
@@ -250,65 +375,79 @@ func DiffSize(old, new *State) int {
 		codec.SizeUvarint(uint64(tabDelN)) + tabDelB
 }
 
-// appendStringSlice appends a sorted length-prefixed string list (sorting
-// keeps the encoding deterministic; the slice is not mutated).
+// appendStringSlice appends a length-prefixed string list, sorting v in
+// place (sorting keeps the encoding deterministic).
 func appendStringSlice(b []byte, v []string) []byte {
 	b = codec.AppendUvarint(b, uint64(len(v)))
-	if len(v) == 0 {
-		return b
-	}
-	sorted := append([]string(nil), v...)
-	sort.Strings(sorted)
-	for _, s := range sorted {
+	sort.Strings(v)
+	for _, s := range v {
 		b = codec.AppendString(b, s)
 	}
 	return b
 }
 
-func readStringSlice(b []byte) ([]string, []byte, error) {
+func readStringSlice(dst []string, b []byte) ([]string, []byte, error) {
 	n, b, err := codec.ReadUvarint(b)
 	if err != nil {
-		return nil, nil, err
-	}
-	if n == 0 {
-		return nil, b, nil
+		return dst, nil, err
 	}
 	// Every entry costs at least one length byte: a count exceeding the
 	// remaining bytes is malformed, not a huge allocation.
 	if n > uint64(len(b)) {
-		return nil, nil, fmt.Errorf("statestore: string list claims %d entries in %d bytes", n, len(b))
+		return dst, nil, fmt.Errorf("statestore: string list claims %d entries in %d bytes", n, len(b))
 	}
-	out := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var s string
 		if s, b, err = codec.ReadString(b); err != nil {
-			return nil, nil, err
+			return dst, nil, err
 		}
-		out = append(out, s)
+		dst = append(dst, s)
 	}
-	return out, b, nil
+	return dst, b, nil
 }
 
-// Encode serializes the delta deterministically (appended to buf).
-// Encoding order: NumSet, NumDel, StrSet, StrDel, TabSet, TabCellDel,
-// TabDel.
+func cmpNumEntry(a, b numEntry) int { return strings.Compare(a.k, b.k) }
+func cmpStrEntry(a, b strEntry) int { return strings.Compare(a.k, b.k) }
+
+// Encode serializes the delta deterministically (appended to buf), sorting
+// each section in place by key. Encoding order: NumSet, NumDel, StrSet,
+// StrDel, TabSet, TabCellDel, TabDel — byte-identical to the map-backed
+// encoding it replaced.
 func (d *Delta) Encode(buf []byte) []byte {
-	buf = codec.AppendFloatMap(buf, d.NumSet)
-	buf = appendStringSlice(buf, d.NumDel)
-	buf = codec.AppendStringMap(buf, d.StrSet)
-	buf = appendStringSlice(buf, d.StrDel)
-	buf = codec.AppendNestedFloatMap(buf, d.TabSet)
-	buf = codec.AppendUvarint(buf, uint64(len(d.TabCellDel)))
-	names := make([]string, 0, len(d.TabCellDel))
-	for name := range d.TabCellDel {
-		names = append(names, name)
+	slices.SortStableFunc(d.numSet, cmpNumEntry)
+	buf = codec.AppendUvarint(buf, uint64(len(d.numSet)))
+	for _, e := range d.numSet {
+		buf = codec.AppendString(buf, e.k)
+		buf = codec.AppendFloat64(buf, e.v)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		buf = codec.AppendString(buf, name)
-		buf = appendStringSlice(buf, d.TabCellDel[name])
+	buf = appendStringSlice(buf, d.numDel)
+	slices.SortStableFunc(d.strSet, cmpStrEntry)
+	buf = codec.AppendUvarint(buf, uint64(len(d.strSet)))
+	for _, e := range d.strSet {
+		buf = codec.AppendString(buf, e.k)
+		buf = codec.AppendString(buf, e.v)
 	}
-	buf = appendStringSlice(buf, d.TabDel)
+	buf = appendStringSlice(buf, d.strDel)
+	slices.SortStableFunc(d.tabSet, func(a, b tabSetEntry) int { return strings.Compare(a.name, b.name) })
+	buf = codec.AppendUvarint(buf, uint64(len(d.tabSet)))
+	for i := range d.tabSet {
+		e := &d.tabSet[i]
+		buf = codec.AppendString(buf, e.name)
+		slices.SortStableFunc(e.cells, cmpNumEntry)
+		buf = codec.AppendUvarint(buf, uint64(len(e.cells)))
+		for _, c := range e.cells {
+			buf = codec.AppendString(buf, c.k)
+			buf = codec.AppendFloat64(buf, c.v)
+		}
+	}
+	slices.SortStableFunc(d.tabCellDel, func(a, b tabDelEntry) int { return strings.Compare(a.name, b.name) })
+	buf = codec.AppendUvarint(buf, uint64(len(d.tabCellDel)))
+	for i := range d.tabCellDel {
+		e := &d.tabCellDel[i]
+		buf = codec.AppendString(buf, e.name)
+		buf = appendStringSlice(buf, e.keys)
+	}
+	buf = appendStringSlice(buf, d.tabDel)
 	return buf
 }
 
@@ -317,48 +456,111 @@ func (d *Delta) Encode(buf []byte) []byte {
 // input before allocation.
 func DecodeDelta(b []byte) (*Delta, []byte, error) {
 	d := &Delta{}
-	var err error
-	if d.NumSet, b, err = codec.ReadFloatMap(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta numset: %w", err)
+	rest, err := DecodeDeltaInto(b, d)
+	if err != nil {
+		return nil, nil, err
 	}
-	if d.NumDel, b, err = readStringSlice(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta numdel: %w", err)
-	}
-	if d.StrSet, b, err = codec.ReadStringMap(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta strset: %w", err)
-	}
-	if d.StrDel, b, err = readStringSlice(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta strdel: %w", err)
-	}
-	if d.TabSet, b, err = codec.ReadNestedFloatMap(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta tabset: %w", err)
-	}
-	var n uint64
-	if n, b, err = codec.ReadUvarint(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta tabcelldel count: %w", err)
+	return d, rest, nil
+}
+
+// DecodeDeltaInto decodes into an existing delta (Reset first), reusing its
+// storage, and returns the remaining bytes.
+func DecodeDeltaInto(b []byte, d *Delta) ([]byte, error) {
+	d.Reset()
+	n, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: delta numset: %w", err)
 	}
 	if n > uint64(len(b)) {
-		return nil, nil, fmt.Errorf("statestore: delta claims %d cell-del tables in %d bytes", n, len(b))
+		return nil, fmt.Errorf("statestore: delta claims %d numset entries in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v float64
+		if k, b, err = codec.ReadString(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta numset: %w", err)
+		}
+		if v, b, err = codec.ReadFloat64(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta numset: %w", err)
+		}
+		d.numSet = append(d.numSet, numEntry{k, v})
+	}
+	if d.numDel, b, err = readStringSlice(d.numDel, b); err != nil {
+		return nil, fmt.Errorf("statestore: delta numdel: %w", err)
+	}
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return nil, fmt.Errorf("statestore: delta strset: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("statestore: delta claims %d strset entries in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, b, err = codec.ReadString(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta strset: %w", err)
+		}
+		if v, b, err = codec.ReadString(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta strset: %w", err)
+		}
+		d.strSet = append(d.strSet, strEntry{k, v})
+	}
+	if d.strDel, b, err = readStringSlice(d.strDel, b); err != nil {
+		return nil, fmt.Errorf("statestore: delta strdel: %w", err)
+	}
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return nil, fmt.Errorf("statestore: delta tabset: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("statestore: delta claims %d tabset entries in %d bytes", n, len(b))
 	}
 	for i := uint64(0); i < n; i++ {
 		var name string
-		var dels []string
 		if name, b, err = codec.ReadString(b); err != nil {
-			return nil, nil, fmt.Errorf("statestore: delta tabcelldel name: %w", err)
+			return nil, fmt.Errorf("statestore: delta tabset name: %w", err)
 		}
-		if dels, b, err = readStringSlice(b); err != nil {
-			return nil, nil, fmt.Errorf("statestore: delta tabcelldel %q: %w", name, err)
+		e := d.growTabSet(name)
+		var cells uint64
+		if cells, b, err = codec.ReadUvarint(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta tabset %q: %w", name, err)
 		}
-		if d.TabCellDel == nil {
-			d.TabCellDel = map[string][]string{}
+		if cells > uint64(len(b)) {
+			return nil, fmt.Errorf("statestore: delta table %q claims %d cells in %d bytes", name, cells, len(b))
 		}
-		if _, dup := d.TabCellDel[name]; dup {
-			return nil, nil, fmt.Errorf("statestore: delta duplicate cell-del table %q", name)
+		for j := uint64(0); j < cells; j++ {
+			var k string
+			var v float64
+			if k, b, err = codec.ReadString(b); err != nil {
+				return nil, fmt.Errorf("statestore: delta tabset %q: %w", name, err)
+			}
+			if v, b, err = codec.ReadFloat64(b); err != nil {
+				return nil, fmt.Errorf("statestore: delta tabset %q: %w", name, err)
+			}
+			e.cells = append(e.cells, numEntry{k, v})
 		}
-		d.TabCellDel[name] = dels
 	}
-	if d.TabDel, b, err = readStringSlice(b); err != nil {
-		return nil, nil, fmt.Errorf("statestore: delta tabdel: %w", err)
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return nil, fmt.Errorf("statestore: delta tabcelldel count: %w", err)
 	}
-	return d, b, nil
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("statestore: delta claims %d cell-del tables in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		if name, b, err = codec.ReadString(b); err != nil {
+			return nil, fmt.Errorf("statestore: delta tabcelldel name: %w", err)
+		}
+		// Canonical encodings sort table names; requiring strict ascent here
+		// rejects duplicates in one comparison instead of a scan.
+		if i > 0 && d.tabCellDel[len(d.tabCellDel)-1].name >= name {
+			return nil, fmt.Errorf("statestore: delta duplicate or out-of-order cell-del table %q", name)
+		}
+		e := d.growTabCellDel(name)
+		if e.keys, b, err = readStringSlice(e.keys, b); err != nil {
+			return nil, fmt.Errorf("statestore: delta tabcelldel %q: %w", name, err)
+		}
+	}
+	if d.tabDel, b, err = readStringSlice(d.tabDel, b); err != nil {
+		return nil, fmt.Errorf("statestore: delta tabdel: %w", err)
+	}
+	return b, nil
 }

@@ -1,6 +1,7 @@
 package statestore
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -22,12 +23,12 @@ func FuzzStoreDecode(f *testing.F) {
 	a := NewState()
 	a.Add("total", 41)
 	a.SetStr("reg", "x")
-	a.Table("t")["cell"] = 1
+	a.Table("t").Set("cell", 1)
 	s.Checkpoint(0, 1, a)
 	b := a.Clone()
 	b.Add("total", 1)
-	b.Table("t")["cell2"] = 2
-	delete(b.Strs, "reg")
+	b.Table("t").Set("cell2", 2)
+	b.DelStr("reg")
 	s.Checkpoint(0, 2, b)
 	s.Checkpoint(4, 2, b)
 	f.Add(s.Encode(nil), 5)
@@ -51,6 +52,30 @@ func FuzzStoreDecode(f *testing.F) {
 	f.Add([]byte{storeMagic, 0xFF, 0xFF, 0x7F}, 0)
 	f.Add([]byte{storeMagic}, 0)
 	f.Add([]byte{}, 0)
+	// Symbol-table overflow: enough distinct field names that decoding must
+	// grow the open-addressed symbol index past its initial size.
+	wide := NewState()
+	for i := 0; i < 48; i++ {
+		wide.Add(fmt.Sprintf("metric-%02d", i), float64(i))
+		wide.Table(fmt.Sprintf("tab-%02d", i%7)).Set(fmt.Sprintf("cell-%02d", i), float64(i))
+	}
+	ws := New()
+	ws.Checkpoint(1, 1, wide)
+	f.Add(ws.Encode(nil), 5)
+	// Deletion-heavy chain: a version that erases most of the wide state,
+	// then one that rebuilds part of it — tombstone-dense deltas.
+	culled := wide.Clone()
+	for i := 0; i < 40; i++ {
+		culled.DelNum(fmt.Sprintf("metric-%02d", i))
+	}
+	for i := 0; i < 6; i++ {
+		culled.ClearTable(fmt.Sprintf("tab-%02d", i))
+	}
+	ws.Checkpoint(1, 2, culled)
+	regrown := culled.Clone()
+	regrown.Table("tab-00").Set("back", 1)
+	ws.Checkpoint(1, 3, regrown)
+	f.Add(ws.Encode(nil), 5)
 
 	f.Fuzz(func(t *testing.T, b []byte, maxGID int) {
 		if maxGID < 0 || maxGID > 1<<16 {
@@ -98,18 +123,31 @@ func FuzzDeltaDecode(f *testing.F) {
 	a := NewState()
 	a.Add("n", 1)
 	a.SetStr("s", "v")
-	a.Table("t")["c"] = 2
+	a.Table("t").Set("c", 2)
 	b := a.Clone()
 	b.Add("n", 1)
-	delete(b.Strs, "s")
+	b.DelStr("s")
 	b.ClearTable("t")
-	b.Table("u")["d"] = 3
+	b.Table("u").Set("d", 3)
 	f.Add(Diff(a, b).Encode(nil))
 	f.Add(Diff(b, a).Encode(nil))
 	f.Add(Diff(nil, a).Encode(nil))
 	f.Add((&Delta{}).Encode(nil))
 	f.Add([]byte{0xFF, 0x7F})
 	f.Add([]byte{})
+	// Deletion-heavy delta: diff from a wide state down to almost nothing.
+	wide := NewState()
+	for i := 0; i < 48; i++ {
+		wide.Add(fmt.Sprintf("metric-%02d", i), float64(i))
+		wide.SetStr(fmt.Sprintf("label-%02d", i), "x")
+		wide.Table(fmt.Sprintf("tab-%02d", i%7)).Set(fmt.Sprintf("cell-%02d", i), float64(i))
+	}
+	f.Add(Diff(wide, a).Encode(nil))
+	// Empty-table creation: the zero-cell table entry DiffInto ships when a
+	// table exists in `new` with no cells yet.
+	bare := NewState()
+	bare.Table("empty")
+	f.Add(Diff(nil, bare).Encode(nil))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		d, rest, err := DecodeDelta(raw)

@@ -8,6 +8,15 @@
 // and synchronously transfer only the delta accumulated since. All encoding
 // goes through internal/codec and every decode path is hardened against
 // malformed input (truncated deltas, out-of-range gids, duplicate entries).
+//
+// Since the allocation endgame, nothing here is backed by Go maps. Field
+// names (counter, register, and table names) are interned into a per-State
+// symbol table — an append-only name arena plus an open-addressed index —
+// and each kind stores its values in dense per-symbol arrays gated by
+// presence bits. Cells live in open-addressed Tables (see table.go). Every
+// structure clears by truncation and keeps its backing arrays, so a State
+// recycled across periods, migrations, or a Pool reaches a steady state
+// where operator mutation, Diff, Apply, and Encode allocate nothing.
 package statestore
 
 import (
@@ -16,13 +25,39 @@ import (
 	"repro/internal/codec"
 )
 
+// Presence bits in State.kind, one per interned symbol.
+const (
+	kNum uint8 = 1 << iota
+	kStr
+	kTab
+)
+
+const minSymSlots = 16
+
 // State is the computation state σ_k of one key group: scalar counters,
 // string registers, and named tables (e.g. per-key aggregates or window
 // contents). It is what checkpointing and state migration serialize.
 type State struct {
-	Nums   map[string]float64
-	Strs   map[string]string
-	Tables map[string]map[string]float64
+	// The symbol table: names is the append-only arena (symbol = index),
+	// symSlots the open-addressed name → symbol+1 index.
+	names    []string
+	symSlots []int32
+	symMask  uint32
+
+	// Per-symbol storage, all kept len(names) long. kind gates presence —
+	// deleting a field clears its bit and leaves the slot for reuse.
+	kind   []uint8
+	numVal []float64
+	strVal []string
+	tabs   []*Table // lazily created, retained across ClearTable/Reset
+
+	numN, strN, tabN int
+
+	// scratchTab backs Scratch(): transient per-flush workspace, never
+	// serialized, diffed, merged, or cloned.
+	scratchTab *Table
+	// symScratch is the reusable symbol buffer encode-time sorting uses.
+	symScratch []int32
 }
 
 // NewState returns an empty state.
@@ -30,105 +65,332 @@ func NewState() *State {
 	return &State{}
 }
 
+// intern returns name's symbol, creating it if new. Symbols are never
+// removed: the universe of field names an operator touches is small and
+// fixed, and keeping them is what makes a recycled State allocation-free.
+func (s *State) intern(name string) int32 {
+	if s.symSlots == nil {
+		s.symSlots = make([]int32, minSymSlots)
+		s.symMask = minSymSlots - 1
+	}
+	i := uint32(hashKey(name)) & s.symMask
+	for {
+		e := s.symSlots[i]
+		if e == 0 {
+			break
+		}
+		if s.names[e-1] == name {
+			return e - 1
+		}
+		i = (i + 1) & s.symMask
+	}
+	sym := int32(len(s.names))
+	s.names = append(s.names, name)
+	s.kind = append(s.kind, 0)
+	s.numVal = append(s.numVal, 0)
+	s.strVal = append(s.strVal, "")
+	s.tabs = append(s.tabs, nil)
+	s.symSlots[i] = sym + 1
+	if 4*len(s.names) >= 3*len(s.symSlots) {
+		s.growSyms()
+	}
+	return sym
+}
+
+func (s *State) growSyms() {
+	s.symSlots = make([]int32, 2*len(s.symSlots))
+	s.symMask = uint32(len(s.symSlots) - 1)
+	for sym, name := range s.names {
+		i := uint32(hashKey(name)) & s.symMask
+		for s.symSlots[i] != 0 {
+			i = (i + 1) & s.symMask
+		}
+		s.symSlots[i] = int32(sym + 1)
+	}
+}
+
+// sym returns name's symbol without interning (-1 if never seen).
+func (s *State) sym(name string) int32 {
+	if s.symSlots == nil {
+		return -1
+	}
+	i := uint32(hashKey(name)) & s.symMask
+	for {
+		e := s.symSlots[i]
+		if e == 0 {
+			return -1
+		}
+		if s.names[e-1] == name {
+			return e - 1
+		}
+		i = (i + 1) & s.symMask
+	}
+}
+
 // Add increments counter name by v and returns the new value.
 func (s *State) Add(name string, v float64) float64 {
-	if s.Nums == nil {
-		s.Nums = map[string]float64{}
+	sym := s.intern(name)
+	if s.kind[sym]&kNum == 0 {
+		s.kind[sym] |= kNum
+		s.numN++
+		s.numVal[sym] = v
+	} else {
+		s.numVal[sym] += v
 	}
-	s.Nums[name] += v
-	return s.Nums[name]
+	return s.numVal[sym]
+}
+
+// SetNum sets counter name to v (absolute).
+func (s *State) SetNum(name string, v float64) {
+	sym := s.intern(name)
+	if s.kind[sym]&kNum == 0 {
+		s.kind[sym] |= kNum
+		s.numN++
+	}
+	s.numVal[sym] = v
 }
 
 // Num returns counter name (0 if absent).
-func (s *State) Num(name string) float64 { return s.Nums[name] }
+func (s *State) Num(name string) float64 {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kNum != 0 {
+		return s.numVal[sym]
+	}
+	return 0
+}
+
+// LookupNum returns counter name and whether it exists.
+func (s *State) LookupNum(name string) (float64, bool) {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kNum != 0 {
+		return s.numVal[sym], true
+	}
+	return 0, false
+}
+
+// DelNum removes counter name.
+func (s *State) DelNum(name string) {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kNum != 0 {
+		s.kind[sym] &^= kNum
+		s.numVal[sym] = 0
+		s.numN--
+	}
+}
 
 // SetStr sets a string register.
 func (s *State) SetStr(name, v string) {
-	if s.Strs == nil {
-		s.Strs = map[string]string{}
+	sym := s.intern(name)
+	if s.kind[sym]&kStr == 0 {
+		s.kind[sym] |= kStr
+		s.strN++
 	}
-	s.Strs[name] = v
+	s.strVal[sym] = v
 }
 
 // Str returns a string register ("" if absent).
-func (s *State) Str(name string) string { return s.Strs[name] }
-
-// Table returns the named table, creating it if needed.
-func (s *State) Table(name string) map[string]float64 {
-	if s.Tables == nil {
-		s.Tables = map[string]map[string]float64{}
+func (s *State) Str(name string) string {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kStr != 0 {
+		return s.strVal[sym]
 	}
-	t := s.Tables[name]
-	if t == nil {
-		t = map[string]float64{}
-		s.Tables[name] = t
-	}
-	return t
+	return ""
 }
 
-// ClearTable drops the named table (window flush).
+// LookupStr returns a string register and whether it exists.
+func (s *State) LookupStr(name string) (string, bool) {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kStr != 0 {
+		return s.strVal[sym], true
+	}
+	return "", false
+}
+
+// DelStr removes a string register.
+func (s *State) DelStr(name string) {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kStr != 0 {
+		s.kind[sym] &^= kStr
+		s.strVal[sym] = ""
+		s.strN--
+	}
+}
+
+// Table returns the named table, creating it (empty) if needed. A created
+// table is part of the state even while empty — it serializes as a name
+// with zero cells — until ClearTable drops it.
+func (s *State) Table(name string) *Table {
+	sym := s.intern(name)
+	if s.kind[sym]&kTab == 0 {
+		s.kind[sym] |= kTab
+		s.tabN++
+		if s.tabs[sym] == nil {
+			s.tabs[sym] = &Table{}
+		}
+	}
+	return s.tabs[sym]
+}
+
+// LookupTable returns the named table or nil, without creating it.
+func (s *State) LookupTable(name string) *Table {
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kTab != 0 {
+		return s.tabs[sym]
+	}
+	return nil
+}
+
+// ClearTable drops the named table (window flush). The table's backing
+// arrays are kept for reuse by a later Table call of the same name.
 func (s *State) ClearTable(name string) {
-	if s.Tables != nil {
-		delete(s.Tables, name)
+	if sym := s.sym(name); sym >= 0 && s.kind[sym]&kTab != 0 {
+		s.kind[sym] &^= kTab
+		s.tabs[sym].Clear()
+		s.tabN--
+	}
+}
+
+// Scratch returns an empty per-State scratch table for transient
+// computation (e.g. folding window buckets before emitting). The same table
+// is reused — and cleared — by every call, and it is never serialized,
+// diffed, merged, or cloned with the state.
+func (s *State) Scratch() *Table {
+	if s.scratchTab == nil {
+		s.scratchTab = &Table{}
+	}
+	s.scratchTab.Clear()
+	return s.scratchTab
+}
+
+// NumCount / StrCount / TableCount return the number of live fields of each
+// kind.
+func (s *State) NumCount() int   { return s.numN }
+func (s *State) StrCount() int   { return s.strN }
+func (s *State) TableCount() int { return s.tabN }
+
+// RangeNums calls fn for every counter until fn returns false (unspecified
+// order).
+func (s *State) RangeNums(fn func(name string, v float64) bool) {
+	for sym, k := range s.kind {
+		if k&kNum != 0 && !fn(s.names[sym], s.numVal[sym]) {
+			return
+		}
+	}
+}
+
+// RangeStrs calls fn for every string register until fn returns false
+// (unspecified order).
+func (s *State) RangeStrs(fn func(name, v string) bool) {
+	for sym, k := range s.kind {
+		if k&kStr != 0 && !fn(s.names[sym], s.strVal[sym]) {
+			return
+		}
+	}
+}
+
+// RangeTables calls fn for every table until fn returns false (unspecified
+// order). fn must not create or drop tables.
+func (s *State) RangeTables(fn func(name string, t *Table) bool) {
+	for sym, k := range s.kind {
+		if k&kTab != 0 && !fn(s.names[sym], s.tabs[sym]) {
+			return
+		}
 	}
 }
 
 // Empty reports whether the state holds no data.
 func (s *State) Empty() bool {
-	return len(s.Nums) == 0 && len(s.Strs) == 0 && len(s.Tables) == 0
+	return s.numN == 0 && s.strN == 0 && s.tabN == 0
+}
+
+// Reset clears the state for reuse: every field is dropped but the symbol
+// table, per-symbol arrays, and table backing storage are all kept. A Pool
+// recycles states through here.
+func (s *State) Reset() {
+	for sym := range s.kind {
+		if s.kind[sym]&kTab != 0 {
+			s.tabs[sym].Clear()
+		}
+		s.kind[sym] = 0
+		s.numVal[sym] = 0
+		s.strVal[sym] = ""
+	}
+	s.numN, s.strN, s.tabN = 0, 0, 0
+	if s.scratchTab != nil {
+		s.scratchTab.Clear()
+	}
 }
 
 // Merge folds src into s: numeric counters and table cells are summed,
 // string registers are taken from src when present. This is the default
 // combine function for partially-aggregated state (PoTC merge step).
 func (s *State) Merge(src *State) {
-	for k, v := range src.Nums {
-		s.Add(k, v)
+	for sym, k := range src.kind {
+		if k&kNum != 0 {
+			s.Add(src.names[sym], src.numVal[sym])
+		}
+		if k&kStr != 0 {
+			s.SetStr(src.names[sym], src.strVal[sym])
+		}
+		if k&kTab != 0 {
+			dst := s.Table(src.names[sym])
+			t := src.tabs[sym]
+			for i, ck := range t.keys {
+				dst.Add(ck, t.vals[i])
+			}
+		}
 	}
-	for k, v := range src.Strs {
-		s.SetStr(k, v)
-	}
-	for name, table := range src.Tables {
-		dst := s.Table(name)
-		for k, v := range table {
-			dst[k] += v
+}
+
+// CopyFrom makes s an exact copy of src, reusing s's storage.
+func (s *State) CopyFrom(src *State) {
+	s.Reset()
+	for sym, k := range src.kind {
+		if k&kNum != 0 {
+			s.SetNum(src.names[sym], src.numVal[sym])
+		}
+		if k&kStr != 0 {
+			s.SetStr(src.names[sym], src.strVal[sym])
+		}
+		if k&kTab != 0 {
+			s.Table(src.names[sym]).copyFrom(src.tabs[sym])
 		}
 	}
 }
 
 // Clone deep-copies the state.
 func (s *State) Clone() *State {
-	c := &State{}
-	if s.Nums != nil {
-		c.Nums = make(map[string]float64, len(s.Nums))
-		for k, v := range s.Nums {
-			c.Nums[k] = v
-		}
-	}
-	if s.Strs != nil {
-		c.Strs = make(map[string]string, len(s.Strs))
-		for k, v := range s.Strs {
-			c.Strs[k] = v
-		}
-	}
-	if s.Tables != nil {
-		c.Tables = make(map[string]map[string]float64, len(s.Tables))
-		for name, t := range s.Tables {
-			inner := make(map[string]float64, len(t))
-			for k, v := range t {
-				inner[k] = v
-			}
-			c.Tables[name] = inner
-		}
-	}
+	c := NewState()
+	c.CopyFrom(s)
 	return c
 }
 
-// Encode serializes the state (appended to buf).
+// sortedSyms returns the live symbols of the given kind sorted by name, in
+// a buffer reused across calls.
+func (s *State) sortedSyms(bit uint8) []int32 {
+	s.symScratch = s.symScratch[:0]
+	for sym, k := range s.kind {
+		if k&bit != 0 {
+			s.symScratch = append(s.symScratch, int32(sym))
+		}
+	}
+	sortSymsByName(s.symScratch, s.names)
+	return s.symScratch
+}
+
+// Encode serializes the state (appended to buf). The format — and the exact
+// bytes, keys sorted per section — is unchanged from the map-backed
+// implementation: a float map of counters, a string map of registers, a
+// nested float map of tables.
 func (s *State) Encode(buf []byte) []byte {
-	buf = codec.AppendFloatMap(buf, s.Nums)
-	buf = codec.AppendStringMap(buf, s.Strs)
-	buf = codec.AppendNestedFloatMap(buf, s.Tables)
+	buf = codec.AppendUvarint(buf, uint64(s.numN))
+	for _, sym := range s.sortedSyms(kNum) {
+		buf = codec.AppendString(buf, s.names[sym])
+		buf = codec.AppendFloat64(buf, s.numVal[sym])
+	}
+	buf = codec.AppendUvarint(buf, uint64(s.strN))
+	for _, sym := range s.sortedSyms(kStr) {
+		buf = codec.AppendString(buf, s.names[sym])
+		buf = codec.AppendString(buf, s.strVal[sym])
+	}
+	buf = codec.AppendUvarint(buf, uint64(s.tabN))
+	for _, sym := range s.sortedSyms(kTab) {
+		buf = codec.AppendString(buf, s.names[sym])
+		buf = s.tabs[sym].encode(buf)
+	}
 	return buf
 }
 
@@ -136,23 +398,104 @@ func (s *State) Encode(buf []byte) []byte {
 // arithmetically (no encode, no sort) — encoded length is independent of
 // key order, so Size() == len(Encode(nil)) always.
 func (s *State) Size() int {
-	return codec.SizeFloatMap(s.Nums) +
-		codec.SizeStringMap(s.Strs) +
-		codec.SizeNestedFloatMap(s.Tables)
+	n := codec.SizeUvarint(uint64(s.numN)) +
+		codec.SizeUvarint(uint64(s.strN)) +
+		codec.SizeUvarint(uint64(s.tabN))
+	for sym, k := range s.kind {
+		if k&kNum != 0 {
+			n += codec.SizeString(s.names[sym]) + 8
+		}
+		if k&kStr != 0 {
+			n += codec.SizeString(s.names[sym]) + codec.SizeString(s.strVal[sym])
+		}
+		if k&kTab != 0 {
+			n += codec.SizeString(s.names[sym]) + s.tabs[sym].encodedSize()
+		}
+	}
+	return n
 }
 
 // DecodeState reads a state written by Encode.
 func DecodeState(b []byte) (*State, error) {
-	s := &State{}
-	var err error
-	if s.Nums, b, err = codec.ReadFloatMap(b); err != nil {
-		return nil, fmt.Errorf("statestore: decode state nums: %w", err)
-	}
-	if s.Strs, b, err = codec.ReadStringMap(b); err != nil {
-		return nil, fmt.Errorf("statestore: decode state strs: %w", err)
-	}
-	if s.Tables, _, err = codec.ReadNestedFloatMap(b); err != nil {
-		return nil, fmt.Errorf("statestore: decode state tables: %w", err)
+	s := NewState()
+	if err := DecodeStateInto(b, s); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// DecodeStateInto decodes into an existing state (Reset first), reusing its
+// storage — the zero-churn path for tip mirrors and recycled migration
+// targets.
+func DecodeStateInto(b []byte, s *State) error {
+	s.Reset()
+	n, b, err := codec.ReadUvarint(b)
+	if err != nil {
+		return fmt.Errorf("statestore: decode state nums: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return fmt.Errorf("statestore: state claims %d counters in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v float64
+		if k, b, err = codec.ReadString(b); err != nil {
+			return fmt.Errorf("statestore: decode state nums: %w", err)
+		}
+		if v, b, err = codec.ReadFloat64(b); err != nil {
+			return fmt.Errorf("statestore: decode state nums: %w", err)
+		}
+		s.SetNum(k, v)
+	}
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return fmt.Errorf("statestore: decode state strs: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return fmt.Errorf("statestore: state claims %d registers in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		if k, b, err = codec.ReadString(b); err != nil {
+			return fmt.Errorf("statestore: decode state strs: %w", err)
+		}
+		if v, b, err = codec.ReadString(b); err != nil {
+			return fmt.Errorf("statestore: decode state strs: %w", err)
+		}
+		s.SetStr(k, v)
+	}
+	if n, b, err = codec.ReadUvarint(b); err != nil {
+		return fmt.Errorf("statestore: decode state tables: %w", err)
+	}
+	if n > uint64(len(b)) {
+		return fmt.Errorf("statestore: state claims %d tables in %d bytes", n, len(b))
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		if name, b, err = codec.ReadString(b); err != nil {
+			return fmt.Errorf("statestore: decode state tables: %w", err)
+		}
+		t := s.Table(name)
+		// A duplicate table name replaces the earlier one, matching the
+		// map-decode semantics of previous versions.
+		t.Clear()
+		var cells uint64
+		if cells, b, err = codec.ReadUvarint(b); err != nil {
+			return fmt.Errorf("statestore: decode state table %q: %w", name, err)
+		}
+		if cells > uint64(len(b)) {
+			return fmt.Errorf("statestore: table %q claims %d cells in %d bytes", name, cells, len(b))
+		}
+		for j := uint64(0); j < cells; j++ {
+			var k string
+			var v float64
+			if k, b, err = codec.ReadString(b); err != nil {
+				return fmt.Errorf("statestore: decode state table %q: %w", name, err)
+			}
+			if v, b, err = codec.ReadFloat64(b); err != nil {
+				return fmt.Errorf("statestore: decode state table %q: %w", name, err)
+			}
+			t.Set(k, v)
+		}
+	}
+	return nil
 }

@@ -18,45 +18,57 @@ func randState(rng *rand.Rand, scale int) *State {
 	for i := 0; i < rng.Intn(4); i++ {
 		t := st.Table(fmt.Sprintf("t%d", rng.Intn(3)))
 		for j := 0; j < rng.Intn(scale+1); j++ {
-			t[fmt.Sprintf("c%d", rng.Intn(scale))] = rng.Float64()
+			t.Set(fmt.Sprintf("c%d", rng.Intn(scale)), rng.Float64())
 		}
 	}
 	return st
 }
 
 // mutate applies random edits including deletions — the delta must express
-// every kind of change.
+// every kind of change. Keys are collected before mutating (the open-
+// addressed storage must not be edited mid-iteration).
 func mutate(rng *rand.Rand, st *State) {
-	for k := range st.Nums {
+	var numKeys []string
+	st.RangeNums(func(k string, _ float64) bool { numKeys = append(numKeys, k); return true })
+	for _, k := range numKeys {
 		switch rng.Intn(3) {
 		case 0:
-			st.Nums[k] += 1
+			st.Add(k, 1)
 		case 1:
-			delete(st.Nums, k)
+			st.DelNum(k)
 		}
 	}
 	st.Add(fmt.Sprintf("n-new%d", rng.Intn(100)), 1)
-	for k := range st.Strs {
+	var strKeys []string
+	st.RangeStrs(func(k, _ string) bool { strKeys = append(strKeys, k); return true })
+	for _, k := range strKeys {
 		if rng.Intn(3) == 0 {
-			delete(st.Strs, k)
+			st.DelStr(k)
 		} else if rng.Intn(2) == 0 {
-			st.Strs[k] += "x"
+			st.SetStr(k, st.Str(k)+"x")
 		}
 	}
-	for name, t := range st.Tables {
+	var tabNames []string
+	st.RangeTables(func(name string, _ *Table) bool { tabNames = append(tabNames, name); return true })
+	for _, name := range tabNames {
 		if rng.Intn(5) == 0 {
 			st.ClearTable(name)
 			continue
 		}
-		for k := range t {
+		t := st.Table(name)
+		var cells []string
+		for k := range t.All() {
+			cells = append(cells, k)
+		}
+		for _, k := range cells {
 			switch rng.Intn(4) {
 			case 0:
-				t[k] += 0.5
+				t.Add(k, 0.5)
 			case 1:
-				delete(t, k)
+				t.Delete(k)
 			}
 		}
-		t[fmt.Sprintf("c-new%d", rng.Intn(100))] = rng.Float64()
+		t.Set(fmt.Sprintf("c-new%d", rng.Intn(100)), rng.Float64())
 	}
 }
 
@@ -99,7 +111,8 @@ func TestDiffExactWithSpecialFloats(t *testing.T) {
 	old := NewState()
 	old.Add("x", 1)
 	new := NewState()
-	new.Nums = map[string]float64{"x": math.NaN(), "inf": math.Inf(1)}
+	new.SetNum("x", math.NaN())
+	new.SetNum("inf", math.Inf(1))
 	d := Diff(old, new)
 	enc := d.Encode(nil)
 	d2, _, err := DecodeDelta(enc)
@@ -109,7 +122,7 @@ func TestDiffExactWithSpecialFloats(t *testing.T) {
 	got := old.Clone()
 	d2.Apply(got)
 	if !math.IsNaN(got.Num("x")) || !math.IsInf(got.Num("inf"), 1) {
-		t.Fatalf("special floats lost: %+v", got.Nums)
+		t.Fatalf("special floats lost: x=%v inf=%v", got.Num("x"), got.Num("inf"))
 	}
 }
 
@@ -213,7 +226,7 @@ func TestStoreDecodeHardening(t *testing.T) {
 	s := New()
 	st := NewState()
 	st.Add("a", 1)
-	st.Table("t")["x"] = 2
+	st.Table("t").Set("x", 2)
 	s.Checkpoint(3, 1, st)
 	st2 := st.Clone()
 	st2.Add("a", 1)

@@ -43,6 +43,11 @@ type Store struct {
 
 	groups map[int]*entry
 	bytes  int
+
+	// scratch is the store's reusable delta: every Checkpoint diffs into it,
+	// encodes it, and applies it to the entry's tip, so the steady-state
+	// checkpoint path allocates only the appended chain bytes.
+	scratch Delta
 }
 
 // New returns an empty store.
@@ -112,15 +117,18 @@ func (s *Store) Checkpoint(gid, version int, st *State) int {
 		s.bytes += len(base)
 		return len(base)
 	}
-	d := Diff(e.tip, st)
+	d := &s.scratch
+	DiffInto(d, e.tip, st)
 	e.version = version
 	if d.Empty() {
 		return 0
 	}
-	enc := d.Encode(nil)
+	enc := d.Encode(make([]byte, 0, d.Size()))
 	e.deltas = append(e.deltas, enc)
 	e.deltaBytes += len(enc)
-	e.tip = st.Clone()
+	// Advance the tip by applying the delta in place — no per-checkpoint
+	// Clone of the whole state.
+	d.Apply(e.tip)
 	appended := len(enc)
 	s.bytes += appended
 	if len(e.deltas) > s.maxChain() || float64(e.deltaBytes) > s.compactFactor()*float64(len(e.base)) {

@@ -78,16 +78,17 @@ func rainBucketName(bucket int) string {
 
 // windowAdd records v for key into the current window bucket.
 func windowAdd(st *engine.State, period int, window int, key string, v float64) {
-	st.Table(bucketName(period % window))[key] += v
+	st.Table(bucketName(period % window)).Add(key, v)
 }
 
-// windowTotals sums the last `window` buckets per key and clears the bucket
+// windowTotals sums the last `window` buckets per key into the state's
+// scratch table (valid until the next Scratch call) and clears the bucket
 // that is about to be reused.
-func windowTotals(st *engine.State, period, window int) map[string]float64 {
-	totals := map[string]float64{}
+func windowTotals(st *engine.State, period, window int) *engine.Table {
+	totals := st.Scratch()
 	for b := 0; b < window; b++ {
-		for k, v := range st.Table(bucketName(b)) {
-			totals[k] += v
+		for k, v := range st.Table(bucketName(b)).All() {
+			totals.Add(k, v)
 		}
 	}
 	// Expire the oldest bucket (the one the NEXT period will write into).
@@ -97,23 +98,23 @@ func windowTotals(st *engine.State, period, window int) map[string]float64 {
 
 // topKOf returns the k keys with the largest totals, deterministically
 // (value descending, key ascending on ties). It keeps a bounded insertion-
-// sorted selection of k entries instead of sorting the whole map: O(n·k)
+// sorted selection of k entries instead of sorting the whole table: O(n·k)
 // worst case but ~O(n) on typical data, with a single small allocation.
-func topKOf(totals map[string]float64, k int) []string {
-	if k <= 0 || len(totals) == 0 {
+func topKOf(totals *engine.Table, k int) []string {
+	if k <= 0 || totals.Len() == 0 {
 		return nil
 	}
-	if k > len(totals) {
-		k = len(totals)
+	if k > totals.Len() {
+		k = totals.Len()
 	}
 	keys := make([]string, 0, k)
 	worse := func(a, b string) bool { // a ranks after b
-		if totals[a] != totals[b] {
-			return totals[a] < totals[b]
+		if av, bv := totals.Get(a), totals.Get(b); av != bv {
+			return av < bv
 		}
 		return a > b
 	}
-	for key := range totals {
+	for key := range totals.All() {
 		if len(keys) == k {
 			if worse(key, keys[k-1]) {
 				continue
@@ -173,7 +174,7 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 			totals := windowTotals(st, p, window)
 			for _, article := range topKOf(totals, topk) {
 				emit(engine.NewTuple(article, int64(p)).
-					WithNum("count", totals[article]))
+					WithNum("count", totals.Get(article)))
 			}
 			st.Add("period", 1)
 		},
@@ -281,15 +282,15 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		Cost:      1,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			if tu.HasNum("rainscore") {
-				st.Table("score")[tu.Key()] = tu.Num("rainscore")
+				st.Table("score").Set(tu.Key(), tu.Num("rainscore"))
 				return
 			}
-			score := st.Table("score")[tu.Str("origin")]
+			score := st.Table("score").Get(tu.Str("origin"))
 			bucket := int(score) / 10 * 10
-			st.Table("bucketSum")[rainBucketName(bucket)] += tu.Num("delay")
+			st.Table("bucketSum").Add(rainBucketName(bucket), tu.Num("delay"))
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
-			for bucket, sum := range st.Table("bucketSum") {
+			for bucket, sum := range st.Table("bucketSum").All() {
 				emit(engine.NewTuple(bucket, 0).WithNum("delay", sum))
 			}
 			st.ClearTable("bucketSum")
@@ -302,10 +303,10 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 		KeyGroups: cfg.KeyGroups / 2,
 		Cost:      1,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
-			st.Table("eff")[tu.Key()] += tu.Num("delay")
+			st.Table("eff").Add(tu.Key(), tu.Num("delay"))
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
-			for bucket, sum := range st.Table("eff") {
+			for bucket, sum := range st.Table("eff").All() {
 				emit(engine.NewTuple(bucket, 0).WithNum("sum", sum))
 			}
 		},
@@ -374,12 +375,13 @@ func addSumDelay(t *engine.Topology, cfg JobConfig) {
 		Cost:      0.3,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
 			key := tu.Key() + "|" + strconv.Itoa(int(tu.Num("year")))
-			st.Table("byYear")[key] += tu.Num("delay")
-			st.Table("dirty")[tu.Key()]++
+			st.Table("byYear").Add(key, tu.Num("delay"))
+			st.Table("dirty").Add(tu.Key(), 1)
 		},
 		Flush: func(kg int, st *engine.State, emit engine.Emit) {
-			for plane := range st.Table("dirty") {
-				emit(engine.NewTuple(plane, 0).WithNum("updates", st.Table("dirty")[plane]))
+			dirty := st.Table("dirty")
+			for plane, updates := range dirty.All() {
+				emit(engine.NewTuple(plane, 0).WithNum("updates", updates))
 			}
 			st.ClearTable("dirty")
 		},
@@ -393,7 +395,7 @@ func addRouteDelay(t *engine.Topology, cfg JobConfig) {
 		KeyGroups: cfg.KeyGroups,
 		Cost:      0.3,
 		Proc: func(tu *engine.TupleView, st *engine.State, emit engine.Emit) {
-			st.Table("byRoute")[tu.Key()] += tu.Num("delay")
+			st.Table("byRoute").Add(tu.Key(), tu.Num("delay"))
 		},
 	})
 }
