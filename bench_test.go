@@ -261,42 +261,51 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineThroughputSharded sweeps GOMAXPROCS over the sharded data
-// path (4 worker shards per node, same job as BenchmarkEngineThroughput):
-// the engine's multicore scaling profile. The proc count is encoded in the
+// BenchmarkEngineThroughputSharded sweeps GOMAXPROCS and the generator
+// count over the sharded data path (4 worker shards per node, same job as
+// BenchmarkEngineThroughput): the engine's multicore scaling profile.
+// gen=1 is the serial source path — its curve flattens once source
+// generation saturates one core; gen=4 partitions each period's batch
+// across four generator goroutines. The proc count is encoded in the
 // sub-benchmark name (procs=N) and set explicitly inside, because the
 // testing package's own -N name suffix reflects only the host's setting
 // and is stripped by cmd/benchjson.
 func BenchmarkEngineThroughputSharded(b *testing.B) {
 	const perPeriod = 20000
-	for _, procs := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("shards=4/procs=%d", procs), func(b *testing.B) {
-			prev := runtime.GOMAXPROCS(procs)
-			defer runtime.GOMAXPROCS(prev)
-			topo, err := workload.RealJob1(workload.JobConfig{KeyGroups: 32, Rate: perPeriod, Seed: 5})
-			if err != nil {
-				b.Fatal(err)
-			}
-			e, err := engine.New(topo, engine.Config{Nodes: 8, ShardsPerNode: 4}, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer e.Close()
-			b.ReportAllocs()
-			b.ResetTimer()
-			var tuples int64
-			for i := 0; i < b.N; i++ {
-				ps, err := e.RunPeriod()
-				if err != nil {
-					b.Fatal(err)
-				}
-				tuples += ps.TuplesIn
-			}
-			b.StopTimer()
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(tuples)/sec, "tuples/s")
-			}
-		})
+	for _, gen := range []int{1, 4} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("shards=4/gen=%d/procs=%d", gen, procs), func(b *testing.B) {
+				benchShardedThroughput(b, procs, gen, perPeriod)
+			})
+		}
+	}
+}
+
+func benchShardedThroughput(b *testing.B, procs, gen, perPeriod int) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	topo, err := workload.RealJob1(workload.JobConfig{KeyGroups: 32, Rate: perPeriod, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(topo, engine.Config{Nodes: 8, ShardsPerNode: 4, GenWorkers: gen}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tuples int64
+	for i := 0; i < b.N; i++ {
+		ps, err := e.RunPeriod()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuples += ps.TuplesIn
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(tuples)/sec, "tuples/s")
 	}
 }
 

@@ -12,11 +12,12 @@
 //
 //	go run ./cmd/benchjson -compare base.json head.json
 //
-// Gate (CI fails the PR when allocs/op on the allocation-critical paths
-// regresses past the threshold; base-only or head-only benchmarks are
-// skipped, so adding or renaming a benchmark never trips it):
+// Gate (CI fails the PR when allocs/op on the allocation-critical paths —
+// or tuples/s on the throughput paths — regresses past the threshold;
+// base-only or head-only benchmarks are skipped, so adding or renaming a
+// benchmark never trips it):
 //
-//	go run ./cmd/benchjson -gate -match 'EngineThroughput|StateStore' -max-regress 10 base.json head.json
+//	go run ./cmd/benchjson -gate -match 'EngineThroughput|StateStore' -rate-match 'EngineThroughput|EngineThroughputSharded' -max-regress 10 base.json head.json
 package main
 
 import (
@@ -190,10 +191,14 @@ func metricCells(base, head map[string]float64) string {
 	return strings.Join(parts, "<br>")
 }
 
-// gate compares allocs/op on benchmarks matching re and returns the names
-// that regressed by more than maxPct percent. Benchmarks missing on either
-// side, or with zero allocations on the base, are skipped.
-func gate(basePath, headPath string, re *regexp.Regexp, maxPct float64, w io.Writer) ([]string, error) {
+// gate compares allocs/op on benchmarks matching allocRe, and the tuples/s
+// custom metric on benchmarks matching rateRe (nil disables the rate gate),
+// and returns the names that regressed by more than maxPct percent —
+// allocs/op regressing up, tuples/s regressing down. Benchmarks missing on
+// either side, with zero base allocations, or without a tuples/s metric on
+// both sides are skipped, so adding or renaming a benchmark never trips the
+// gate. A name failing both checks is reported once.
+func gate(basePath, headPath string, allocRe, rateRe *regexp.Regexp, maxPct float64, w io.Writer) ([]string, error) {
 	base, _, err := load(basePath)
 	if err != nil {
 		return nil, err
@@ -203,30 +208,50 @@ func gate(basePath, headPath string, re *regexp.Regexp, maxPct float64, w io.Wri
 		return nil, err
 	}
 	var failed []string
-	checked := 0
-	for _, name := range order {
-		if !re.MatchString(name) {
-			continue
-		}
-		h := head[name]
-		b, ok := base[name]
-		if !ok || b.AllocsOp == 0 {
-			continue
-		}
-		checked++
-		pct := (h.AllocsOp - b.AllocsOp) / b.AllocsOp * 100
-		verdict := "ok"
-		if pct > maxPct {
-			verdict = "FAIL"
+	failedSet := map[string]bool{}
+	fail := func(name string) {
+		if !failedSet[name] {
+			failedSet[name] = true
 			failed = append(failed, name)
 		}
-		fmt.Fprintf(w, "%-4s %s: %.0f -> %.0f allocs/op (%+.1f%%, limit %+.1f%%)\n",
-			verdict, name, b.AllocsOp, h.AllocsOp, pct, maxPct)
+	}
+	checked := 0
+	for _, name := range order {
+		h := head[name]
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		if allocRe.MatchString(name) && b.AllocsOp != 0 {
+			checked++
+			pct := (h.AllocsOp - b.AllocsOp) / b.AllocsOp * 100
+			verdict := "ok"
+			if pct > maxPct {
+				verdict = "FAIL"
+				fail(name)
+			}
+			fmt.Fprintf(w, "%-4s %s: %.0f -> %.0f allocs/op (%+.1f%%, limit %+.1f%%)\n",
+				verdict, name, b.AllocsOp, h.AllocsOp, pct, maxPct)
+		}
+		if rateRe != nil && rateRe.MatchString(name) {
+			br, hr := b.Metrics["tuples/s"], h.Metrics["tuples/s"]
+			if br > 0 && hr > 0 {
+				checked++
+				pct := (br - hr) / br * 100 // positive = slower
+				verdict := "ok"
+				if pct > maxPct {
+					verdict = "FAIL"
+					fail(name)
+				}
+				fmt.Fprintf(w, "%-4s %s: %.0f -> %.0f tuples/s (%+.1f%%, limit -%.1f%%)\n",
+					verdict, name, br, hr, (hr-br)/br*100, maxPct)
+			}
+		}
 	}
 	if checked == 0 {
 		// An empty gate passes vacuously — say so rather than silently
 		// green-lighting a filter typo.
-		fmt.Fprintf(w, "warning: no benchmarks matched %q on both sides; nothing gated\n", re)
+		fmt.Fprintf(w, "warning: no benchmarks matched %q (allocs/op) or %q (tuples/s) on both sides; nothing gated\n", allocRe, rateRe)
 	}
 	return failed, nil
 }
@@ -234,10 +259,11 @@ func gate(basePath, headPath string, re *regexp.Regexp, maxPct float64, w io.Wri
 func runGate(args []string) {
 	fs := flag.NewFlagSet("gate", flag.ExitOnError)
 	match := fs.String("match", "EngineThroughput|StateStore", "regexp of benchmark names to gate on allocs/op")
-	maxPct := fs.Float64("max-regress", 10, "maximum allowed allocs/op regression in percent")
+	rateMatch := fs.String("rate-match", "EngineThroughput|EngineThroughputSharded", "regexp of benchmark names to gate on tuples/s (empty disables)")
+	maxPct := fs.Float64("max-regress", 10, "maximum allowed regression in percent (allocs/op up, tuples/s down)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson -gate [-match re] [-max-regress pct] base.json head.json")
+		fmt.Fprintln(os.Stderr, "usage: benchjson -gate [-match re] [-rate-match re] [-max-regress pct] base.json head.json")
 		os.Exit(2)
 	}
 	re, err := regexp.Compile(*match)
@@ -245,13 +271,21 @@ func runGate(args []string) {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
-	failed, err := gate(fs.Arg(0), fs.Arg(1), re, *maxPct, os.Stdout)
+	var rateRe *regexp.Regexp
+	if *rateMatch != "" {
+		rateRe, err = regexp.Compile(*rateMatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+	failed, err := gate(fs.Arg(0), fs.Arg(1), re, rateRe, *maxPct, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: allocs/op regressed past %.1f%% on: %s\n",
+		fmt.Fprintf(os.Stderr, "benchjson: regressed past %.1f%% on: %s\n",
 			*maxPct, strings.Join(failed, ", "))
 		os.Exit(1)
 	}

@@ -57,7 +57,7 @@ func TestGateFailsOnlyOnMatchedRegressions(t *testing.T) {
 		{Name: "BenchmarkStateStoreDiff", NsOp: 10, AllocsOp: 8},
 		{Name: "BenchmarkUnrelated", NsOp: 10, AllocsOp: 500},
 	})
-	failed, err := gate(base, head, re, 10, os.Stderr)
+	failed, err := gate(base, head, re, nil, 10, os.Stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestGateFailsOnlyOnMatchedRegressions(t *testing.T) {
 		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1200},
 		{Name: "BenchmarkStateStoreDiff", NsOp: 10, AllocsOp: 8},
 	})
-	failed, err = gate(base, head, re, 10, os.Stderr)
+	failed, err = gate(base, head, re, nil, 10, os.Stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +82,61 @@ func TestGateFailsOnlyOnMatchedRegressions(t *testing.T) {
 	head = writeResults(t, dir, "head-new.json", []Result{
 		{Name: "BenchmarkStateStoreNew", NsOp: 10, AllocsOp: 9999},
 	})
-	failed, err = gate(base, head, re, 10, os.Stderr)
+	failed, err = gate(base, head, re, nil, 10, os.Stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(failed) != 0 {
 		t.Fatalf("gate failed on new-only benchmark: %v", failed)
+	}
+}
+
+func TestGateFailsOnThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	tps := func(v float64) map[string]float64 { return map[string]float64{"tuples/s": v} }
+	base := writeResults(t, dir, "base.json", []Result{
+		{Name: "BenchmarkEngineThroughputSharded/shards=4/procs=4", NsOp: 100, Metrics: tps(1_000_000)},
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1000, Metrics: tps(500_000)},
+		{Name: "BenchmarkUnrelatedRate", NsOp: 10, Metrics: tps(100)},
+	})
+	allocRe := regexp.MustCompile("EngineThroughput|StateStore")
+	rateRe := regexp.MustCompile("EngineThroughput|EngineThroughputSharded")
+
+	// Throughput down 5% (within limit) passes; up is always fine.
+	head := writeResults(t, dir, "head-ok.json", []Result{
+		{Name: "BenchmarkEngineThroughputSharded/shards=4/procs=4", NsOp: 100, Metrics: tps(950_000)},
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 1000, Metrics: tps(600_000)},
+		{Name: "BenchmarkUnrelatedRate", NsOp: 10, Metrics: tps(1)},
+	})
+	failed, err := gate(base, head, allocRe, rateRe, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("gate failed on %v, want pass", failed)
+	}
+
+	// Throughput down 20% on a rate-gated bench fails; a name regressing on
+	// both allocs/op and tuples/s is reported once.
+	head = writeResults(t, dir, "head-bad.json", []Result{
+		{Name: "BenchmarkEngineThroughputSharded/shards=4/procs=4", NsOp: 100, Metrics: tps(800_000)},
+		{Name: "BenchmarkEngineThroughput", NsOp: 100, AllocsOp: 2000, Metrics: tps(100_000)},
+	})
+	failed, err = gate(base, head, allocRe, rateRe, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkEngineThroughputSharded/shards=4/procs=4", "BenchmarkEngineThroughput"}
+	if len(failed) != 2 || failed[0] != want[0] || failed[1] != want[1] {
+		t.Fatalf("failed = %v, want %v", failed, want)
+	}
+
+	// nil rateRe disables the rate gate entirely.
+	failed, err = gate(base, head, regexp.MustCompile("StateStore"), nil, 10, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("rate gate ran with nil regexp: %v", failed)
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/statestore"
@@ -68,16 +69,31 @@ func (e *Engine) TakeCheckpoint() CheckpointStats {
 	// Remote nodes: each worker encodes its groups (full for first-timers,
 	// delta against its tip mirror otherwise) and the controller replays them
 	// into the store — absorbCkptEntries keeps store tips and worker tip
-	// mirrors byte-identical. A worker that died mid-request is skipped; its
-	// groups keep their previous checkpoint until FailNode/Recover handle it.
+	// mirrors byte-identical. The round trips are issued to all peers
+	// concurrently (each worker encodes its states independently); the
+	// replies are absorbed in ascending peer order, so the store's contents
+	// do not depend on reply timing. A worker that died mid-request is
+	// skipped; its groups keep their previous checkpoint until
+	// FailNode/Recover handle it.
 	if e.rig != nil {
-		for _, peer := range e.workerPeers() {
-			body, err := e.rig.request(peer, reqFrame{kind: rqCkpt, version: e.period})
-			if err != nil {
+		peers := e.workerPeers()
+		bodies := make([][]byte, len(peers))
+		rerrs := make([]error, len(peers))
+		var wg sync.WaitGroup
+		for k, peer := range peers {
+			wg.Add(1)
+			go func(k, peer int) {
+				defer wg.Done()
+				bodies[k], rerrs[k] = e.rig.request(peer, reqFrame{kind: rqCkpt, version: e.period})
+			}(k, peer)
+		}
+		wg.Wait()
+		for k := range peers {
+			if rerrs[k] != nil {
 				continue
 			}
-			entries, derr := decodeCkptReply(body)
-			codec.PutBuf(body)
+			entries, derr := decodeCkptReply(bodies[k])
+			codec.PutBuf(bodies[k])
 			if derr != nil {
 				continue
 			}

@@ -79,6 +79,16 @@ type Config struct {
 	// the sparse path regardless of size. Both representations produce
 	// byte-identical statistics — this is purely a space/speed knob.
 	DenseCommLimit int
+	// GenWorkers partitions each source's per-period emission across this
+	// many generator goroutines (see gen.go). Each generator is a distinct
+	// sender with its own per-(dest, op) outbox set, scratch buffer and
+	// byte/batch counters, so the per-sender FIFO invariant holds per
+	// generator; sub-period boundaries become safe-point rendezvous across
+	// the generators. Sources opt in via Topology.AddSourceParts — a source
+	// without a split hook runs whole on generator 0. 0 or 1 keeps the
+	// single-generator path of earlier versions byte-identical (same frames,
+	// same dictionary resets, same statistics); values above 64 are capped.
+	GenWorkers int
 }
 
 func (c *Config) defaults() {
@@ -108,6 +118,12 @@ func (c *Config) defaults() {
 	}
 	if c.ShardsPerNode > 256 {
 		c.ShardsPerNode = 256
+	}
+	if c.GenWorkers <= 0 {
+		c.GenWorkers = 1
+	}
+	if c.GenWorkers > 64 {
+		c.GenWorkers = 64
 	}
 }
 
@@ -208,6 +224,19 @@ type Engine struct {
 	prevAllocObjs  uint64
 	prevAllocBytes uint64
 	allocSampled   bool
+
+	// genStates holds each generator worker's reusable emission scratch
+	// (outbox set, encode buffer, counters) so steady-state generation is
+	// allocation-flat; see gen.go. Grown on first use, reused every period.
+	genStates []*genState
+	// Period-barrier scratch, reused so the merge itself stays out of the
+	// Allocs telemetry it feeds: shardRefs flattens the live shards for the
+	// parallel stats merge, mergeAccs holds the per-merge-worker partial
+	// sums, and transferDest is finishPeriod's staged-delta destination map
+	// (built only on periods that actually migrate).
+	shardRefs    []shardRef
+	mergeAccs    []*mergeAcc
+	transferDest map[int]int
 }
 
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed integer hash
@@ -307,8 +336,11 @@ type periodRun struct {
 	armFailed bool
 
 	// Reactive sub-period state (see subperiod.go). All fields are owned by
-	// the generation goroutine during the period; finishPeriod reads them
-	// only after synchronizing on the generation result.
+	// the generation side during the period — serially by the single
+	// generator, or (GenWorkers > 1) mutated only inside genCoord's
+	// single-threaded boundary region and after the generator join;
+	// finishPeriod reads them only after synchronizing on the generation
+	// result.
 	subObserver SubObserver
 	subIdx      int   // sub-intervals completed (1-based once running)
 	subPerSub   int64 // source tuples per sub-interval (0: no boundaries)
@@ -544,116 +576,6 @@ func (e *Engine) beginPeriod() *periodRun {
 	return pr
 }
 
-// generate runs the topology's sources for the period. It may run on the
-// control goroutine (lockstep RunPeriod) or on a dedicated goroutine (the
-// continuous Run driver); either way a single goroutine emits, so the
-// per-sender FIFO invariant holds for the engine as a sender. Source
-// emissions go through the same per-(dest, op) batching as node-to-node
-// traffic; the flush below precedes the source barriers.
-func (e *Engine) generate(pr *periodRun) error {
-	srcOuts := make([]*outbox, len(e.nodes)*e.spn) // indexed by global shard id
-	var srcScratch []byte
-	srcBatches := int64(0)
-	flushSrc := func(destG int) {
-		if srcOuts[destG] == nil {
-			return
-		}
-		if m, ok := srcOuts[destG].take(pr.period); ok {
-			srcBatches++
-			e.deliver(destG, m)
-		}
-	}
-	flushAllSrc := func() {
-		for destG := range srcOuts {
-			flushSrc(destG)
-		}
-	}
-	var srcErr error
-	for si, src := range e.topo.sources {
-		emit := func(t *Tuple) {
-			for _, op := range e.topo.srcEdges[si] {
-				kg := pr.rt.keyGroup(op, t.Key)
-				gid := e.topo.GID(op, kg)
-				dest := pr.rt.nodeOf(op, kg)
-				if pr.hotDest != nil {
-					if d, ok := pr.hotDest[gid]; ok {
-						dest = d
-					}
-				}
-				destG := e.gsidFor(dest, gid)
-				ob := srcOuts[destG]
-				if ob == nil {
-					ob = &outbox{}
-					srcOuts[destG] = ob
-				}
-				if ob.count > 0 && ob.op != op {
-					flushSrc(destG)
-				}
-				ob.op = op
-				pr.srcBytes += int64(ob.stage(kg, t, &srcScratch))
-				if ob.full() {
-					flushSrc(destG)
-				}
-			}
-			if t.pooled {
-				// NewTuple-built source tuple: fully encoded above, recycle.
-				putTuple(t)
-			}
-			pr.srcEmitted++
-			// Sub-period boundary: fires between tuples on this goroutine
-			// (a safe point — no frame is half-staged, no barrier sent yet).
-			if pr.subPerSub > 0 && pr.srcEmitted >= pr.subNext && pr.subIdx < e.cfg.SubPeriods-1 {
-				pr.subIdx++
-				pr.subNext += pr.subPerSub
-				e.subBoundary(pr, flushAllSrc)
-			}
-		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					srcErr = fmt.Errorf("engine: source %q panicked: %v", src.Name, r)
-				}
-			}()
-			src.Gen(pr.period, emit)
-		}()
-		if srcErr != nil {
-			return srcErr
-		}
-	}
-	flushAllSrc()
-	// Sub-period boundaries that emission did not reach (generation always
-	// outpaces processing; with low volume it finishes before the first
-	// emission threshold): fire them now, before any barrier is sent —
-	// each waits for the data path to catch up to its share of the period,
-	// so hot moves still happen at meaningful mid-period safe points.
-	for pr.subPerSub > 0 && pr.subIdx < e.cfg.SubPeriods-1 {
-		pr.subIdx++
-		e.subBoundary(pr, flushAllSrc)
-	}
-	pr.srcBatches = srcBatches
-	// Source barriers, then synthetic barriers for input-less ops — one per
-	// shard of every hosting node (each shard collects the full complement).
-	for si := range e.topo.sources {
-		for _, op := range e.topo.srcEdges[si] {
-			for _, host := range pr.rt.hosts[op] {
-				for i := 0; i < e.spn; i++ {
-					e.deliver(host*e.spn+i, barrierMsg{op: op, period: pr.period})
-				}
-			}
-		}
-	}
-	for op, syn := range pr.synthetic {
-		if syn {
-			for _, host := range pr.rt.hosts[op] {
-				for i := 0; i < e.spn; i++ {
-					e.deliver(host*e.spn+i, barrierMsg{op: op, period: pr.period})
-				}
-			}
-		}
-	}
-	return nil
-}
-
 // finishPeriod waits for all operator instances to flush and all migrations
 // to be reported, then merges statistics (nodes quiescent again). gen, when
 // non-nil, delivers the concurrent source-generation result; a generation
@@ -664,11 +586,20 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	errs := pr.errs
 	// Delta transfers carry the checkpoint tip to their destination (the
 	// pre-copied base the destination adopted IS the tip); anything else
-	// that migrates invalidates its group's tip residency.
-	transferDest := map[int]int{}
-	for _, tr := range pr.transfers {
-		if tr.deltaBase >= 0 {
-			transferDest[tr.mv.Group] = tr.mv.To
+	// that migrates invalidates its group's tip residency. Most periods move
+	// nothing, so the map is built (reusing the engine's scratch) only when
+	// transfers exist — lookups on the nil map below are legal and miss.
+	var transferDest map[int]int
+	if len(pr.transfers) > 0 {
+		if e.transferDest == nil {
+			e.transferDest = make(map[int]int, len(pr.transfers))
+		}
+		clear(e.transferDest)
+		transferDest = e.transferDest
+		for _, tr := range pr.transfers {
+			if tr.deltaBase >= 0 {
+				transferDest[tr.mv.Group] = tr.mv.To
+			}
 		}
 	}
 	for completions < pr.expectedCompletions || migs < len(pr.staged) || gen != nil {
@@ -741,42 +672,32 @@ func (e *Engine) finishPeriod(pr *periodRun, gen <-chan error) (*PeriodStats, er
 	groupMilli := make([]int64, ng)
 	nodeMilli := make([]int64, len(e.nodes))
 	e.commBuilder.Reset(ng)
-	for i, n := range e.nodes {
-		if n == nil || e.removed[i] {
-			continue
-		}
-		for _, sh := range n.shards {
-			nodeMilli[i] += sh.stats.migMilli
-			for gid, m := range sh.stats.groupMilli {
-				groupMilli[gid] += m
-				nodeMilli[i] += m
-			}
-			for _, c := range sh.stats.groupTuplesIn {
-				ps.TuplesIn += c
-			}
-			for _, c := range sh.stats.groupTuplesOut {
-				ps.TuplesOut += c
-			}
-			sh.stats.forEachComm(e.commBuilder.Add)
-			ps.BytesCrossNode += sh.stats.bytesOut
-			ps.BytesCrossNodeIn += sh.stats.bytesIn
-			ps.BatchesCrossNode += sh.stats.batchesOut
-			for gid, st := range sh.states {
-				ps.StateBytes[gid] = st.Size()
-			}
-		}
-	}
-	// Remote nodes: one stats round trip per worker peer (workers are
-	// quiescent — their shards' completions all arrived above — and the
-	// request pings their shards for the happens-before edge).
+	e.mergeShardStats(ps, groupMilli, nodeMilli)
+	// Remote nodes: the stats round trips to all worker peers are issued
+	// concurrently (workers are quiescent — their shards' completions all
+	// arrived above — and the request pings their shards for the
+	// happens-before edge), then the replies merge in ascending peer order.
+	// The merge itself is order-independent (integer sums), so only the
+	// round-trip latency is parallelized, never the arithmetic.
 	var remoteDeltas []ckptDeltaEntry
 	if e.rig != nil {
-		for _, peer := range e.workerPeers() {
-			body, err := e.rig.request(peer, reqFrame{kind: rqStats, version: pr.period})
-			if err != nil {
-				return nil, fmt.Errorf("engine: stats from peer %d: %w", peer, err)
+		peers := e.workerPeers()
+		bodies := make([][]byte, len(peers))
+		rerrs := make([]error, len(peers))
+		var wg sync.WaitGroup
+		for k, peer := range peers {
+			wg.Add(1)
+			go func(k, peer int) {
+				defer wg.Done()
+				bodies[k], rerrs[k] = e.rig.request(peer, reqFrame{kind: rqStats, version: pr.period})
+			}(k, peer)
+		}
+		wg.Wait()
+		for k, peer := range peers {
+			if rerrs[k] != nil {
+				return nil, fmt.Errorf("engine: stats from peer %d: %w", peer, rerrs[k])
 			}
-			nodes, derr := decodeStatsReply(body)
+			nodes, derr := decodeStatsReply(bodies[k])
 			if derr != nil {
 				return nil, derr
 			}

@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Source generation. The engine produces each period's input batch either on
+// a single goroutine (generateSerial — the exact behavior of earlier
+// versions) or partitioned across Config.GenWorkers generator goroutines
+// (generateParallel). Each generator is a distinct sender with its own
+// per-(dest, op) outbox set, scratch buffer and byte/batch counters, so the
+// per-sender FIFO invariant the shards rely on holds per generator; the
+// emitted tuple multiset is identical for any worker count because
+// partitionable sources split deterministically (see PartSourceFunc).
+// End-of-period source barriers are emitted only after every generator has
+// joined and every generator outbox has flushed, so barrier counting is
+// unchanged: one barrier per source edge per receiving shard.
+
+// genState is one generator worker's reusable emission scratch, hoisted onto
+// the Engine so steady-state generation allocates nothing (visible in
+// PeriodStats.Allocs). Outboxes are reusable across periods by construction:
+// take() detaches the frame and begin() lazily starts a fresh one with a
+// dictionary reset, so a reused outbox produces byte-identical frames.
+type genState struct {
+	outs    []*outbox // indexed by global shard id
+	scratch []byte    // per-record encode buffer
+	bytes   int64     // wire bytes staged this period (per-record sum)
+	batches int64     // frames shipped this period
+}
+
+// genStateFor returns worker w's generation scratch, grown to the current
+// node-table width and with its per-period counters reset. Existing outboxes
+// are kept — their dictionaries reset lazily on first use each period.
+func (e *Engine) genStateFor(w int) *genState {
+	for len(e.genStates) <= w {
+		e.genStates = append(e.genStates, &genState{})
+	}
+	gs := e.genStates[w]
+	want := len(e.nodes) * e.spn
+	if cap(gs.outs) < want {
+		outs := make([]*outbox, want)
+		copy(outs, gs.outs)
+		gs.outs = outs
+	} else {
+		gs.outs = gs.outs[:want]
+	}
+	gs.bytes, gs.batches = 0, 0
+	return gs
+}
+
+// flushGen ships one generator outbox's staged frame, if any.
+func (e *Engine) flushGen(pr *periodRun, gs *genState, destG int) {
+	ob := gs.outs[destG]
+	if ob == nil {
+		return
+	}
+	if m, ok := ob.take(pr.period); ok {
+		gs.batches++
+		e.deliver(destG, m)
+	}
+}
+
+// stageSrc routes one source tuple to every downstream operator of source si
+// through the generator's own outbox set.
+func (e *Engine) stageSrc(pr *periodRun, gs *genState, si int, t *Tuple) {
+	for _, op := range e.topo.srcEdges[si] {
+		kg := pr.rt.keyGroup(op, t.Key)
+		gid := e.topo.GID(op, kg)
+		dest := pr.rt.nodeOf(op, kg)
+		if pr.hotDest != nil {
+			if d, ok := pr.hotDest[gid]; ok {
+				dest = d
+			}
+		}
+		destG := e.gsidFor(dest, gid)
+		ob := gs.outs[destG]
+		if ob == nil {
+			ob = &outbox{}
+			gs.outs[destG] = ob
+		}
+		if ob.count > 0 && ob.op != op {
+			e.flushGen(pr, gs, destG)
+		}
+		ob.op = op
+		gs.bytes += int64(ob.stage(kg, t, &gs.scratch))
+		if ob.full() {
+			e.flushGen(pr, gs, destG)
+		}
+	}
+	if t.pooled {
+		// NewTuple-built source tuple: fully encoded above, recycle.
+		putTuple(t)
+	}
+}
+
+// runSrc invokes one source generator with panic containment.
+func runSrc(name string, f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: source %q panicked: %v", name, r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// generate runs the topology's sources for the period — in parallel when the
+// engine is configured with GenWorkers > 1 and at least one source declared
+// a split hook, serially otherwise.
+func (e *Engine) generate(pr *periodRun) error {
+	if e.cfg.GenWorkers > 1 {
+		for _, src := range e.topo.sources {
+			if src.GenPart != nil {
+				return e.generateParallel(pr)
+			}
+		}
+	}
+	return e.generateSerial(pr)
+}
+
+// generateSerial is the single-generator path: one goroutine emits, so the
+// per-sender FIFO invariant holds for the engine as a sender, and sub-period
+// boundaries fire inline between tuples. Byte-for-byte it is the behavior of
+// earlier versions — same frames, same dictionary lifetimes, same statistics.
+func (e *Engine) generateSerial(pr *periodRun) error {
+	gs := e.genStateFor(0)
+	flushAll := func() {
+		for destG := range gs.outs {
+			e.flushGen(pr, gs, destG)
+		}
+	}
+	for si, src := range e.topo.sources {
+		emit := func(t *Tuple) {
+			e.stageSrc(pr, gs, si, t)
+			pr.srcEmitted++
+			// Sub-period boundary: fires between tuples on this goroutine
+			// (a safe point — no frame is half-staged, no barrier sent yet).
+			if pr.subPerSub > 0 && pr.srcEmitted >= pr.subNext && pr.subIdx < e.cfg.SubPeriods-1 {
+				pr.subIdx++
+				pr.subNext += pr.subPerSub
+				e.subBoundary(pr, flushAll)
+			}
+		}
+		if err := runSrc(src.Name, func() { src.Gen(pr.period, emit) }); err != nil {
+			return err
+		}
+	}
+	flushAll()
+	// Sub-period boundaries that emission did not reach (generation always
+	// outpaces processing; with low volume it finishes before the first
+	// emission threshold): fire them now, before any barrier is sent —
+	// each waits for the data path to catch up to its share of the period,
+	// so hot moves still happen at meaningful mid-period safe points.
+	for pr.subPerSub > 0 && pr.subIdx < e.cfg.SubPeriods-1 {
+		pr.subIdx++
+		e.subBoundary(pr, flushAll)
+	}
+	pr.srcBytes = gs.bytes
+	pr.srcBatches = gs.batches
+	e.emitSourceBarriers(pr)
+	return nil
+}
+
+// genCoord coordinates the parallel generators' sub-period safe points. The
+// emitted-tuple count is a shared atomic; when it crosses the next boundary
+// threshold, one generator wins the stop flag and becomes the boundary
+// initiator, every other live generator parks at its next between-tuples
+// safe point, and the initiator — provably alone — runs the ordinary
+// sub-period boundary machinery (flush all generator outboxes, quiesce,
+// snapshot, observer, hot moves) before releasing the others. All
+// cross-generator state (outboxes, pr.hotDest, pr.subIdx) is only touched in
+// that single-threaded region; the park/release mutex edges publish it.
+type genCoord struct {
+	e        *Engine
+	pr       *periodRun
+	flushAll func()
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked int // generators waiting at the safe point
+	active int // generators not yet finished
+
+	stop    atomic.Bool  // boundary in progress: park at next safe point
+	emitted atomic.Int64 // total tuples emitted across generators
+	subNext atomic.Int64 // emission count of the next boundary (0: none left)
+	nextVal int64        // subNext's value, owned by the boundary initiator
+}
+
+func newGenCoord(e *Engine, pr *periodRun, flushAll func(), workers int) *genCoord {
+	gc := &genCoord{e: e, pr: pr, flushAll: flushAll, active: workers}
+	gc.cond = sync.NewCond(&gc.mu)
+	gc.nextVal = pr.subNext
+	if pr.subPerSub > 0 {
+		gc.subNext.Store(pr.subNext)
+	}
+	return gc
+}
+
+// park blocks the calling generator at its safe point until the boundary
+// initiator releases the rendezvous.
+func (gc *genCoord) park() {
+	gc.mu.Lock()
+	gc.parked++
+	gc.cond.Broadcast()
+	for gc.stop.Load() {
+		gc.cond.Wait()
+	}
+	gc.parked--
+	gc.mu.Unlock()
+}
+
+// leave retires a finished (or failed) generator from the rendezvous set so
+// a boundary initiator never waits for it.
+func (gc *genCoord) leave() {
+	gc.mu.Lock()
+	gc.active--
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+}
+
+// boundary fires when the shared emission count crosses the next sub-period
+// threshold. The winner of the stop flag waits for every other live
+// generator to park, runs the due boundaries single-threaded, publishes the
+// next threshold and releases; losers just park.
+func (gc *genCoord) boundary() {
+	if !gc.stop.CompareAndSwap(false, true) {
+		gc.park()
+		return
+	}
+	gc.mu.Lock()
+	for gc.parked < gc.active-1 {
+		gc.cond.Wait()
+	}
+	gc.mu.Unlock()
+	// Single-threaded region: every other live generator is parked (their
+	// parked++ under mu happens-before our read of the count), so flushing
+	// their outboxes and mutating the period's routing overrides is safe.
+	pr, e := gc.pr, gc.e
+	for pr.subPerSub > 0 && pr.subIdx < e.cfg.SubPeriods-1 && gc.emitted.Load() >= gc.nextVal {
+		pr.subIdx++
+		gc.nextVal += pr.subPerSub
+		e.subBoundary(pr, gc.flushAll)
+	}
+	if pr.subIdx < e.cfg.SubPeriods-1 {
+		gc.subNext.Store(gc.nextVal)
+	} else {
+		gc.subNext.Store(0)
+	}
+	gc.mu.Lock()
+	gc.stop.Store(false)
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+}
+
+// generateParallel partitions the period's emission across GenWorkers
+// generator goroutines. Partitionable sources run one part per worker;
+// sources without a split hook run whole on worker 0, interleaved with the
+// parts — the emitted multiset is the same either way. The source barriers
+// ship only after every generator has joined and flushed.
+func (e *Engine) generateParallel(pr *periodRun) error {
+	parts := e.cfg.GenWorkers
+	for w := 0; w < parts; w++ {
+		e.genStateFor(w)
+	}
+	gens := e.genStates[:parts]
+	flushAll := func() {
+		for _, gs := range gens {
+			for destG := range gs.outs {
+				e.flushGen(pr, gs, destG)
+			}
+		}
+	}
+	gc := newGenCoord(e, pr, flushAll, parts)
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer gc.leave()
+			gs := gens[w]
+			for si, src := range e.topo.sources {
+				emit := func(t *Tuple) {
+					e.stageSrc(pr, gs, si, t)
+					// Safe point: nothing half-staged, no barrier sent yet.
+					n := gc.emitted.Add(1)
+					if gc.stop.Load() {
+						gc.park()
+					} else if next := gc.subNext.Load(); next > 0 && n >= next {
+						gc.boundary()
+					}
+				}
+				switch {
+				case src.GenPart != nil:
+					errs[w] = runSrc(src.Name, func() { src.GenPart(pr.period, w, parts, emit) })
+				case w == 0:
+					errs[w] = runSrc(src.Name, func() { src.Gen(pr.period, emit) })
+				}
+				if errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	pr.srcEmitted = gc.emitted.Load()
+	flushAll()
+	// Boundaries emission did not reach: fire them before any barrier, as in
+	// the serial path. All generators have joined — this goroutine is the
+	// only one touching the period now.
+	for pr.subPerSub > 0 && pr.subIdx < e.cfg.SubPeriods-1 {
+		pr.subIdx++
+		e.subBoundary(pr, flushAll)
+	}
+	for _, gs := range gens {
+		pr.srcBytes += gs.bytes
+		pr.srcBatches += gs.batches
+	}
+	e.emitSourceBarriers(pr)
+	return nil
+}
+
+// emitSourceBarriers ships the end-of-period source barriers, then the
+// synthetic barriers for input-less ops — one per shard of every hosting
+// node (each shard collects the full complement). Every generator outbox
+// flushed before this: barrier counting is independent of GenWorkers.
+func (e *Engine) emitSourceBarriers(pr *periodRun) {
+	for si := range e.topo.sources {
+		for _, op := range e.topo.srcEdges[si] {
+			e.barrierWave(pr, op)
+		}
+	}
+	for op, syn := range pr.synthetic {
+		if syn {
+			e.barrierWave(pr, op)
+		}
+	}
+}
+
+func (e *Engine) barrierWave(pr *periodRun, op int) {
+	for _, host := range pr.rt.hosts[op] {
+		for i := 0; i < e.spn; i++ {
+			e.deliver(host*e.spn+i, barrierMsg{op: op, period: pr.period})
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -216,4 +218,148 @@ type PeriodStats struct {
 // LoadPercent converts cost units to percentage points of node capacity.
 func (e *Engine) loadPercent(units float64) float64 {
 	return 100 * units / e.cfg.NodeCapacity
+}
+
+// shardRef names one live shard for the period-barrier merge.
+type shardRef struct {
+	node int
+	sh   *shard
+}
+
+// mergeAcc is one merge worker's partial sums over its subset of the live
+// shards. groupMilli is NOT shard-disjoint (a hot-moved group burns cost on
+// two shards in one period), so each worker folds into its own partials and
+// the partials reduce in worker order afterwards — integer milli-units keep
+// the result independent of both split and schedule, preserving the exact
+// in-memory-vs-TCP equality of the serial merge.
+type mergeAcc struct {
+	groupMilli []int64
+	nodeMilli  []int64
+	tuplesIn   int64
+	tuplesOut  int64
+	bytesOut   int64
+	bytesIn    int64
+	batchesOut int64
+}
+
+func (a *mergeAcc) reset(numGroups, numNodes int) {
+	if cap(a.groupMilli) < numGroups {
+		a.groupMilli = make([]int64, numGroups)
+	}
+	a.groupMilli = a.groupMilli[:numGroups]
+	clear(a.groupMilli)
+	if cap(a.nodeMilli) < numNodes {
+		a.nodeMilli = make([]int64, numNodes)
+	}
+	a.nodeMilli = a.nodeMilli[:numNodes]
+	clear(a.nodeMilli)
+	a.tuplesIn, a.tuplesOut = 0, 0
+	a.bytesOut, a.bytesIn, a.batchesOut = 0, 0, 0
+}
+
+// fold accumulates one quiescent shard into the worker's partials. StateBytes
+// is written straight into ps: a key group's state lives on exactly one shard
+// at the barrier (migrating out deletes the source entry), so the writes are
+// gid-disjoint across workers.
+func (a *mergeAcc) fold(r shardRef, ps *PeriodStats, commAdd func(from, to int, rate float64)) {
+	sh := r.sh
+	a.nodeMilli[r.node] += sh.stats.migMilli
+	for gid, m := range sh.stats.groupMilli {
+		a.groupMilli[gid] += m
+		a.nodeMilli[r.node] += m
+	}
+	for _, c := range sh.stats.groupTuplesIn {
+		a.tuplesIn += c
+	}
+	for _, c := range sh.stats.groupTuplesOut {
+		a.tuplesOut += c
+	}
+	sh.stats.forEachComm(commAdd)
+	a.bytesOut += sh.stats.bytesOut
+	a.bytesIn += sh.stats.bytesIn
+	a.batchesOut += sh.stats.batchesOut
+	for gid, st := range sh.states {
+		ps.StateBytes[gid] = st.Size()
+	}
+}
+
+func (a *mergeAcc) reduceInto(ps *PeriodStats, groupMilli, nodeMilli []int64) {
+	for gid, m := range a.groupMilli {
+		groupMilli[gid] += m
+	}
+	for i, m := range a.nodeMilli {
+		nodeMilli[i] += m
+	}
+	ps.TuplesIn += a.tuplesIn
+	ps.TuplesOut += a.tuplesOut
+	ps.BytesCrossNode += a.bytesOut
+	ps.BytesCrossNodeIn += a.bytesIn
+	ps.BatchesCrossNode += a.batchesOut
+}
+
+// mergeShardStats folds every live local shard's period statistics into ps
+// and the milli-unit accumulators, fanning the fold across a bounded worker
+// pool when there are enough shards and cores to matter. All sums are
+// integer milli-units and CommBuilder adds are unit counts, so the merged
+// statistics are bit-identical to the serial merge regardless of the worker
+// count or schedule.
+func (e *Engine) mergeShardStats(ps *PeriodStats, groupMilli, nodeMilli []int64) {
+	refs := e.shardRefs[:0]
+	for i, n := range e.nodes {
+		if n == nil || e.removed[i] {
+			continue
+		}
+		for _, sh := range n.shards {
+			refs = append(refs, shardRef{node: i, sh: sh})
+		}
+	}
+	e.shardRefs = refs
+	w := runtime.GOMAXPROCS(0)
+	if w > len(refs) {
+		w = len(refs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if len(refs) < 4 {
+		w = 1
+	}
+	for len(e.mergeAccs) < w {
+		e.mergeAccs = append(e.mergeAccs, &mergeAcc{})
+	}
+	for k := 0; k < w; k++ {
+		e.mergeAccs[k].reset(len(groupMilli), len(nodeMilli))
+	}
+	if w == 1 {
+		acc := e.mergeAccs[0]
+		for _, r := range refs {
+			acc.fold(r, ps, e.commBuilder.Add)
+		}
+		acc.reduceInto(ps, groupMilli, nodeMilli)
+		return
+	}
+	// The comm fold's dominant cost is scanning each shard's accumulator for
+	// non-zero edges; that scan stays parallel and only the per-edge Add
+	// serializes on the mutex.
+	var commMu sync.Mutex
+	add := func(from, to int, rate float64) {
+		commMu.Lock()
+		e.commBuilder.Add(from, to, rate)
+		commMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			acc := e.mergeAccs[k]
+			for r := k; r < len(refs); r += w {
+				acc.fold(refs[r], ps, add)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < w; k++ {
+		e.mergeAccs[k].reduceInto(ps, groupMilli, nodeMilli)
+	}
 }

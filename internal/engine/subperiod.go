@@ -37,7 +37,9 @@ import (
 // SubObserver is the sub-period boundary hook: it receives a mid-period
 // snapshot (SubSnapshot), the 1-based period and the 1-based sub-interval
 // index just completed, and returns the hot moves to apply now (nil for
-// none). It runs on the source-generation goroutine between tuples — keep
+// none). It runs on a source-generation goroutine between tuples — with
+// parallel generation (Config.GenWorkers > 1) on the boundary-initiating
+// generator while every other generator is parked at a safe point — so keep
 // it cheap, it stalls input generation while it runs.
 type SubObserver func(snap *core.Snapshot, period, sub int) []core.Move
 
@@ -157,11 +159,14 @@ func (e *Engine) opStats() []core.OpStat {
 	return ops
 }
 
-// subBoundary runs one sub-interval boundary on the generation goroutine:
-// let the data path catch up to this boundary's share of the period, build
-// the sub-snapshot, consult the observer, apply the returned moves.
-// flushSrc ships every staged source outbox first so tuples the engine
-// routed under the old allocation are ordered before the move broadcast.
+// subBoundary runs one sub-interval boundary on the (sole active) generation
+// goroutine: let the data path catch up to this boundary's share of the
+// period, build the sub-snapshot, consult the observer, apply the returned
+// moves. With parallel generation the caller is the boundary initiator and
+// every other generator is parked (see genCoord), so single-generator
+// reasoning applies throughout. flushSrc ships every staged source outbox —
+// of every generator — first, so tuples the engine routed under the old
+// allocation are ordered before the move broadcast.
 func (e *Engine) subBoundary(pr *periodRun, flushSrc func()) {
 	if pr.subObserver == nil {
 		return
@@ -192,8 +197,8 @@ func (e *Engine) subBoundary(pr *periodRun, flushSrc func()) {
 // quiesceToward blocks until the cluster's burned cost units this period
 // reach target milli-units, or until progress stalls (everything deliverable
 // has been processed — e.g. the input rate dropped, or tuples sit in
-// senders' outboxes below the flush threshold). Runs on the generation
-// goroutine only.
+// senders' outboxes below the flush threshold). Runs on the boundary's sole
+// active generation goroutine only.
 func (e *Engine) quiesceToward(target int64) {
 	prev, stalls := int64(-1), 0
 	for {

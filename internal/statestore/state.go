@@ -58,6 +58,13 @@ type State struct {
 	scratchTab *Table
 	// symScratch is the reusable symbol buffer encode-time sorting uses.
 	symScratch []int32
+
+	// sizeCache memoizes Size(). 0 means dirty — an empty state encodes to
+	// three count bytes, so no valid size is ever 0. Every size-changing
+	// mutation (field create/delete, string set, table cell churn via the
+	// Table owner hook) resets it; value-only numeric updates don't, since
+	// floats are fixed-width on the wire.
+	sizeCache int
 }
 
 // NewState returns an empty state.
@@ -134,6 +141,7 @@ func (s *State) Add(name string, v float64) float64 {
 		s.kind[sym] |= kNum
 		s.numN++
 		s.numVal[sym] = v
+		s.sizeCache = 0
 	} else {
 		s.numVal[sym] += v
 	}
@@ -146,6 +154,7 @@ func (s *State) SetNum(name string, v float64) {
 	if s.kind[sym]&kNum == 0 {
 		s.kind[sym] |= kNum
 		s.numN++
+		s.sizeCache = 0
 	}
 	s.numVal[sym] = v
 }
@@ -172,6 +181,7 @@ func (s *State) DelNum(name string) {
 		s.kind[sym] &^= kNum
 		s.numVal[sym] = 0
 		s.numN--
+		s.sizeCache = 0
 	}
 }
 
@@ -183,6 +193,7 @@ func (s *State) SetStr(name, v string) {
 		s.strN++
 	}
 	s.strVal[sym] = v
+	s.sizeCache = 0 // string values are variable-width on the wire
 }
 
 // Str returns a string register ("" if absent).
@@ -207,6 +218,7 @@ func (s *State) DelStr(name string) {
 		s.kind[sym] &^= kStr
 		s.strVal[sym] = ""
 		s.strN--
+		s.sizeCache = 0
 	}
 }
 
@@ -219,8 +231,9 @@ func (s *State) Table(name string) *Table {
 		s.kind[sym] |= kTab
 		s.tabN++
 		if s.tabs[sym] == nil {
-			s.tabs[sym] = &Table{}
+			s.tabs[sym] = &Table{owner: s}
 		}
+		s.sizeCache = 0
 	}
 	return s.tabs[sym]
 }
@@ -240,6 +253,7 @@ func (s *State) ClearTable(name string) {
 		s.kind[sym] &^= kTab
 		s.tabs[sym].Clear()
 		s.tabN--
+		s.sizeCache = 0
 	}
 }
 
@@ -309,6 +323,7 @@ func (s *State) Reset() {
 		s.strVal[sym] = ""
 	}
 	s.numN, s.strN, s.tabN = 0, 0, 0
+	s.sizeCache = 0
 	if s.scratchTab != nil {
 		s.scratchTab.Clear()
 	}
@@ -396,8 +411,13 @@ func (s *State) Encode(buf []byte) []byte {
 
 // Size returns |σ|: the serialized size in bytes. It is computed
 // arithmetically (no encode, no sort) — encoded length is independent of
-// key order, so Size() == len(Encode(nil)) always.
+// key order, so Size() == len(Encode(nil)) always. The result is cached and
+// invalidated on size-changing mutations, so the per-period StateBytes
+// barrier scan costs O(1) per untouched group instead of O(fields).
 func (s *State) Size() int {
+	if s.sizeCache != 0 {
+		return s.sizeCache
+	}
 	n := codec.SizeUvarint(uint64(s.numN)) +
 		codec.SizeUvarint(uint64(s.strN)) +
 		codec.SizeUvarint(uint64(s.tabN))
@@ -412,6 +432,7 @@ func (s *State) Size() int {
 			n += codec.SizeString(s.names[sym]) + s.tabs[sym].encodedSize()
 		}
 	}
+	s.sizeCache = n
 	return n
 }
 

@@ -26,6 +26,14 @@ type Table struct {
 	// scratch is the reusable entry-index buffer sortedIdx hands out
 	// (encode-time key sorting without a per-encode allocation).
 	scratch []int32
+	// encBytes is the encoded size of the cells (sum of SizeString(key)+8),
+	// maintained incrementally so encodedSize is O(1). Cell values are
+	// fixed-width floats, so only insertion and removal change it.
+	encBytes int
+	// owner, when the table belongs to a State, is notified on any
+	// size-changing mutation so the State's cached Size() stays honest.
+	// Scratch and standalone tables have no owner.
+	owner *State
 }
 
 // hashKey is codec's FNV-1a passed through a splitmix64 finalizer, so the
@@ -82,9 +90,18 @@ func (t *Table) insertAt(slot uint32, k string, v float64) {
 	t.keys = append(t.keys, k)
 	t.vals = append(t.vals, v)
 	t.slots[slot] = int32(len(t.keys))
+	t.encBytes += codec.SizeString(k) + 8
+	t.dirtyOwner()
 	// Grow at 3/4 load so probe chains stay short.
 	if 4*len(t.keys) >= 3*len(t.slots) {
 		t.grow()
+	}
+}
+
+// dirtyOwner invalidates the owning State's cached serialized size.
+func (t *Table) dirtyOwner() {
+	if t.owner != nil {
+		t.owner.sizeCache = 0
 	}
 }
 
@@ -165,6 +182,8 @@ func (t *Table) Delete(k string) bool {
 	t.keys[last] = "" // release the string
 	t.keys = t.keys[:last]
 	t.vals = t.vals[:last]
+	t.encBytes -= codec.SizeString(k) + 8
+	t.dirtyOwner()
 	// Backward-shift deletion: walk the probe chain after the emptied slot
 	// and pull back any entry whose home position lies at or before it.
 	i := slot
@@ -191,6 +210,8 @@ func (t *Table) Clear() {
 	t.keys = t.keys[:0]
 	t.vals = t.vals[:0]
 	clear(t.slots)
+	t.encBytes = 0
+	t.dirtyOwner()
 }
 
 // Range calls fn for every cell until fn returns false. Iteration order is
@@ -245,13 +266,10 @@ func (t *Table) encode(buf []byte) []byte {
 	return buf
 }
 
-// encodedSize is len(encode(nil)) without sorting or building bytes.
+// encodedSize is len(encode(nil)) without sorting, building bytes, or even
+// walking the cells — encBytes is maintained by every mutation.
 func (t *Table) encodedSize() int {
-	n := codec.SizeUvarint(uint64(len(t.keys)))
-	for _, k := range t.keys {
-		n += codec.SizeString(k) + 8
-	}
-	return n
+	return codec.SizeUvarint(uint64(len(t.keys))) + t.encBytes
 }
 
 // sortSymsByName sorts a symbol slice by the names it indexes.
@@ -274,4 +292,6 @@ func (t *Table) copyFrom(src *Table) {
 		t.mask = src.mask
 	}
 	copy(t.slots, src.slots)
+	t.encBytes = src.encBytes
+	t.dirtyOwner()
 }

@@ -41,6 +41,17 @@ func (t *nameTable) name(i int) string {
 	return t.names[i]
 }
 
+// fill formats every entry up front. The partitionable generators run the
+// same table from several generator goroutines at once, so the lazy
+// memoizing write in name() must never fire concurrently.
+func (t *nameTable) fill() {
+	for i := range t.names {
+		if t.names[i] == "" {
+			t.names[i] = fmt.Sprintf(t.format, i)
+		}
+	}
+}
+
 // WikipediaConfig tunes the Wikipedia edit-history simulator.
 type WikipediaConfig struct {
 	// Articles is the size of the article universe (default 20000).
@@ -60,13 +71,20 @@ type WikipediaConfig struct {
 	Seed int64
 }
 
-// Wikipedia returns a source generating edit tuples:
+// WikipediaParts returns a partitionable source generating edit tuples:
 // key = article id, fields: editor, bytes changed, geohash cell.
 //
 // The paper's Real Job 1 assumes "a completely even distribution of GeoHash
 // values covering Denmark"; the generator assigns each edit a uniform cell
 // from a fixed 100-cell grid.
-func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
+//
+// Every part replays the source's full per-period splitmix64 stream in the
+// exact per-tuple draw order (the Zipf sampler's rejection loop consumes a
+// variable number of draws, so the draws cannot be skipped) and emits only
+// every parts-th tuple: the union over parts is bit-identical to the
+// parts=1 batch for any parts, which is what makes the engine's parallel
+// generation reproducible.
+func WikipediaParts(cfg WikipediaConfig) engine.PartSourceFunc {
 	if cfg.Articles <= 0 {
 		cfg.Articles = 20000
 	}
@@ -85,7 +103,10 @@ func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
 	articles := newNameTable("article-%06d", cfg.Articles)
 	editors := newNameTable("editor-%04d", 5000)
 	geos := newNameTable("dk-%02d", 100)
-	return func(period int, emit engine.Emit) {
+	articles.fill()
+	editors.fill()
+	geos.fill()
+	return func(period, part, parts int, emit engine.Emit) {
 		// Per-period RNG: each period's batch is bit-reproducible from
 		// (Seed, period) alone, independent of generation order.
 		rng := periodRNG(cfg.Seed, 0x11aa, period)
@@ -94,14 +115,29 @@ func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
 		noise := 1 + cfg.Fluctuation*0.4*(rng.Float64()*2-1)
 		n := int(float64(cfg.BaseRate) * drift * noise)
 		for i := 0; i < n; i++ {
-			article := articles.name(int(zipf.Uint64()))
-			t := engine.NewTuple(article, int64(period*1_000_000+i))
-			t.WithStr("editor", editors.name(rng.Intn(5000)))
-			t.WithStr("geo", geos.name(rng.Intn(100)))
-			t.WithNum("bytes", float64(10+rng.Intn(2000)))
+			// All draws happen before the part filter, in the serial path's
+			// per-tuple order, so the stream position never depends on parts.
+			article := int(zipf.Uint64())
+			editor := rng.Intn(5000)
+			geo := rng.Intn(100)
+			changed := 10 + rng.Intn(2000)
+			if i%parts != part {
+				continue
+			}
+			t := engine.NewTuple(articles.name(article), int64(period*1_000_000+i))
+			t.WithStr("editor", editors.name(editor))
+			t.WithStr("geo", geos.name(geo))
+			t.WithNum("bytes", float64(changed))
 			emit(t)
 		}
 	}
+}
+
+// Wikipedia is the single-generator form of WikipediaParts (part 0 of 1 is
+// the whole batch).
+func Wikipedia(cfg WikipediaConfig) engine.SourceFunc {
+	p := WikipediaParts(cfg)
+	return func(period int, emit engine.Emit) { p(period, 0, 1, emit) }
 }
 
 // AirlineConfig tunes the Airline On-Time simulator.
@@ -120,9 +156,10 @@ type AirlineConfig struct {
 	Seed int64
 }
 
-// Airline returns a source generating flight records: key = tail number,
-// fields: route, origin, destination, departure delay minutes, year.
-func Airline(cfg AirlineConfig) engine.SourceFunc {
+// AirlineParts returns a partitionable source generating flight records:
+// key = tail number, fields: route, origin, destination, departure delay
+// minutes, year. See WikipediaParts for the replay-and-filter split model.
+func AirlineParts(cfg AirlineConfig) engine.PartSourceFunc {
 	if cfg.Planes <= 0 {
 		cfg.Planes = 2000
 	}
@@ -137,22 +174,22 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 	}
 	planes := newNameTable("N%05d", cfg.Planes)
 	airports := newNameTable("A%02d", cfg.Airports)
+	planes.fill()
+	airports.fill()
 	routes := make([]string, cfg.Airports*cfg.Airports)
-	routeName := func(o, d int) string {
-		i := o*cfg.Airports + d
-		if routes[i] == "" {
-			routes[i] = airports.name(o) + "-" + airports.name(d)
+	for o := 0; o < cfg.Airports; o++ {
+		for d := 0; d < cfg.Airports; d++ {
+			routes[o*cfg.Airports+d] = airports.name(o) + "-" + airports.name(d)
 		}
-		return routes[i]
 	}
-	return func(period int, emit engine.Emit) {
+	return func(period, part, parts int, emit engine.Emit) {
 		rng := periodRNG(cfg.Seed, 0x22bb, period)
 		// Plane popularity is mildly skewed (fleet workhorses fly more, but
 		// no tail number exceeds a fraction of a percent of all flights).
 		zipf := rand.NewZipf(rng, 1.1, 30, uint64(cfg.Planes-1))
 		n := int(float64(cfg.Rate) * cfg.RateScale)
 		for i := 0; i < n; i++ {
-			plane := planes.name(int(zipf.Uint64()))
+			plane := int(zipf.Uint64())
 			o, d := rng.Intn(cfg.Airports), rng.Intn(cfg.Airports)
 			if o == d {
 				d = (d + 1) % cfg.Airports
@@ -162,8 +199,11 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 			if rng.Intn(10) == 0 {
 				delay += rng.ExpFloat64() * 45
 			}
-			t := engine.NewTuple(plane, int64(period*1_000_000+i))
-			t.WithStr("route", routeName(o, d))
+			if i%parts != part {
+				continue
+			}
+			t := engine.NewTuple(planes.name(plane), int64(period*1_000_000+i))
+			t.WithStr("route", routes[o*cfg.Airports+d])
 			t.WithStr("origin", airports.name(o))
 			t.WithStr("dest", airports.name(d))
 			t.WithNum("delay", math.Round(delay))
@@ -171,6 +211,12 @@ func Airline(cfg AirlineConfig) engine.SourceFunc {
 			emit(t)
 		}
 	}
+}
+
+// Airline is the single-generator form of AirlineParts.
+func Airline(cfg AirlineConfig) engine.SourceFunc {
+	p := AirlineParts(cfg)
+	return func(period int, emit engine.Emit) { p(period, 0, 1, emit) }
 }
 
 // WeatherConfig tunes the GSOD weather simulator.
@@ -186,10 +232,11 @@ type WeatherConfig struct {
 	Seed int64
 }
 
-// Weather returns a source generating daily surface summaries: key =
-// station id, fields: airport served, precipitation, max historical
-// precipitation (for the rainscore of Real Job 4).
-func Weather(cfg WeatherConfig) engine.SourceFunc {
+// WeatherParts returns a partitionable source generating daily surface
+// summaries: key = station id, fields: airport served, precipitation, max
+// historical precipitation (for the rainscore of Real Job 4). See
+// WikipediaParts for the replay-and-filter split model.
+func WeatherParts(cfg WeatherConfig) engine.PartSourceFunc {
 	if cfg.Stations <= 0 {
 		cfg.Stations = 500
 	}
@@ -201,19 +248,31 @@ func Weather(cfg WeatherConfig) engine.SourceFunc {
 	}
 	stations := newNameTable("ST%04d", cfg.Stations)
 	airports := newNameTable("A%02d", cfg.Airports)
-	return func(period int, emit engine.Emit) {
+	stations.fill()
+	airports.fill()
+	return func(period, part, parts int, emit engine.Emit) {
 		rng := periodRNG(cfg.Seed, 0x33cc, period)
 		for i := 0; i < cfg.Rate; i++ {
 			st := rng.Intn(cfg.Stations)
-			t := engine.NewTuple(stations.name(st), int64(period*1_000_000+i))
-			t.WithStr("airport", airports.name(st%cfg.Airports))
 			precip := 0.0
 			if rng.Intn(3) == 0 { // rainy day
 				precip = rng.ExpFloat64() * 8
 			}
+			histMax := 60 + rng.Float64()*40
+			if i%parts != part {
+				continue
+			}
+			t := engine.NewTuple(stations.name(st), int64(period*1_000_000+i))
+			t.WithStr("airport", airports.name(st%cfg.Airports))
 			t.WithNum("precip", precip)
-			t.WithNum("histMax", 60+rng.Float64()*40)
+			t.WithNum("histMax", histMax)
 			emit(t)
 		}
 	}
+}
+
+// Weather is the single-generator form of WeatherParts.
+func Weather(cfg WeatherConfig) engine.SourceFunc {
+	p := WeatherParts(cfg)
+	return func(period int, emit engine.Emit) { p(period, 0, 1, emit) }
 }

@@ -140,7 +140,7 @@ func RealJob1(cfg JobConfig) (*engine.Topology, error) {
 		rate = 4000
 	}
 	t := engine.NewTopology()
-	t.AddSource("wiki", Wikipedia(WikipediaConfig{
+	t.AddSourceParts("wiki", WikipediaParts(WikipediaConfig{
 		BaseRate: int(float64(rate) * cfg.RateScale),
 		Seed:     cfg.Seed,
 	}))
@@ -251,7 +251,7 @@ func RealJob4(cfg JobConfig) (*engine.Topology, error) {
 	addRouteDelay(t, cfg)
 
 	weatherRate := cfg.Rate / 4
-	t.AddSource("weather", Weather(WeatherConfig{Rate: weatherRate, Seed: cfg.Seed + 9}))
+	t.AddSourceParts("weather", WeatherParts(WeatherConfig{Rate: weatherRate, Seed: cfg.Seed + 9}))
 
 	// RainScore: percentage of precipitation against the historical max.
 	t.AddOperator(&engine.Operator{
@@ -342,7 +342,7 @@ func addAirlineSourceAndExtract(t *engine.Topology, cfg JobConfig) {
 	if rate <= 0 {
 		rate = 4000
 	}
-	t.AddSource("flights", Airline(AirlineConfig{
+	t.AddSourceParts("flights", AirlineParts(AirlineConfig{
 		Rate:      rate,
 		RateScale: cfg.RateScale,
 		Seed:      cfg.Seed,
